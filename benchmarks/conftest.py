@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Every paper artifact gets one benchmark that regenerates it end to end
+(deliverable d).  Simulation-backed experiments run a single round via
+``benchmark.pedantic`` so the suite stays fast; analytic experiments use
+normal rounds.  Each benchmark also sanity-checks its result so the
+suite doubles as an integration smoke test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive callable exactly once under the benchmark clock."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

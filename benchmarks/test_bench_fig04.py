@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 4 (metrics vs session length)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig04(benchmark):
+    result = benchmark(run_experiment, "fig4", fast=True)
+    inconsistency = result.panel("a: inconsistency ratio")
+    ss = inconsistency.series_by_label("SS")
+    # The headline shape: inconsistency falls as sessions lengthen.
+    assert ss.y[0] > ss.y[-1]
+    assert result.panel("b: signaling message rate").series_by_label("HS").y[-1] < 0.2

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 5 (loss-rate and delay sensitivity)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark(run_experiment, "fig5", fast=True)
+    loss_panel = result.panel("a: vs loss rate")
+    for series in loss_panel.series:
+        assert series.y[-1] > series.y[0]  # loss hurts everyone

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 6 (refresh-timer sweep, single hop)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark(run_experiment, "fig6", fast=True)
+    rate_panel = result.panel("b: signaling message rate")
+    ss = rate_panel.series_by_label("SS")
+    assert ss.y[0] > ss.y[-1]  # long timers are cheap

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 7 (integrated cost vs refresh timer)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark(run_experiment, "fig7", fast=True)
+    panel = result.panel("integrated cost")
+    ss = panel.series_by_label("SS")
+    # The sensitive interior optimum the paper highlights.
+    assert min(ss.y) < ss.y[0]
+    assert min(ss.y) < ss.y[-1]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 8 (timeout and retransmission timers)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark(run_experiment, "fig8", fast=True)
+    timeout_panel = result.panel("a: vs state-timeout timer")
+    ss = timeout_panel.series_by_label("SS")
+    assert ss.y[0] > 10 * min(ss.y)  # T < R collapses soft state

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9 (I-vs-M tradeoff, varying R)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark(run_experiment, "fig9", fast=True)
+    panel = result.panel("tradeoff")
+    assert len(panel.series_by_label("HS").x) == 1  # HS is a point

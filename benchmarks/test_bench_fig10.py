@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 10 (tradeoffs under workload sweeps)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark(run_experiment, "fig10", fast=True)
+    assert len(result.panels) == 2
+    for panel in result.panels:
+        assert len(panel.series) == 5

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 11 (simulation vs model, session sweep).
+
+This is the expensive validation experiment (replicated discrete-event
+simulations), so it runs exactly one round.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig11(run_once):
+    result = run_once(run_experiment, "fig11", fast=True)
+    panel = result.panel("a: inconsistency ratio")
+    sim = panel.series_by_label("SS sim")
+    model = panel.series_by_label("SS")
+    assert sim.y_err is not None
+    # Simulation tracks the model across the sweep.
+    for m, s in zip(model.y, sim.y):
+        assert abs(s - m) < max(0.4 * m, 1e-3)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 12 (simulation vs model, refresh sweep).
+
+Replicated discrete-event simulations: one benchmark round.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig12(run_once):
+    result = run_once(run_experiment, "fig12", fast=True)
+    panel = result.panel("b: signaling message rate")
+    sim = panel.series_by_label("SS sim")
+    model = panel.series_by_label("SS")
+    for m, s in zip(model.y, sim.y):
+        assert abs(s - m) < 0.35 * m

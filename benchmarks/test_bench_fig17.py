@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 17 (per-hop inconsistency profile)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig17(benchmark):
+    result = benchmark(run_experiment, "fig17", fast=True)
+    panel = result.panel("per-hop inconsistency")
+    ss = panel.series_by_label("SS")
+    assert ss.y[-1] > ss.y[0]  # inconsistency grows along the path

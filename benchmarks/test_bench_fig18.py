@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 18 (metrics vs number of hops)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig18(benchmark):
+    result = benchmark(run_experiment, "fig18", fast=True)
+    rate_panel = result.panel("b: signaling message rate")
+    assert (
+        rate_panel.series_by_label("HS").y[-1]
+        < rate_panel.series_by_label("SS").y[-1]
+    )

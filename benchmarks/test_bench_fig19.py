@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 19 (multi-hop refresh-timer sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig19(benchmark):
+    result = benchmark(run_experiment, "fig19", fast=True)
+    panel = result.panel("a: inconsistency ratio")
+    ss = panel.series_by_label("SS")
+    best = min(range(len(ss.y)), key=lambda i: ss.y[i])
+    assert ss.y[-1] > ss.y[best]  # the multi-hop vee shape

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (model transition rates)."""
+
+from __future__ import annotations
+
+from repro.core.protocols import Protocol
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_experiment, "table1")
+    panel = result.panel("transition rates")
+    assert panel.labels() == tuple(p.value for p in Protocol)
+    # Every protocol column evaluates all seven Table I rows.
+    for series in panel.series:
+        assert len(series.y) == 7

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Hard state needs a failure detector: measuring its false-alarm rate.
+
+Hard-state signaling cannot expire orphaned state; it depends on an
+external signal (paper §II), e.g. a heartbeat protocol.  The analytic
+model compresses the whole detector into one number — the spurious
+detection rate ``lambda_x``.  This example:
+
+1. runs a real heartbeat emitter/monitor pair over a lossy channel,
+2. measures its false-alarm rate and compares it with the closed-form
+   prediction ``p^k / interval``,
+3. plugs the measured rate into the HS model to show how detector
+   tuning moves hard state's consistency.
+
+Run: ``python examples/heartbeat_failure_detection.py``
+"""
+
+from repro import Protocol, SingleHopModel, kazaa_defaults
+from repro.protocols.heartbeat import build_heartbeat_pair, false_positive_rate
+from repro.sim.engine import Environment
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+
+LOSS_RATE = 0.05
+DELAY = 0.03
+HEARTBEAT_INTERVAL = 1.0
+HORIZON = 400_000.0
+
+
+def measure_false_alarm_rate(miss_threshold: int, seed: int = 5) -> float:
+    """Simulate the detector with an always-alive emitter."""
+    env = Environment()
+    streams = RandomStreams(seed)
+    emitter, monitor = build_heartbeat_pair(
+        env,
+        loss_rate=LOSS_RATE,
+        delay=DELAY,
+        interval=HEARTBEAT_INTERVAL,
+        miss_threshold=miss_threshold,
+        interval_timer=Timer(
+            HEARTBEAT_INTERVAL, TimerDiscipline.DETERMINISTIC, streams.stream("hb")
+        ),
+        rng=streams.stream("chan"),
+        on_failure=lambda: None,
+    )
+    env.run(until=HORIZON)
+    del emitter
+    return monitor.detections / HORIZON
+
+
+def main() -> None:
+    print(
+        f"Heartbeat failure detector over a {LOSS_RATE:.0%}-loss channel "
+        f"(interval {HEARTBEAT_INTERVAL:.0f}s)"
+    )
+    print(f"\n  {'miss thresh':>11s} {'predicted /s':>13s} {'measured /s':>12s}")
+    measured_rates = {}
+    for miss_threshold in (1, 2, 3):
+        predicted = false_positive_rate(LOSS_RATE, HEARTBEAT_INTERVAL, miss_threshold)
+        measured = measure_false_alarm_rate(miss_threshold)
+        measured_rates[miss_threshold] = measured
+        print(f"  {miss_threshold:11d} {predicted:13.3g} {measured:12.3g}")
+
+    print("\nEffect on hard-state signaling consistency (single-hop defaults):")
+    base = kazaa_defaults()
+    print(f"  {'miss thresh':>11s} {'lambda_x':>10s} {'HS inconsistency':>17s}")
+    for miss_threshold, rate in measured_rates.items():
+        params = base.replace(external_false_signal_rate=max(rate, 1e-12))
+        solution = SingleHopModel(Protocol.HS, params).solve()
+        print(
+            f"  {miss_threshold:11d} {rate:10.3g} "
+            f"{solution.inconsistency_ratio:17.5f}"
+        )
+    print(
+        "\nAn aggressive detector (threshold 1) floods HS with false removals;\n"
+        "a patient one makes lambda_x negligible — which is why the model's\n"
+        "default lambda_x = 1e-4 treats the detector as well-tuned."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""IGMP-style group membership: soft state vs explicit leave.
+
+IGMPv1 used pure soft state (membership expires when report refreshes
+stop); IGMPv2 added an explicit Leave message — exactly the paper's
+SS -> SS+ER evolution (§I).  The cost of staleness here is concrete:
+multicast data keeps flowing to a host that already left.
+
+This example tunes the refresh (membership-report) timer for both
+designs, pricing staleness as wasted multicast bandwidth, and shows why
+the explicit leave message was worth standardizing.
+
+Run: ``python examples/igmp_membership.py``
+"""
+
+from repro import Protocol, SignalingParameters, SingleHopModel
+from repro.analysis import optimize_refresh_timer
+
+# A host joins a group for ~10 minutes; the LAN loses few messages.
+IGMP_PARAMS = SignalingParameters(
+    loss_rate=0.01,
+    delay=0.002,  # 2 ms LAN
+    update_rate=0.0,  # membership has no "update", only join/leave
+    removal_rate=1.0 / 600.0,
+    refresh_interval=10.0,
+    timeout_interval=30.0,
+    retransmission_interval=0.008,
+)
+
+# Cost weight: a stale entry keeps a 5 Mbit/s video stream flowing;
+# expressed in "equivalent signaling messages" per second of staleness.
+UNWANTED_TRAFFIC_WEIGHT = 50.0
+
+REPORT_TIMERS = (2.0, 10.0, 30.0, 60.0, 125.0)  # 125 s = IGMPv2 default
+
+
+def main() -> None:
+    print("IGMP membership: pure soft state (v1) vs explicit leave (v2)")
+    print(f"(staleness weight: {UNWANTED_TRAFFIC_WEIGHT:.0f} msg-equivalents/s)")
+    print(
+        f"\n  {'report timer':>12s} | {'v1 (SS) stale':>13s} {'cost':>8s} | "
+        f"{'v2 (SS+ER) stale':>16s} {'cost':>8s}"
+    )
+    for report_timer in REPORT_TIMERS:
+        params = IGMP_PARAMS.with_coupled_timers(report_timer)
+        v1 = SingleHopModel(Protocol.SS, params).solve()
+        v2 = SingleHopModel(Protocol.SS_ER, params).solve()
+        print(
+            f"  {report_timer:12.0f} | {v1.inconsistency_ratio:13.5f} "
+            f"{v1.integrated_cost(UNWANTED_TRAFFIC_WEIGHT):8.3f} | "
+            f"{v2.inconsistency_ratio:16.5f} "
+            f"{v2.integrated_cost(UNWANTED_TRAFFIC_WEIGHT):8.3f}"
+        )
+
+    for protocol, name in ((Protocol.SS, "IGMPv1 (SS)"), (Protocol.SS_ER, "IGMPv2 (SS+ER)")):
+        best = optimize_refresh_timer(
+            protocol, IGMP_PARAMS, weight=UNWANTED_TRAFFIC_WEIGHT
+        )
+        print(
+            f"\n{name}: optimal report timer ~ {best.refresh_interval:.1f}s "
+            f"(timeout {best.timeout_interval:.1f}s), cost {best.cost:.3f}"
+        )
+    print(
+        "\nThe explicit leave message removes the staleness floor that the\n"
+        "timeout imposes on v1, so v2 tolerates long (cheap) report timers\n"
+        "— which is exactly how IGMPv2 is deployed."
+    )
+
+
+if __name__ == "__main__":
+    main()

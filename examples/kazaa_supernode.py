@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Kazaa supernode directory consistency under peer churn.
+
+The paper motivates the single-hop model with a peer-to-peer file
+sharing system: a peer registers its shared files with a supernode;
+if the peer leaves without the supernode noticing, other peers are
+directed to a dead endpoint (a *stale directory entry*).
+
+This example sweeps peer session length (churn) and answers an
+operator's questions:
+
+* what fraction of the time is the directory entry wrong, per protocol?
+* how many fruitless peer contacts does that cause (the
+  application-specific cost, ``w`` contacts/second of staleness)?
+* which protocol minimizes the total cost at each churn level?
+
+Run: ``python examples/kazaa_supernode.py``
+"""
+
+from repro import Protocol, kazaa_defaults, solve_all
+
+# Each second of stale state causes ~10 fruitless contact attempts
+# (the paper's Fig. 7 weight).
+FRUITLESS_CONTACT_WEIGHT = 10.0
+
+SESSION_LENGTHS = (60.0, 300.0, 1800.0, 7200.0)  # 1 min .. 2 h
+
+
+def main() -> None:
+    base = kazaa_defaults()
+    print("Kazaa peer/supernode signaling under churn")
+    print(f"(cost weight: {FRUITLESS_CONTACT_WEIGHT:.0f} fruitless contacts per stale-second)")
+    for session in SESSION_LENGTHS:
+        params = base.replace(removal_rate=1.0 / session)
+        solutions = solve_all(params)
+        print(f"\nmean peer session = {session:.0f}s")
+        print(
+            f"  {'protocol':10s} {'stale frac':>11s} {'msgs/s':>9s} "
+            f"{'total cost':>11s}"
+        )
+        best = min(
+            Protocol, key=lambda p: solutions[p].integrated_cost(FRUITLESS_CONTACT_WEIGHT)
+        )
+        for protocol in Protocol:
+            solution = solutions[protocol]
+            marker = "  <- best" if protocol is best else ""
+            print(
+                f"  {protocol.value:10s} {solution.inconsistency_ratio:11.5f} "
+                f"{solution.normalized_message_rate:9.4f} "
+                f"{solution.integrated_cost(FRUITLESS_CONTACT_WEIGHT):11.4f}{marker}"
+            )
+    print(
+        "\nObservation (paper Fig. 4): the shorter the sessions, the more the\n"
+        "removal mechanism matters — SS+ER/SS+RTR/HS dominate under churn,\n"
+        "while trigger reliability only differentiates long-lived sessions."
+    )
+
+
+if __name__ == "__main__":
+    main()

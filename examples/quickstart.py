@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the five signaling protocols on one scenario.
+
+Solves the paper's unified Markov model for every protocol at the
+single-hop Kazaa defaults, cross-checks one protocol against the
+discrete-event simulator, and prints the comparison the paper's
+Section III-A.3 discusses.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Protocol, SingleHopModel, kazaa_defaults
+from repro.protocols import SingleHopSimConfig, SingleHopSimulation
+
+
+def main() -> None:
+    params = kazaa_defaults()
+    print("Scenario: Kazaa peer registering its shared files at a supernode")
+    print(
+        f"  loss={params.loss_rate:.0%}  delay={params.delay * 1000:.0f}ms  "
+        f"session={params.mean_session_length:.0f}s  "
+        f"update every {1 / params.update_rate:.0f}s  "
+        f"R={params.refresh_interval:.0f}s T={params.timeout_interval:.0f}s"
+    )
+    print()
+    print(f"{'protocol':10s} {'inconsistency':>14s} {'msg rate M':>12s} {'cost (w=10)':>12s}")
+    for protocol in Protocol:
+        solution = SingleHopModel(protocol, params).solve()
+        print(
+            f"{protocol.value:10s} {solution.inconsistency_ratio:14.5f} "
+            f"{solution.normalized_message_rate:12.4f} "
+            f"{solution.integrated_cost(10.0):12.4f}"
+        )
+
+    print()
+    print("Cross-check: simulating SS+ER with deterministic timers ...")
+    config = SingleHopSimConfig(
+        protocol=Protocol.SS_ER, params=params, sessions=150, seed=7
+    )
+    result = SingleHopSimulation(config).run()
+    model = SingleHopModel(Protocol.SS_ER, params).solve()
+    print(
+        f"  model I = {model.inconsistency_ratio:.5f}   "
+        f"simulated I = {result.inconsistency_ratio:.5f}"
+    )
+    print(
+        f"  model M = {model.normalized_message_rate:.4f}   "
+        f"simulated M = {result.normalized_message_rate(params.removal_rate):.4f}"
+    )
+    print()
+    print(
+        "Takeaway (paper §V): explicit removal buys most of the consistency;\n"
+        "adding reliable setup/update/removal (SS+RTR) matches hard state."
+    )
+
+
+if __name__ == "__main__":
+    main()

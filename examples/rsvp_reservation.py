@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""RSVP-style bandwidth reservation along a multi-hop path.
+
+The paper's multi-hop analysis (§III-B) is motivated by reservation
+signaling: every router on the path must hold the reservation state.
+This example compares classic RSVP (pure soft state), RSVP with
+staged/reliable refresh extensions (SS+RT; RFC 2961-style), and an
+ST-II-like hard-state design (HS) as the path grows — and checks the
+analytic predictions against the packet-level chain simulator.
+
+Run: ``python examples/rsvp_reservation.py``
+"""
+
+from repro import Protocol, reservation_defaults
+from repro.core.multihop import MultiHopModel
+from repro.multihop import MultiHopSimConfig, MultiHopSimulation
+
+PATH_LENGTHS = (4, 8, 16)
+
+
+def main() -> None:
+    base = reservation_defaults()
+    print("Reservation state along a multi-hop path (per-hop loss "
+          f"{base.loss_rate:.0%}, delay {base.delay * 1000:.0f}ms)")
+    for hops in PATH_LENGTHS:
+        params = base.replace(hops=hops)
+        print(f"\npath length = {hops} hops")
+        print(
+            f"  {'protocol':8s} {'I (model)':>10s} {'I (sim)':>9s} "
+            f"{'msgs/s (model)':>14s} {'msgs/s (sim)':>13s} {'last-hop I':>11s}"
+        )
+        for protocol in Protocol.multihop_family():
+            model = MultiHopModel(protocol, params).solve()
+            sim = MultiHopSimulation(
+                MultiHopSimConfig(
+                    protocol=protocol,
+                    params=params,
+                    horizon=4000.0,
+                    warmup=200.0,
+                    seed=17,
+                )
+            ).run()
+            print(
+                f"  {protocol.value:8s} {model.inconsistency_ratio:10.5f} "
+                f"{sim.inconsistency_ratio:9.5f} {model.message_rate:14.4f} "
+                f"{sim.message_rate:13.4f} {model.hop_inconsistency(hops):11.5f}"
+            )
+    print(
+        "\nObservations (paper Figs. 17-18): consistency degrades roughly\n"
+        "linearly with distance from the sender; hop-by-hop reliable triggers\n"
+        "(RFC 2961-style) recover almost all of hard state's consistency while\n"
+        "keeping soft state's simple failure model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of Ji, Ge, Kurose & Towsley (SIGCOMM 2003),
+"A Comparison of Hard-state and Soft-state Signaling Protocols".
+
+The library has four layers:
+
+* :mod:`repro.core` — the paper's contribution: a unified CTMC model of
+  five signaling protocols (SS, SS+ER, SS+RT, SS+RTR, HS) in single-
+  and multi-hop settings, with the inconsistency-ratio, message-rate
+  and integrated-cost metrics.
+* :mod:`repro.sim` — a from-scratch discrete-event simulation kernel
+  (generator-based processes, lossy channels, time-weighted monitors).
+* :mod:`repro.protocols` and :mod:`repro.multihop` — executable
+  implementations of the five protocols on that kernel, used to
+  validate the model exactly as the paper does (Figs. 11-12).
+* :mod:`repro.experiments` — one runnable experiment per table/figure
+  of the paper's evaluation, plus :mod:`repro.analysis` extensions
+  (timer optimization, sensitivity, a Raman-McCanne style NACK variant).
+
+Quickstart::
+
+    from repro import Protocol, SingleHopModel, kazaa_defaults
+
+    solution = SingleHopModel(Protocol.SS_ER, kazaa_defaults()).solve()
+    print(solution.inconsistency_ratio, solution.normalized_message_rate)
+"""
+
+from repro.core import (
+    ContinuousTimeMarkovChain,
+    MultiHopParameters,
+    Protocol,
+    SignalingParameters,
+    SingleHopModel,
+    SingleHopSolution,
+    SingleHopState,
+    kazaa_defaults,
+    reservation_defaults,
+    solve_all,
+)
+from repro.core.multihop import MultiHopModel, MultiHopSolution, solve_all_multihop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContinuousTimeMarkovChain",
+    "MultiHopModel",
+    "MultiHopParameters",
+    "MultiHopSolution",
+    "Protocol",
+    "SignalingParameters",
+    "SingleHopModel",
+    "SingleHopSolution",
+    "SingleHopState",
+    "__version__",
+    "kazaa_defaults",
+    "reservation_defaults",
+    "solve_all",
+    "solve_all_multihop",
+]

@@ -1,0 +1,130 @@
+"""SS+NACK — the Raman & McCanne style receiver-driven reliability.
+
+Related work (paper §IV) discusses Raman & McCanne's soft-state
+framework in which "a NACK message is sent by the receiver when a
+signaling message is detected to be lost", with the idealization that
+the receiver learns of the loss immediately.  The paper maps that
+design onto its SS+RT protocol.  This module implements the NACK
+variant directly on our simulator so the mapping can be *measured*
+rather than asserted:
+
+* the lossy channel exposes a loss-detection hook (the idealized
+  "receiver knows a message was lost" signal, delivered one channel
+  delay after the drop);
+* on detection, the receiver NACKs; the sender answers by resending
+  its current state (trigger) or removal;
+* everything else is pure SS.
+
+Expectation (tested): SS+NACK behaves like SS+RT with an effective
+retransmission timer ``K ~ 2*Delta`` — one delay for the loss signal,
+one for the NACK trip — so its inconsistency falls between SS+RT with
+``K = 2*Delta`` and SS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.protocols.config import SingleHopSimConfig
+from repro.protocols.messages import Message, MessageKind
+from repro.protocols.session import SingleHopSimResult, SingleHopSimulation
+from repro.sim.randomness import RandomStreams
+from repro.sim.stats import ReplicationSet
+
+__all__ = ["NackSimulation", "equivalent_ss_rt_params", "simulate_nack_replications"]
+
+
+def equivalent_ss_rt_params(params: SignalingParameters) -> SignalingParameters:
+    """The SS+RT parameterization the paper equates with SS+NACK.
+
+    The NACK loop detects a loss after ``Delta`` and repairs it one
+    round trip later, so the matching SS+RT retransmission timer is
+    ``K = 2*Delta``.
+    """
+    return params.replace(retransmission_interval=2.0 * params.delay)
+
+
+class NackSimulation(SingleHopSimulation):
+    """Pure soft state plus receiver-driven NACK repair."""
+
+    def __init__(self, config: SingleHopSimConfig) -> None:
+        if config.protocol is not Protocol.SS:
+            raise ValueError("the NACK extension augments the pure SS protocol")
+        super().__init__(config)
+        self.nacks_sent = 0
+        self.nack_repairs = 0
+        # Attach the idealized loss-detection hook to the forward channel.
+        self._forward._on_loss = self._on_forward_loss
+
+    def _on_forward_loss(self, lost_message: Message) -> None:
+        # The receiver has just learned that a state-carrying or removal
+        # message never arrived; ask the sender to repeat itself.
+        self.nacks_sent += 1
+        self._transmit(self._reverse, Message(MessageKind.NOTIFY, lost_message.version))
+
+    def _deliver_to_sender(self, delivered) -> None:  # type: ignore[override]
+        message = delivered.payload
+        if message.kind is MessageKind.NOTIFY:
+            # NACK: repeat current intent instead of the normal NOTIFY
+            # handling (SS has no removal-notification machinery).
+            self.nack_repairs += 1
+            if self.sender.value is not None:
+                self._transmit(
+                    self._forward,
+                    Message(
+                        MessageKind.TRIGGER,
+                        self.sender.version,
+                        self.sender.value,
+                        retransmission=True,
+                    ),
+                )
+            # A lost removal needs no repair under SS: the receiver's
+            # state-timeout clears it, exactly as in the base protocol.
+            return
+        super()._deliver_to_sender(delivered)
+
+
+@dataclasses.dataclass(frozen=True)
+class NackRunSummary:
+    """Replicated SS+NACK results alongside the base-SS comparison."""
+
+    nack: ReplicationSet
+    base_ss: ReplicationSet
+
+    def improvement(self) -> float:
+        """Relative reduction in inconsistency over pure SS."""
+        base = self.base_ss.mean("inconsistency_ratio")
+        nack = self.nack.mean("inconsistency_ratio")
+        if base == 0:
+            return 0.0
+        return (base - nack) / base
+
+
+def simulate_nack_replications(
+    params: SignalingParameters,
+    sessions: int = 200,
+    replications: int = 5,
+    seed: int = 1999,
+) -> NackRunSummary:
+    """Run SS+NACK and pure SS side by side (shared seeds)."""
+    streams = RandomStreams(seed)
+    nack_set = ReplicationSet()
+    ss_set = ReplicationSet()
+    for index in range(replications):
+        config = SingleHopSimConfig(
+            protocol=Protocol.SS,
+            params=params,
+            sessions=sessions,
+            seed=streams.spawn(index).seed,
+        )
+        nack_result: SingleHopSimResult = NackSimulation(config).run()
+        ss_result = SingleHopSimulation(config).run()
+        for target, outcome in ((nack_set, nack_result), (ss_set, ss_result)):
+            target.add("inconsistency_ratio", outcome.inconsistency_ratio)
+            target.add(
+                "normalized_message_rate",
+                outcome.normalized_message_rate(params.removal_rate),
+            )
+    return NackRunSummary(nack=nack_set, base_ss=ss_set)

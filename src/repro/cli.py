@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-signaling list
+    repro-signaling run fig4 [--fast] [--output fig4.txt]
+    repro-signaling all [--fast] [--output-dir results/]
+    repro-signaling claims
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.sensitivity import robustness_report
+from repro.core.protocols import Protocol
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments.claims import render_report
+from repro.experiments.diagrams import render_multihop_chain, render_singlehop_chain
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-signaling",
+        description=(
+            "Reproduce tables/figures of 'A Comparison of Hard-state and "
+            "Soft-state Signaling Protocols' (Ji et al., SIGCOMM 2003)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the available experiments")
+
+    run_cmd = commands.add_parser("run", help="run one experiment")
+    run_cmd.add_argument("experiment", choices=sorted(experiment_ids()))
+    run_cmd.add_argument(
+        "--fast", action="store_true", help="thin sweeps / fewer replications"
+    )
+    run_cmd.add_argument("--output", type=pathlib.Path, help="write the table here")
+    run_cmd.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        help="also write one CSV per panel into this directory",
+    )
+
+    all_cmd = commands.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--fast", action="store_true")
+    all_cmd.add_argument("--output-dir", type=pathlib.Path)
+
+    commands.add_parser(
+        "claims", help="check the paper's qualitative claims across decodings"
+    )
+
+    report_cmd = commands.add_parser(
+        "report", help="evaluate every per-figure claim against regenerated figures"
+    )
+    report_cmd.add_argument(
+        "--full", action="store_true", help="use full-resolution sweeps (slower)"
+    )
+
+    diagram_cmd = commands.add_parser(
+        "diagram", help="render a model chain (paper Figs. 3, 15, 16) as text"
+    )
+    diagram_cmd.add_argument("protocol", choices=[p.value for p in Protocol])
+    diagram_cmd.add_argument(
+        "--multihop", action="store_true", help="render the multi-hop chain instead"
+    )
+    return parser
+
+
+def _emit(text: str, output: pathlib.Path | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n")
+        print(f"wrote {output}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: Sequence[str] | None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(experiment_ids()):
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment, fast=args.fast)
+        _emit(result.to_text(), args.output)
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            for panel_name, csv_text in result.to_csv().items():
+                slug = "".join(
+                    ch if ch.isalnum() else "_" for ch in panel_name
+                ).strip("_")
+                path = args.csv_dir / f"{args.experiment}_{slug}.csv"
+                path.write_text(csv_text)
+                print(f"wrote {path}")
+        return 0
+    if args.command == "all":
+        for experiment_id in sorted(experiment_ids()):
+            result = run_experiment(experiment_id, fast=args.fast)
+            output = (
+                args.output_dir / f"{experiment_id}.txt"
+                if args.output_dir is not None
+                else None
+            )
+            _emit(result.to_text(), output)
+            if output is None:
+                print()
+        return 0
+    if args.command == "claims":
+        print(robustness_report())
+        return 0
+    if args.command == "report":
+        print(render_report(fast=not args.full))
+        return 0
+    if args.command == "diagram":
+        protocol = Protocol(args.protocol)
+        if args.multihop:
+            if protocol not in Protocol.multihop_family():
+                print(f"{protocol.value} is not part of the multi-hop analysis")
+                return 1
+            print(render_multihop_chain(protocol))
+        else:
+            print(render_singlehop_chain(protocol))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Analytic core: the paper's unified Markov models and metrics."""
+
+from repro.core.markov import ContinuousTimeMarkovChain
+from repro.core.parameters import (
+    MultiHopParameters,
+    SignalingParameters,
+    kazaa_defaults,
+    reservation_defaults,
+)
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel, SingleHopSolution, SingleHopState, solve_all
+
+__all__ = [
+    "ContinuousTimeMarkovChain",
+    "MultiHopParameters",
+    "Protocol",
+    "SignalingParameters",
+    "SingleHopModel",
+    "SingleHopSolution",
+    "SingleHopState",
+    "kazaa_defaults",
+    "reservation_defaults",
+    "solve_all",
+]

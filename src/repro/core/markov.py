@@ -1,0 +1,196 @@
+"""Continuous-time Markov chain (CTMC) toolkit.
+
+The paper's analysis rests on two standard CTMC computations, both
+implemented here on top of numpy/scipy linear algebra:
+
+* the **stationary distribution** of a recurrent chain — used for the
+  inconsistency ratio (eq. 1) and the stationary message rates
+  (eqs. 3-7), after the absorbing state is merged into the start state;
+* the **mean time to absorption** of a transient chain — the expected
+  receiver-side session length ``L`` in eq. 2.
+
+States may be arbitrary hashable objects; the chain is specified as a
+sparse mapping ``{(from_state, to_state): rate}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ContinuousTimeMarkovChain"]
+
+State = Hashable
+
+
+class ContinuousTimeMarkovChain:
+    """A finite CTMC over arbitrary hashable states.
+
+    Parameters
+    ----------
+    states:
+        Ordered state list; the order fixes matrix row/column indices.
+    rates:
+        Mapping from ``(origin, destination)`` to a non-negative
+        transition rate.  Zero-rate entries are allowed and ignored.
+        Self-loops are rejected (they are meaningless in a CTMC).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        rates: Mapping[tuple[State, State], float],
+    ) -> None:
+        if len(states) == 0:
+            raise ValueError("a chain needs at least one state")
+        if len(set(states)) != len(states):
+            raise ValueError("duplicate states in state list")
+        self._states: tuple[State, ...] = tuple(states)
+        self._index: dict[State, int] = {s: i for i, s in enumerate(self._states)}
+        self._rates: dict[tuple[State, State], float] = {}
+        for (origin, destination), rate in rates.items():
+            if origin not in self._index or destination not in self._index:
+                raise ValueError(f"transition {origin!r}->{destination!r} uses unknown state")
+            if origin == destination:
+                raise ValueError(f"self-loop on {origin!r} is not allowed")
+            if rate < 0 or not np.isfinite(rate):
+                raise ValueError(f"invalid rate {rate!r} for {origin!r}->{destination!r}")
+            if rate > 0:
+                self._rates[(origin, destination)] = self._rates.get((origin, destination), 0.0) + float(rate)
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """The chain's states, in index order."""
+        return self._states
+
+    @property
+    def rates(self) -> dict[tuple[State, State], float]:
+        """A copy of the positive transition rates."""
+        return dict(self._rates)
+
+    def rate(self, origin: State, destination: State) -> float:
+        """The rate of ``origin -> destination`` (0 when absent)."""
+        return self._rates.get((origin, destination), 0.0)
+
+    def generator_matrix(self) -> np.ndarray:
+        """The generator ``Q`` (rows sum to zero)."""
+        n = len(self._states)
+        q = np.zeros((n, n))
+        for (origin, destination), rate in self._rates.items():
+            i, j = self._index[origin], self._index[destination]
+            q[i, j] += rate
+        np.fill_diagonal(q, q.diagonal() - q.sum(axis=1))
+        return q
+
+    def stationary_distribution(self) -> dict[State, float]:
+        """Solve ``pi Q = 0`` with ``sum(pi) = 1``.
+
+        Works for chains whose recurrent class is unique; transient
+        states receive probability 0.  Raises ``ValueError`` when the
+        linear system is singular (e.g. several closed classes).
+        """
+        q = self.generator_matrix()
+        n = q.shape[0]
+        # Replace the last balance equation with the normalization row.
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("stationary distribution is not unique or does not exist") from exc
+        residual = float(np.max(np.abs(q.T @ pi)))
+        scale = max(1.0, float(np.max(np.abs(q))))
+        if residual > 1e-8 * scale or np.any(pi < -1e-9):
+            raise ValueError("stationary distribution solve failed (ill-conditioned chain)")
+        pi = np.clip(pi, 0.0, None)
+        pi /= pi.sum()
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def mean_time_to_absorption(
+        self,
+        start: State,
+        absorbing: Sequence[State],
+    ) -> float:
+        """Expected time from ``start`` until any state in ``absorbing``.
+
+        Solves ``(-Q_TT) t = 1`` on the transient block.  Raises
+        ``ValueError`` when absorption is not certain from ``start``.
+        """
+        absorbing_set = set(absorbing)
+        if not absorbing_set:
+            raise ValueError("need at least one absorbing state")
+        if start in absorbing_set:
+            return 0.0
+        unknown = absorbing_set - set(self._states)
+        if unknown:
+            raise ValueError(f"unknown absorbing states: {sorted(map(repr, unknown))}")
+        transient = [s for s in self._states if s not in absorbing_set]
+        t_index = {s: i for i, s in enumerate(transient)}
+        if start not in t_index:
+            raise ValueError(f"unknown start state {start!r}")
+        q = self.generator_matrix()
+        rows = [self._index[s] for s in transient]
+        q_tt = q[np.ix_(rows, rows)]
+        try:
+            times = np.linalg.solve(-q_tt, np.ones(len(transient)))
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("absorption is not certain from the given start state") from exc
+        value = float(times[t_index[start]])
+        if not np.isfinite(value) or value < 0:
+            raise ValueError("absorption time solve produced an invalid value")
+        return value
+
+    def absorption_probability_flow(self, absorbing: Sequence[State]) -> dict[State, float]:
+        """Total rate into each absorbing state from transient states.
+
+        A diagnostic helper used by tests to check rate bookkeeping.
+        """
+        absorbing_set = set(absorbing)
+        flows: dict[State, float] = {s: 0.0 for s in absorbing_set}
+        for (origin, destination), rate in self._rates.items():
+            if destination in absorbing_set and origin not in absorbing_set:
+                flows[destination] += rate
+        return flows
+
+    def merge_states(self, merged: State, into: State) -> "ContinuousTimeMarkovChain":
+        """Return a new chain where ``merged`` is collapsed into ``into``.
+
+        Every transition entering ``merged`` is redirected to ``into``;
+        transitions leaving ``merged`` are dropped.  This implements the
+        paper's construction of the recurrent chain: "the absorption
+        state (0,0) and the starting state (1,0)_1 are merged".
+        """
+        if merged == into:
+            raise ValueError("cannot merge a state into itself")
+        if merged not in self._index or into not in self._index:
+            raise ValueError("both states must belong to the chain")
+        new_states = [s for s in self._states if s != merged]
+        new_rates: dict[tuple[State, State], float] = {}
+        for (origin, destination), rate in self._rates.items():
+            if origin == merged:
+                continue
+            target = into if destination == merged else destination
+            if origin == target:
+                continue
+            new_rates[(origin, target)] = new_rates.get((origin, target), 0.0) + rate
+        return ContinuousTimeMarkovChain(new_states, new_rates)
+
+    def holding_time(self, state: State) -> float:
+        """Mean sojourn time of ``state`` (inf when it has no exits)."""
+        total = sum(rate for (origin, _), rate in self._rates.items() if origin == state)
+        if total == 0.0:
+            return float("inf")
+        return 1.0 / total
+
+    def describe(self) -> str:
+        """Human-readable transition listing (for debugging and docs)."""
+        lines = [f"CTMC with {len(self._states)} states"]
+        for (origin, destination), rate in sorted(
+            self._rates.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+        ):
+            lines.append(f"  {origin!r} -> {destination!r} @ {rate:.6g}")
+        return "\n".join(lines)

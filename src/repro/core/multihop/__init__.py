@@ -1,0 +1,40 @@
+"""Multi-hop analytic models (paper §III-B)."""
+
+from repro.core.multihop.messages import (
+    expected_link_crossings,
+    multihop_message_components,
+    multihop_total_message_rate,
+)
+from repro.core.multihop.heterogeneous import (
+    HeterogeneousHop,
+    HeterogeneousMultiHopModel,
+    hops_from_parameters,
+)
+from repro.core.multihop.model import MultiHopModel, MultiHopSolution, solve_all_multihop
+from repro.core.multihop.states import RECOVERY, HopState, Recovery, multihop_state_space
+from repro.core.multihop.transitions import (
+    build_multihop_rates,
+    first_timeout_rate,
+    slow_path_recovery_rate,
+    supported_protocols,
+)
+
+__all__ = [
+    "HeterogeneousHop",
+    "HeterogeneousMultiHopModel",
+    "HopState",
+    "hops_from_parameters",
+    "MultiHopModel",
+    "MultiHopSolution",
+    "RECOVERY",
+    "Recovery",
+    "build_multihop_rates",
+    "expected_link_crossings",
+    "first_timeout_rate",
+    "multihop_message_components",
+    "multihop_state_space",
+    "multihop_total_message_rate",
+    "slow_path_recovery_rate",
+    "solve_all_multihop",
+    "supported_protocols",
+]

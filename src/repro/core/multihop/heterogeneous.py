@@ -1,0 +1,194 @@
+"""Heterogeneous multi-hop chains — an extension beyond the paper.
+
+Paper §III-B assumes homogeneous hops ("identical channel loss rate and
+mean channel delay").  Real paths are not homogeneous: a reservation
+often crosses one congested peering link among many clean ones.  This
+module generalizes the multi-hop Markov model to per-hop loss and delay
+vectors, reusing the same state space (the chain's structure does not
+depend on homogeneity — only its rates do).
+
+The homogeneous model is recovered exactly when every hop is identical
+(tested), which also serves as a cross-check of both implementations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.core.markov import ContinuousTimeMarkovChain
+from repro.core.multihop.model import MultiHopSolution
+from repro.core.multihop.states import RECOVERY, HopState, multihop_state_space
+from repro.core.parameters import MultiHopParameters
+from repro.core.protocols import Protocol
+
+__all__ = ["HeterogeneousHop", "HeterogeneousMultiHopModel", "hops_from_parameters"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HeterogeneousHop:
+    """Loss and delay of one link in the chain."""
+
+    loss_rate: float
+    delay: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.delay <= 0:
+            raise ValueError(f"delay must be positive, got {self.delay}")
+
+
+def hops_from_parameters(params: MultiHopParameters) -> tuple[HeterogeneousHop, ...]:
+    """The homogeneous hop vector implied by ``params``."""
+    return tuple(
+        HeterogeneousHop(params.loss_rate, params.delay) for _ in range(params.hops)
+    )
+
+
+class HeterogeneousMultiHopModel:
+    """The §III-B chain with per-hop loss/delay (SS, SS+RT, HS)."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        params: MultiHopParameters,
+        hops: Sequence[HeterogeneousHop],
+    ) -> None:
+        protocol = Protocol(protocol)
+        if protocol not in Protocol.multihop_family():
+            raise ValueError(f"{protocol.value} is not part of the multi-hop analysis")
+        if len(hops) != params.hops:
+            raise ValueError(
+                f"hop vector length {len(hops)} != params.hops {params.hops}"
+            )
+        self.protocol = protocol
+        self.params = params
+        self.hops = tuple(hops)
+        self._states = multihop_state_space(
+            params.hops, with_recovery=protocol is Protocol.HS
+        )
+        self._rates = self._build_rates()
+
+    # ------------------------------------------------------------------
+    # Per-hop rate helpers
+    # ------------------------------------------------------------------
+
+    def reach_probability(self, hop_count: int) -> float:
+        """Probability an end-to-end message survives the first ``hop_count`` links."""
+        if not 0 <= hop_count <= len(self.hops):
+            raise ValueError(f"hop_count out of range: {hop_count}")
+        return math.prod(1.0 - h.loss_rate for h in self.hops[:hop_count])
+
+    def _recovery_rate(self, target_hops: int) -> float:
+        """Rate of ``(i-1,1) -> (i,0)`` with ``i = target_hops``."""
+        refresh = self.reach_probability(target_hops) / self.params.refresh_interval
+        hop = self.hops[target_hops - 1]
+        retransmit = (1.0 - hop.loss_rate) / self.params.retransmission_interval
+        if self.protocol is Protocol.SS:
+            return refresh
+        if self.protocol is Protocol.SS_RT:
+            return refresh + retransmit
+        return retransmit  # HS
+
+    def _first_timeout_rate(self, surviving_hops: int) -> float:
+        """Eq. 9 with per-hop reach probabilities."""
+        exponent = self.params.timeout_interval / self.params.refresh_interval
+        miss_through = lambda k: 1.0 - self.reach_probability(k)  # noqa: E731
+        probability = (
+            miss_through(surviving_hops + 1) ** exponent
+            - miss_through(surviving_hops) ** exponent
+        )
+        return max(probability, 0.0) / self.params.timeout_interval
+
+    def _build_rates(self) -> dict:
+        params = self.params
+        n = params.hops
+        start = HopState(0, False)
+        rates: dict = {}
+
+        def add(origin, destination, rate: float) -> None:
+            if rate > 0.0 and origin != destination:
+                key = (origin, destination)
+                rates[key] = rates.get(key, 0.0) + rate
+
+        for state in self._states:
+            add(state, start, params.update_rate)
+
+        for i in range(n):
+            hop = self.hops[i]
+            fast = HopState(i, False)
+            slow = HopState(i, True)
+            add(fast, HopState(i + 1, False), (1.0 - hop.loss_rate) / hop.delay)
+            add(fast, slow, hop.loss_rate / hop.delay)
+            add(slow, HopState(i + 1, False), self._recovery_rate(i + 1))
+
+        if self.protocol is not Protocol.HS:
+            for state in self._states:
+                if not isinstance(state, HopState):
+                    continue
+                for j in range(state.consistent_hops):
+                    add(state, HopState(j, True), self._first_timeout_rate(j))
+        else:
+            lam_x = params.external_false_signal_rate
+            mean_delay = sum(h.delay for h in self.hops) / n
+            for state in self._states:
+                if state is not RECOVERY:
+                    add(state, RECOVERY, n * lam_x)
+            add(RECOVERY, start, 1.0 / (2.0 * n * mean_delay))
+        return rates
+
+    # ------------------------------------------------------------------
+    # Solution
+    # ------------------------------------------------------------------
+
+    def chain(self) -> ContinuousTimeMarkovChain:
+        """The heterogeneous multi-hop CTMC."""
+        return ContinuousTimeMarkovChain(self._states, self._rates)
+
+    def _expected_link_crossings(self) -> float:
+        return sum(self.reach_probability(k) for k in range(len(self.hops)))
+
+    def solve(self) -> MultiHopSolution:
+        """Stationary distribution + message rates (per-link counting)."""
+        stationary = self.chain().stationary_distribution()
+        n = self.params.hops
+        retransmit = 1.0 / self.params.retransmission_interval
+        fast_rate = 0.0
+        slow_total = 0.0
+        ack_rate = 0.0
+        for state, probability in stationary.items():
+            if not isinstance(state, HopState):
+                continue
+            if not state.slow and state.consistent_hops < n:
+                hop = self.hops[state.consistent_hops]
+                fast_rate += probability / hop.delay
+                ack_rate += probability * (1.0 - hop.loss_rate) / hop.delay
+            elif state.slow:
+                slow_total += probability
+                hop = self.hops[min(state.consistent_hops, n - 1)]
+                ack_rate += probability * (1.0 - hop.loss_rate) * retransmit
+        breakdown = {
+            "trigger_hops": fast_rate,
+            "refresh_hops": 0.0,
+            "retransmissions": 0.0,
+            "acks": 0.0,
+            "recovery_traffic": 0.0,
+        }
+        if self.protocol.uses_refreshes:
+            breakdown["refresh_hops"] = (
+                self._expected_link_crossings() / self.params.refresh_interval
+            )
+        if self.protocol.reliable_triggers:
+            breakdown["retransmissions"] = retransmit * slow_total
+            breakdown["acks"] = ack_rate
+        if self.protocol is Protocol.HS:
+            mean_delay = sum(h.delay for h in self.hops) / n
+            breakdown["recovery_traffic"] = stationary.get(RECOVERY, 0.0) / mean_delay
+        return MultiHopSolution(
+            protocol=self.protocol,
+            params=self.params,
+            stationary=stationary,
+            message_breakdown=breakdown,
+        )

@@ -1,0 +1,102 @@
+"""Multi-hop signaling message rates (paper eqs. 13-17).
+
+Multi-hop overhead counts **per-link transmissions**: a message that
+crosses ``k`` links costs ``k``.  An end-to-end message over ``N``
+lossy links crosses
+
+``E_N = sum_{k=1..N} (1-p)^(k-1) = (1 - (1-p)^N) / p``
+
+links in expectation (it is transmitted on link ``k`` iff it survived
+links ``1..k-1``); the paper's eqs. (14)-(15) algebraically reduce to
+this.  Components:
+
+* fast-path trigger propagation: rate ``1/Delta`` in every fast-path
+  state ``(i,0)`` with ``i < N`` (one link-crossing per hop advance);
+* refreshes (SS, SS+RT): generated at ``1/R`` regardless of chain
+  state, each costing ``E_N`` link-crossings;
+* hop-local retransmissions (SS+RT, HS): rate ``1/K`` in slow-path
+  states, one link each, plus one hop-local ACK per successful reliable
+  delivery;
+* HS recovery traffic: one receiver->everyone notification sweep plus
+  the re-trigger — approximately ``2N`` link-crossings per recovery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.multihop.states import RECOVERY, HopState
+from repro.core.parameters import MultiHopParameters
+from repro.core.protocols import Protocol
+
+__all__ = [
+    "expected_link_crossings",
+    "multihop_message_components",
+    "multihop_total_message_rate",
+]
+
+
+def expected_link_crossings(params: MultiHopParameters) -> float:
+    """``E_N`` — mean links crossed by one end-to-end message (eqs. 14-15)."""
+    p = params.loss_rate
+    n = params.hops
+    if p == 0.0:
+        return float(n)
+    return (1.0 - (1.0 - p) ** n) / p
+
+
+def multihop_message_components(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    stationary: Mapping[object, float],
+) -> dict[str, float]:
+    """Per-kind per-link-transmission rates for the multi-hop chain."""
+    if protocol not in Protocol.multihop_family():
+        raise ValueError(f"{protocol} is not part of the multi-hop analysis")
+    n = params.hops
+    p = params.loss_rate
+    success = 1.0 - p
+    delta = params.delay
+    retransmit = 1.0 / params.retransmission_interval
+
+    fast_below_top = sum(
+        probability
+        for state, probability in stationary.items()
+        if isinstance(state, HopState) and not state.slow and state.consistent_hops < n
+    )
+    slow_total = sum(
+        probability
+        for state, probability in stationary.items()
+        if isinstance(state, HopState) and state.slow
+    )
+    recovery = stationary.get(RECOVERY, 0.0)
+
+    components = {
+        "trigger_hops": fast_below_top / delta,
+        "refresh_hops": 0.0,
+        "retransmissions": 0.0,
+        "acks": 0.0,
+        "recovery_traffic": 0.0,
+    }
+    if protocol.uses_refreshes:
+        components["refresh_hops"] = expected_link_crossings(params) / params.refresh_interval
+    if protocol.reliable_triggers:
+        components["retransmissions"] = retransmit * slow_total
+        components["acks"] = (
+            success * fast_below_top / delta + success * retransmit * slow_total
+        )
+    if protocol is Protocol.HS:
+        # Leaving RECOVERY costs ~2N link-crossings (notification sweep
+        # plus the sender's reinstallation trigger): rate-out * 2N
+        # = pi_F * (1/(2*N*Delta)) * 2N = pi_F / Delta.
+        components["recovery_traffic"] = recovery / delta
+    return components
+
+
+def multihop_total_message_rate(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    stationary: Mapping[object, float],
+) -> float:
+    """Total per-link-transmission rate (eqs. 13, 16, 17)."""
+    return sum(multihop_message_components(protocol, params, stationary).values())

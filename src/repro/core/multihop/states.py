@@ -1,0 +1,59 @@
+"""States of the multi-hop Markov model (paper Figs. 15-16).
+
+A state ``HopState(consistent_hops=i, slow=s)`` says the first ``i``
+links of the chain have consistent endpoints; ``slow`` distinguishes a
+trigger in flight toward hop ``i+1`` (fast path) from "the trigger was
+lost; waiting for a refresh/retransmission" (slow path).  Hard-state
+signaling adds a ``RECOVERY`` pseudo-state for the interval between a
+false removal and the sender restarting installation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["HopState", "Recovery", "RECOVERY", "multihop_state_space"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class HopState:
+    """``(i, s)`` of §III-B.1: ``i`` consistent hops, fast/slow path."""
+
+    consistent_hops: int
+    slow: bool
+
+    def __post_init__(self) -> None:
+        if self.consistent_hops < 0:
+            raise ValueError(f"consistent_hops must be >= 0, got {self.consistent_hops}")
+
+    def __str__(self) -> str:
+        return f"({self.consistent_hops},{1 if self.slow else 0})"
+
+
+class Recovery(enum.Enum):
+    """Singleton recovery state ``F`` of the hard-state model (Fig. 16)."""
+
+    RECOVERY = "F"
+
+    def __str__(self) -> str:
+        return "F"
+
+
+RECOVERY = Recovery.RECOVERY
+
+
+def multihop_state_space(hops: int, with_recovery: bool) -> tuple[object, ...]:
+    """All states for an ``hops``-link chain.
+
+    Fast-path states ``(i,0)`` exist for ``i = 0..N``; slow-path states
+    ``(i,1)`` for ``i = 0..N-1`` (with all hops consistent there is no
+    message left to wait for, so ``(N,1)`` does not exist).
+    """
+    if hops < 1:
+        raise ValueError(f"hops must be >= 1, got {hops}")
+    states: list[object] = [HopState(i, False) for i in range(hops + 1)]
+    states.extend(HopState(i, True) for i in range(hops))
+    if with_recovery:
+        states.append(RECOVERY)
+    return tuple(states)

@@ -1,0 +1,76 @@
+"""The five abstract signaling protocols of the paper (§II)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Protocol"]
+
+
+class Protocol(str, enum.Enum):
+    """A point on the hard-state/soft-state spectrum.
+
+    ===========  ==================================================
+    ``SS``       pure soft state: best-effort triggers + refreshes,
+                 removal only by state timeout.
+    ``SS_ER``    soft state + best-effort explicit removal message.
+    ``SS_RT``    soft state + reliable (ACK/retransmit) triggers and
+                 a notification that lets the sender repair false
+                 removals.
+    ``SS_RTR``   soft state + reliable triggers *and* reliable
+                 explicit removal.
+    ``HS``       pure hard state: reliable explicit setup/update/
+                 removal, no refreshes, no state timeout; orphan
+                 removal relies on an external failure signal.
+    ===========  ==================================================
+    """
+
+    SS = "SS"
+    SS_ER = "SS+ER"
+    SS_RT = "SS+RT"
+    SS_RTR = "SS+RTR"
+    HS = "HS"
+
+    @property
+    def uses_refreshes(self) -> bool:
+        """Whether the protocol sends periodic refresh messages."""
+        return self is not Protocol.HS
+
+    @property
+    def uses_state_timeout(self) -> bool:
+        """Whether receiver state expires when not refreshed."""
+        return self is not Protocol.HS
+
+    @property
+    def reliable_triggers(self) -> bool:
+        """Whether trigger (setup/update) messages are ACKed and retransmitted."""
+        return self in (Protocol.SS_RT, Protocol.SS_RTR, Protocol.HS)
+
+    @property
+    def explicit_removal(self) -> bool:
+        """Whether the sender transmits an explicit state-removal message."""
+        return self in (Protocol.SS_ER, Protocol.SS_RTR, Protocol.HS)
+
+    @property
+    def reliable_removal(self) -> bool:
+        """Whether removal messages are ACKed and retransmitted."""
+        return self in (Protocol.SS_RTR, Protocol.HS)
+
+    @property
+    def removal_notification(self) -> bool:
+        """Whether the receiver notifies the sender of timeout removals.
+
+        SS+RT, SS+RTR and HS let the sender recover from false removal
+        by re-triggering (paper §II).
+        """
+        return self in (Protocol.SS_RT, Protocol.SS_RTR, Protocol.HS)
+
+    @classmethod
+    def soft_state_family(cls) -> tuple["Protocol", ...]:
+        """The four protocols that use refresh/timeout machinery."""
+        return (cls.SS, cls.SS_ER, cls.SS_RT, cls.SS_RTR)
+
+    @classmethod
+    def multihop_family(cls) -> tuple["Protocol", ...]:
+        """The protocols modeled in the multi-hop analysis (§III-B)."""
+        return (cls.SS, cls.SS_RT, cls.HS)

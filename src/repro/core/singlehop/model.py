@@ -1,0 +1,116 @@
+"""The single-hop analytic model and its performance metrics.
+
+:class:`SingleHopModel` assembles the Fig. 3 chain for one protocol,
+and :meth:`SingleHopModel.solve` produces a :class:`SingleHopSolution`
+carrying the paper's three metrics:
+
+* ``inconsistency_ratio`` — eq. (1): ``I = 1 - pi_C`` on the recurrent
+  chain (absorbing state merged into the start state);
+* ``normalized_message_rate`` — eq. (2) and the normalization
+  ``M = Lambda * mu_r``, where ``Lambda = L * m`` with ``L`` the mean
+  receiver-side session length (mean time to absorption) and ``m`` the
+  stationary message rate;
+* ``integrated_cost(weight)`` — eq. (8): ``C = weight * I + M``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.markov import ContinuousTimeMarkovChain
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop.messages import message_rate_components
+from repro.core.singlehop.states import SingleHopState as S
+from repro.core.singlehop.transitions import build_transition_rates, state_space
+
+__all__ = ["SingleHopModel", "SingleHopSolution"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SingleHopSolution:
+    """Solved metrics of one protocol/parameter combination."""
+
+    protocol: Protocol
+    params: SignalingParameters
+    stationary: dict[S, float]
+    inconsistency_ratio: float
+    expected_receiver_lifetime: float
+    message_breakdown: dict[str, float]
+
+    @property
+    def message_rate(self) -> float:
+        """Stationary signaling message rate ``m`` (messages/s)."""
+        return sum(self.message_breakdown.values())
+
+    @property
+    def total_messages(self) -> float:
+        """``Lambda = L * m`` — expected messages over a session (eq. 2)."""
+        return self.expected_receiver_lifetime * self.message_rate
+
+    @property
+    def normalized_message_rate(self) -> float:
+        """``M = Lambda * mu_r`` — messages per mean sender session."""
+        return self.total_messages * self.params.removal_rate
+
+    def integrated_cost(self, weight: float = 10.0) -> float:
+        """``C = weight * I + M`` (eq. 8); ``weight`` in messages/s."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        return weight * self.inconsistency_ratio + self.normalized_message_rate
+
+    def occupancy(self, state: S) -> float:
+        """Stationary probability of ``state`` (0 for states not in the chain)."""
+        return self.stationary.get(state, 0.0)
+
+
+class SingleHopModel:
+    """The paper's unified single-hop CTMC, specialized to one protocol."""
+
+    def __init__(self, protocol: Protocol, params: SignalingParameters) -> None:
+        if params.removal_rate <= 0:
+            raise ValueError(
+                "single-hop model requires a finite session (removal_rate > 0); "
+                "the multi-hop model covers the infinite-lifetime regime"
+            )
+        self.protocol = Protocol(protocol)
+        self.params = params
+        self._rates = build_transition_rates(self.protocol, params)
+        self._states = state_space(self.protocol)
+
+    def transient_chain(self) -> ContinuousTimeMarkovChain:
+        """The lifecycle chain with ``(0,0)`` absorbing (Fig. 3 as drawn)."""
+        return ContinuousTimeMarkovChain(self._states, self._rates)
+
+    def recurrent_chain(self) -> ContinuousTimeMarkovChain:
+        """The renewal chain: ``(0,0)`` merged into the start ``(1,0)_1``."""
+        return self.transient_chain().merge_states(S.ABSORBED, S.S10_FAST)
+
+    def transition_rates(self) -> dict[tuple[S, S], float]:
+        """A copy of the chain's transition rates (Table I materialized)."""
+        return dict(self._rates)
+
+    def solve(self) -> SingleHopSolution:
+        """Compute stationary distribution, ``I``, ``L`` and message rates."""
+        stationary = self.recurrent_chain().stationary_distribution()
+        inconsistency = 1.0 - stationary[S.CONSISTENT]
+        lifetime = self.transient_chain().mean_time_to_absorption(
+            S.S10_FAST, [S.ABSORBED]
+        )
+        breakdown = message_rate_components(self.protocol, self.params, stationary)
+        return SingleHopSolution(
+            protocol=self.protocol,
+            params=self.params,
+            stationary=stationary,
+            inconsistency_ratio=inconsistency,
+            expected_receiver_lifetime=lifetime,
+            message_breakdown=breakdown,
+        )
+
+
+def solve_all(
+    params: SignalingParameters,
+    protocols: tuple[Protocol, ...] = tuple(Protocol),
+) -> dict[Protocol, SingleHopSolution]:
+    """Solve every protocol under one parameter set (comparison helper)."""
+    return {protocol: SingleHopModel(protocol, params).solve() for protocol in protocols}

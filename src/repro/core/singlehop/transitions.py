@@ -1,0 +1,121 @@
+"""Transition-rate table for the single-hop chain (paper Table I).
+
+:func:`build_transition_rates` materializes Fig. 3 for one protocol:
+the protocol-independent rows (setup/update fast paths, update and
+removal events, false removal) plus the protocol-specific rows of
+Table I.  The result feeds :class:`repro.core.markov.ContinuousTimeMarkovChain`.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop.states import SingleHopState as S
+
+__all__ = ["build_transition_rates", "effective_false_removal_rate", "state_space"]
+
+Rates = dict[tuple[S, S], float]
+
+
+def effective_false_removal_rate(protocol: Protocol, params: SignalingParameters) -> float:
+    """``lambda_f`` for the protocol.
+
+    Soft-state protocols lose state when every refresh in a timeout
+    window is lost: ``p_l^(T/R) / T``.  Hard state has no timeout; its
+    false removals come from the external failure detector firing
+    spuriously at rate ``lambda_x``.
+    """
+    if protocol is Protocol.HS:
+        return params.external_false_signal_rate
+    return params.false_removal_rate
+
+
+def state_space(protocol: Protocol) -> tuple[S, ...]:
+    """States used by the protocol's chain.
+
+    ``(0,1)_2`` exists only when an explicit removal message can be
+    lost, i.e. for SS+ER, SS+RTR and HS (Fig. 3 caption).
+    """
+    states = [
+        S.S10_FAST,
+        S.S10_SLOW,
+        S.CONSISTENT,
+        S.IC_FAST,
+        S.IC_SLOW,
+        S.S01_FAST,
+    ]
+    if protocol.explicit_removal:
+        states.append(S.S01_SLOW)
+    states.append(S.ABSORBED)
+    return tuple(states)
+
+
+def _slow_path_recovery_rate(protocol: Protocol, params: SignalingParameters) -> float:
+    """Rate of ``(1,0)_2 -> C`` and ``IC_2 -> C`` (Table I row 3)."""
+    success = 1.0 - params.loss_rate
+    refresh = 1.0 / params.refresh_interval
+    retransmit = 1.0 / params.retransmission_interval
+    if protocol in (Protocol.SS, Protocol.SS_ER):
+        return success * refresh
+    if protocol in (Protocol.SS_RT, Protocol.SS_RTR):
+        return success * (refresh + retransmit)
+    return success * retransmit  # HS: retransmission only
+
+
+def _orphan_removal_rates(protocol: Protocol, params: SignalingParameters) -> Rates:
+    """Rows 4-6 of Table I: how receiver-side orphaned state goes away."""
+    p = params.loss_rate
+    success = 1.0 - p
+    delta = params.delay
+    timeout = 1.0 / params.timeout_interval
+    retransmit = 1.0 / params.retransmission_interval
+    rates: Rates = {}
+    if protocol in (Protocol.SS, Protocol.SS_RT):
+        # No explicit removal: only the state-timeout clears the orphan.
+        rates[(S.S01_FAST, S.ABSORBED)] = timeout
+        return rates
+    # SS+ER, SS+RTR, HS carry an explicit removal message.
+    rates[(S.S01_FAST, S.ABSORBED)] = success / delta
+    rates[(S.S01_FAST, S.S01_SLOW)] = p / delta
+    if protocol is Protocol.SS_ER:
+        rates[(S.S01_SLOW, S.ABSORBED)] = timeout
+    elif protocol is Protocol.SS_RTR:
+        rates[(S.S01_SLOW, S.ABSORBED)] = timeout + success * retransmit
+    else:  # HS: retransmission of the removal message only
+        rates[(S.S01_SLOW, S.ABSORBED)] = success * retransmit
+    return rates
+
+
+def build_transition_rates(protocol: Protocol, params: SignalingParameters) -> Rates:
+    """All transition rates of Fig. 3 for ``protocol`` under ``params``."""
+    p = params.loss_rate
+    success = 1.0 - p
+    delta = params.delay
+    lam_u = params.update_rate
+    mu_r = params.removal_rate
+    lam_f = effective_false_removal_rate(protocol, params)
+    recovery = _slow_path_recovery_rate(protocol, params)
+
+    rates: Rates = {
+        # Setup/update trigger in flight: delivered or lost after ~Delta.
+        (S.S10_FAST, S.CONSISTENT): success / delta,
+        (S.S10_FAST, S.S10_SLOW): p / delta,
+        (S.IC_FAST, S.CONSISTENT): success / delta,
+        (S.IC_FAST, S.IC_SLOW): p / delta,
+        # Slow-path recovery via refresh and/or retransmission.
+        (S.S10_SLOW, S.CONSISTENT): recovery,
+        (S.IC_SLOW, S.CONSISTENT): recovery,
+        # State updates (events are serialized: never while in flight).
+        (S.CONSISTENT, S.IC_FAST): lam_u,
+        (S.S10_SLOW, S.S10_FAST): lam_u,
+        (S.IC_SLOW, S.IC_FAST): lam_u,
+        # Sender-side state removal.
+        (S.S10_SLOW, S.ABSORBED): mu_r,
+        (S.CONSISTENT, S.S01_FAST): mu_r,
+        (S.IC_SLOW, S.S01_FAST): mu_r,
+        # False removal at the receiver sends us back to slow setup.
+        (S.CONSISTENT, S.S10_SLOW): lam_f,
+        (S.IC_SLOW, S.S10_SLOW): lam_f,
+    }
+    rates.update(_orphan_removal_rates(protocol, params))
+    return {pair: rate for pair, rate in rates.items() if rate > 0.0}

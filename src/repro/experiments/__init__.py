@@ -1,0 +1,58 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Importing this package populates the registry; run any experiment via
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("fig4", fast=True)
+>>> print(result.to_text())
+"""
+
+from repro.experiments import (  # noqa: F401 - imported to populate the registry
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig17,
+    fig18,
+    fig19,
+    table01,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    Panel,
+    Series,
+    geometric_sweep,
+    linear_sweep,
+    registry,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Panel",
+    "Series",
+    "experiment_ids",
+    "geometric_sweep",
+    "linear_sweep",
+    "registry",
+    "run_experiment",
+]
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids, in a stable order."""
+    return tuple(sorted(registry()))
+
+
+def run_experiment(experiment_id: str, fast: bool = False, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    experiments = registry()
+    if experiment_id not in experiments:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(experiments)}"
+        )
+    return experiments[experiment_id](fast=fast, **kwargs)

@@ -1,0 +1,80 @@
+"""Shared sweep helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.multihop import MultiHopModel, MultiHopSolution
+from repro.core.parameters import MultiHopParameters, SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel, SingleHopSolution
+from repro.experiments.runner import Series
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "MULTIHOP_PROTOCOLS",
+    "multihop_metric_series",
+    "parametric_singlehop_series",
+    "singlehop_metric_series",
+]
+
+ALL_PROTOCOLS: tuple[Protocol, ...] = tuple(Protocol)
+MULTIHOP_PROTOCOLS: tuple[Protocol, ...] = Protocol.multihop_family()
+
+
+def singlehop_metric_series(
+    xs: Sequence[float],
+    make_params: Callable[[float], SignalingParameters],
+    metric: Callable[[SingleHopSolution], float],
+    protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+) -> list[Series]:
+    """Sweep ``xs`` through the single-hop model; one series per protocol."""
+    series = []
+    for protocol in protocols:
+        ys = []
+        for x in xs:
+            solution = SingleHopModel(protocol, make_params(x)).solve()
+            ys.append(metric(solution))
+        series.append(Series(protocol.value, tuple(xs), tuple(ys)))
+    return series
+
+
+def parametric_singlehop_series(
+    sweep: Sequence[float],
+    make_params: Callable[[float], SignalingParameters],
+    x_metric: Callable[[SingleHopSolution], float],
+    y_metric: Callable[[SingleHopSolution], float],
+    protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+) -> list[Series]:
+    """Trade-off curves: sweep a hidden parameter, plot metric vs metric.
+
+    Used for Figs. 9-10, which plot message overhead against
+    inconsistency while a parameter (R, lambda_u or Delta) varies along
+    the curve.
+    """
+    series = []
+    for protocol in protocols:
+        points = []
+        for value in sweep:
+            solution = SingleHopModel(protocol, make_params(value)).solve()
+            points.append((x_metric(solution), y_metric(solution)))
+        points.sort()
+        series.append(Series.from_points(protocol.value, points))
+    return series
+
+
+def multihop_metric_series(
+    xs: Sequence[float],
+    make_params: Callable[[float], MultiHopParameters],
+    metric: Callable[[MultiHopSolution], float],
+    protocols: Sequence[Protocol] = MULTIHOP_PROTOCOLS,
+) -> list[Series]:
+    """Sweep ``xs`` through the multi-hop model; one series per protocol."""
+    series = []
+    for protocol in protocols:
+        ys = []
+        for x in xs:
+            solution = MultiHopModel(protocol, make_params(x)).solve()
+            ys.append(metric(solution))
+        series.append(Series(protocol.value, tuple(xs), tuple(ys)))
+    return series

@@ -1,0 +1,85 @@
+"""Figure 11 — deterministic-timer simulation vs the analytic model,
+sweeping the mean session length ``1/mu_r``.
+
+For each protocol the experiment reports the model curve and the
+simulated curve (deterministic R/T/K timers, 95% confidence interval),
+for both the inconsistency ratio (panel a) and the normalized message
+rate (panel b).
+
+Paper claim: deterministic timers change the inconsistency ratio by
+< 1% absolute-shape terms (a few percent relative) and the message rate
+by 5-15%, leaving every qualitative conclusion intact.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import kazaa_defaults
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.experiments.runner import ExperimentResult, Panel, Series, geometric_sweep, register
+from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_point
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Fig. 11: deterministic-timer simulation vs model, sweeping 1/mu_r"
+
+
+@register(EXPERIMENT_ID)
+def run(fast: bool = False, seed: int = 11) -> ExperimentResult:
+    """Model curves plus replicated deterministic-timer simulations."""
+    base = kazaa_defaults()
+    if fast:
+        xs = (30.0, 300.0, 3000.0)
+        replications = 3
+        budget = 30_000.0
+    else:
+        xs = tuple(geometric_sweep(10.0, 100_000.0, 6))
+        replications = 5
+        budget = 120_000.0
+
+    model_i: list[Series] = []
+    model_m: list[Series] = []
+    sim_i: list[Series] = []
+    sim_m: list[Series] = []
+    for protocol in Protocol:
+        mi, mm = [], []
+        si, si_err, sm, sm_err = [], [], [], []
+        for session_length in xs:
+            params = base.replace(removal_rate=1.0 / session_length)
+            solution = SingleHopModel(protocol, params).solve()
+            mi.append(solution.inconsistency_ratio)
+            mm.append(solution.normalized_message_rate)
+            point = simulate_singlehop_point(
+                protocol,
+                params,
+                sessions=sessions_for_length(session_length, budget),
+                replications=replications,
+                seed=seed,
+            )
+            si.append(point.inconsistency)
+            si_err.append(point.inconsistency_err)
+            sm.append(point.message_rate)
+            sm_err.append(point.message_rate_err)
+        model_i.append(Series(protocol.value, xs, tuple(mi)))
+        model_m.append(Series(protocol.value, xs, tuple(mm)))
+        sim_i.append(Series(f"{protocol.value} sim", xs, tuple(si), tuple(si_err)))
+        sim_m.append(Series(f"{protocol.value} sim", xs, tuple(sm), tuple(sm_err)))
+
+    panels = (
+        Panel(
+            name="a: inconsistency ratio",
+            x_label="1/mu_r (s)",
+            y_label="inconsistency ratio I",
+            series=tuple(model_i) + tuple(sim_i),
+            log_x=True,
+            log_y=True,
+        ),
+        Panel(
+            name="b: signaling message rate",
+            x_label="1/mu_r (s)",
+            y_label="normalized message rate M",
+            series=tuple(model_m) + tuple(sim_m),
+            log_x=True,
+        ),
+    )
+    notes = ("simulated series use deterministic R/T/K timers; ± is a 95% CI.",)
+    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)

@@ -1,0 +1,207 @@
+"""Experiment framework: sweep results, text rendering, registry.
+
+Every paper artifact (Table I, Figs. 4-12, 17-19) has a module exposing
+
+``run(fast: bool = False) -> ExperimentResult``
+
+``fast=True`` thins sweeps and simulation effort so the benchmark suite
+can regenerate every figure quickly; ``fast=False`` reproduces the
+paper's full axes.  Results are plain data (series of x/y points per
+panel) plus a text renderer that prints the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "Panel",
+    "Series",
+    "geometric_sweep",
+    "linear_sweep",
+    "register",
+    "registry",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One labeled curve: y(x), optionally with error half-widths."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    y_err: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+        if self.y_err is not None and len(self.y_err) != len(self.y):
+            raise ValueError(f"series {self.label!r}: error bars length mismatch")
+
+    @classmethod
+    def from_points(
+        cls,
+        label: str,
+        points: Sequence[tuple[float, float]],
+        errors: Sequence[float] | None = None,
+    ) -> "Series":
+        """Build a series from ``(x, y)`` pairs."""
+        xs = tuple(p[0] for p in points)
+        ys = tuple(p[1] for p in points)
+        return cls(label, xs, ys, tuple(errors) if errors is not None else None)
+
+    def value_at(self, x: float, tolerance: float = 1e-9) -> float:
+        """The y value at a swept x (exact match within tolerance)."""
+        for xi, yi in zip(self.x, self.y):
+            if math.isclose(xi, x, rel_tol=tolerance, abs_tol=tolerance):
+                return yi
+        raise KeyError(f"x={x!r} not in series {self.label!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Panel:
+    """One plot panel: a y-quantity over a shared x-axis."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    log_x: bool = False
+    log_y: bool = False
+
+    def series_by_label(self, label: str) -> Series:
+        """Find a series by its label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series labeled {label!r} in panel {self.name!r}")
+
+    def labels(self) -> tuple[str, ...]:
+        """All series labels in panel order."""
+        return tuple(s.label for s in self.series)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """The full output of one experiment (one paper artifact)."""
+
+    experiment_id: str
+    title: str
+    panels: tuple[Panel, ...]
+    notes: tuple[str, ...] = ()
+
+    def panel(self, name: str) -> Panel:
+        """Find a panel by name."""
+        for candidate in self.panels:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no panel named {name!r} in {self.experiment_id}")
+
+    def to_text(self, max_width: int = 118) -> str:
+        """Render the experiment as aligned text tables (one per panel)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for panel in self.panels:
+            lines.append("")
+            lines.append(f"-- {panel.name} ({panel.y_label} vs {panel.x_label}) --")
+            labels = panel.labels()
+            header = f"{panel.x_label[:16]:>16s} " + " ".join(
+                f"{label:>12s}" for label in labels
+            )
+            lines.append(header[:max_width])
+            xs = panel.series[0].x
+            for i, x in enumerate(xs):
+                cells = []
+                for series in panel.series:
+                    value = series.y[i] if i < len(series.y) else float("nan")
+                    cell = f"{value:12.5g}"
+                    if series.y_err is not None and i < len(series.y_err):
+                        cell = f"{value:8.4g}±{series.y_err[i]:.2g}"
+                        cell = f"{cell:>12s}"
+                    cells.append(cell)
+                lines.append(f"{x:16.6g} " + " ".join(cells)[:max_width])
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def to_csv(self) -> dict[str, str]:
+        """One CSV document per panel (for external plotting tools).
+
+        Returns ``{panel_name: csv_text}``.  Columns: the x axis, then
+        one column per series (plus ``<label>_err`` columns for series
+        with confidence intervals).
+        """
+        documents: dict[str, str] = {}
+        for panel in self.panels:
+            header = [panel.x_label]
+            for series in panel.series:
+                header.append(series.label)
+                if series.y_err is not None:
+                    header.append(f"{series.label}_err")
+            rows = [",".join(_csv_quote(cell) for cell in header)]
+            xs = panel.series[0].x
+            for i, x in enumerate(xs):
+                row = [f"{x:.10g}"]
+                for series in panel.series:
+                    value = series.y[i] if i < len(series.y) else float("nan")
+                    row.append(f"{value:.10g}")
+                    if series.y_err is not None:
+                        err = series.y_err[i] if i < len(series.y_err) else float("nan")
+                        row.append(f"{err:.10g}")
+                rows.append(",".join(row))
+            documents[panel.name] = "\n".join(rows) + "\n"
+        return documents
+
+
+def _csv_quote(cell: str) -> str:
+    if "," in cell or '"' in cell:
+        escaped = cell.replace('"', '""')
+        return f'"{escaped}"'
+    return cell
+
+
+def geometric_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
+    """``points`` log-spaced values from ``low`` to ``high`` inclusive."""
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got low={low}, high={high}")
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    ratio = (high / low) ** (1.0 / (points - 1))
+    return tuple(low * ratio**i for i in range(points))
+
+
+def linear_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
+    """``points`` evenly spaced values from ``low`` to ``high`` inclusive."""
+    if high <= low:
+        raise ValueError(f"need low < high, got low={low}, high={high}")
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    step = (high - low) / (points - 1)
+    return tuple(low + step * i for i in range(points))
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Class/function decorator adding a ``run`` callable to the registry."""
+
+    def wrap(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = run
+        return run
+
+    return wrap
+
+
+def registry() -> dict[str, Callable[..., ExperimentResult]]:
+    """All registered experiments (importing :mod:`repro.experiments`
+    populates this)."""
+    return dict(_REGISTRY)

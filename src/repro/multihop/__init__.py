@@ -1,0 +1,18 @@
+"""Multi-hop chain simulation (extends the paper's validation to §III-B)."""
+
+from repro.multihop.chain import (
+    MultiHopSimResult,
+    MultiHopSimulation,
+    simulate_multihop_replications,
+)
+from repro.multihop.config import MultiHopSimConfig
+from repro.multihop.nodes import ChainSender, RelayNode
+
+__all__ = [
+    "ChainSender",
+    "MultiHopSimConfig",
+    "MultiHopSimResult",
+    "MultiHopSimulation",
+    "RelayNode",
+    "simulate_multihop_replications",
+]

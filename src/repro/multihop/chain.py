@@ -1,0 +1,256 @@
+"""The multi-hop chain simulation harness (validates §III-B).
+
+Builds ``N`` relay nodes behind a :class:`~repro.multihop.nodes.ChainSender`,
+wires them with per-hop lossy channels (forward and reverse), drives
+Poisson updates, and measures:
+
+* per-hop inconsistency — fraction of time node ``h`` disagrees with
+  the sender's current value (Fig. 17);
+* overall inconsistency — any hop inconsistent (Fig. 18a, eq. 12);
+* per-link signaling transmissions per second (Fig. 18b).
+
+The paper itself only simulated the single-hop system; this simulator
+extends the validation to the multi-hop model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.protocols import Protocol
+from repro.multihop.config import MultiHopSimConfig
+from repro.multihop.nodes import ChainSender, RelayNode
+from repro.protocols.messages import Message
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.engine import Environment
+from repro.sim.monitor import StateFractionMonitor
+from repro.sim.randomness import RandomStreams, Timer
+from repro.sim.stats import ReplicationSet
+
+__all__ = ["MultiHopSimResult", "MultiHopSimulation", "simulate_multihop_replications"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiHopSimResult:
+    """Measured outcome of one multi-hop simulation run."""
+
+    protocol: Protocol
+    hops: int
+    measured_time: float
+    hop_inconsistent_time: list[float]
+    any_inconsistent_time: float
+    link_transmissions: int
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Fraction of time any hop was inconsistent (eq. 12's ``I``)."""
+        if self.measured_time <= 0:
+            return 0.0
+        return self.any_inconsistent_time / self.measured_time
+
+    @property
+    def message_rate(self) -> float:
+        """Per-link transmissions per second, summed over all links."""
+        if self.measured_time <= 0:
+            return 0.0
+        return self.link_transmissions / self.measured_time
+
+    def hop_inconsistency(self, hop: int) -> float:
+        """Fraction of time hop ``hop`` (1-based) was inconsistent."""
+        if not 1 <= hop <= self.hops:
+            raise ValueError(f"hop must be in [1, {self.hops}], got {hop}")
+        if self.measured_time <= 0:
+            return 0.0
+        return self.hop_inconsistent_time[hop - 1] / self.measured_time
+
+    def hop_profile(self) -> list[float]:
+        """Per-hop inconsistency fractions, hop 1 first (Fig. 17)."""
+        return [self.hop_inconsistency(h) for h in range(1, self.hops + 1)]
+
+
+class MultiHopSimulation:
+    """One replication of the multi-hop chain simulation."""
+
+    def __init__(self, config: MultiHopSimConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        params = config.params
+        protocol = config.protocol
+        streams = RandomStreams(config.seed)
+        self._workload_rng = streams.stream("workload")
+        self._signal_rng = streams.stream("external-signal")
+        self.link_transmissions = 0
+
+        channel_config = ChannelConfig(
+            loss_rate=params.loss_rate,
+            mean_delay=params.delay,
+            delay_discipline=config.delay_discipline,
+        )
+
+        def timer(mean: float, key: str) -> Timer:
+            return Timer(mean, config.timer_discipline, streams.stream(key))
+
+        n = params.hops
+        self.nodes: list[RelayNode] = []
+        # Build back to front so each node's downstream transmit exists.
+        forward_channels: list[Channel] = [None] * n  # type: ignore[list-item]
+        reverse_channels: list[Channel] = [None] * n  # type: ignore[list-item]
+
+        def make_transmit(channel_slot: list[Channel], index: int):
+            def transmit(message: Message) -> None:
+                self.link_transmissions += 1
+                channel_slot[index].send(message)
+
+            return transmit
+
+        for index in range(n, 0, -1):
+            is_last = index == n
+            node = RelayNode(
+                self.env,
+                protocol,
+                index=index,
+                is_last=is_last,
+                timeout_timer=timer(params.timeout_interval, f"timeout-{index}"),
+                retransmission_timer=timer(
+                    params.retransmission_interval, f"retx-{index}"
+                ),
+                transmit_downstream=(
+                    None if is_last else make_transmit(forward_channels, index)
+                ),
+                transmit_upstream=make_transmit(reverse_channels, index - 1),
+                on_value_change=self._make_change_hook(index),
+            )
+            self.nodes.insert(0, node)
+
+        self.sender = ChainSender(
+            self.env,
+            protocol,
+            refresh_timer=timer(params.refresh_interval, "refresh"),
+            retransmission_timer=timer(params.retransmission_interval, "retx-0"),
+            transmit_downstream=make_transmit(forward_channels, 0),
+            on_value_change=self._on_sender_change,
+        )
+
+        # Forward channel i delivers to node i+1 (0-indexed list).
+        for index in range(n):
+            node = self.nodes[index]
+            forward_channels[index] = Channel(
+                self.env,
+                channel_config,
+                streams.stream(f"fwd-{index}"),
+                self._make_forward_delivery(node),
+                name=f"link-{index + 1}-fwd",
+            )
+            upstream_handler = (
+                self.sender.on_message
+                if index == 0
+                else self._make_reverse_delivery(self.nodes[index - 1])
+            )
+            reverse_channels[index] = Channel(
+                self.env,
+                channel_config,
+                streams.stream(f"rev-{index}"),
+                (lambda handler: lambda d: handler(d.payload))(upstream_handler),
+                name=f"link-{index + 1}-rev",
+            )
+
+        self._hop_monitors = [
+            StateFractionMonitor(self.env, initial=True) for _ in range(n)
+        ]
+        self._any_monitor = StateFractionMonitor(self.env, initial=True)
+        self.sender.start()
+        self._refresh_consistency()
+
+        if protocol is Protocol.HS and params.external_false_signal_rate > 0:
+            for node in self.nodes:
+                self.env.process(
+                    self._false_signal_source(node), name=f"signal-{node.index}"
+                )
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+
+    def _make_forward_delivery(self, node: RelayNode):
+        def deliver(delivered: DeliveredMessage) -> None:
+            node.on_message_from_upstream(delivered.payload)
+
+        return deliver
+
+    def _make_reverse_delivery(self, node: RelayNode):
+        def deliver(message: Message) -> None:
+            node.on_message_from_downstream(message)
+
+        return deliver
+
+    def _make_change_hook(self, index: int):
+        def hook() -> None:
+            self._refresh_consistency()
+
+        return hook
+
+    def _on_sender_change(self) -> None:
+        self._refresh_consistency()
+
+    def _refresh_consistency(self) -> None:
+        all_consistent = True
+        for hop_index, node in enumerate(self.nodes):
+            consistent = node.value == self.sender.value
+            self._hop_monitors[hop_index].set(not consistent)
+            if not consistent:
+                all_consistent = False
+        self._any_monitor.set(not all_consistent)
+
+    def _false_signal_source(self, node: RelayNode):
+        rate = self.config.params.external_false_signal_rate
+        while True:
+            yield self.env.timeout(float(self._signal_rng.exponential(1.0 / rate)))
+            node.false_remove()
+
+    def _update_workload(self):
+        rate = self.config.params.update_rate
+        while True:
+            yield self.env.timeout(float(self._workload_rng.exponential(1.0 / rate)))
+            self.sender.update()
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> MultiHopSimResult:
+        """Simulate until the horizon; measurement starts after warmup."""
+        self.env.process(self._update_workload(), name="update-workload")
+        if self.config.warmup > 0:
+            self.env.run(until=self.config.warmup)
+        for monitor in self._hop_monitors:
+            monitor.reset()
+        self._any_monitor.reset()
+        transmissions_at_warmup = self.link_transmissions
+        self.env.run(until=self.config.horizon)
+        measured = self.config.horizon - self.config.warmup
+        return MultiHopSimResult(
+            protocol=self.config.protocol,
+            hops=self.config.params.hops,
+            measured_time=measured,
+            hop_inconsistent_time=[m.active_time() for m in self._hop_monitors],
+            any_inconsistent_time=self._any_monitor.active_time(),
+            link_transmissions=self.link_transmissions - transmissions_at_warmup,
+        )
+
+
+def simulate_multihop_replications(
+    config: MultiHopSimConfig,
+    replications: int = 5,
+) -> ReplicationSet:
+    """Run independent replications; records I, message rate, worst hop."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    streams = RandomStreams(config.seed)
+    results = ReplicationSet()
+    for index in range(replications):
+        replication = config.replace(seed=streams.spawn(index).seed)
+        outcome = MultiHopSimulation(replication).run()
+        results.add("inconsistency_ratio", outcome.inconsistency_ratio)
+        results.add("message_rate", outcome.message_rate)
+        results.add("last_hop_inconsistency", outcome.hop_inconsistency(config.params.hops))
+    return results

@@ -1,0 +1,47 @@
+"""Configuration for the multi-hop chain simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.parameters import MultiHopParameters
+from repro.core.protocols import Protocol
+from repro.sim.randomness import TimerDiscipline
+
+__all__ = ["MultiHopSimConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiHopSimConfig:
+    """One replication of the multi-hop simulation.
+
+    The multi-hop regime is stationary (infinite state lifetime, Poisson
+    updates), so the run is bounded by ``horizon`` simulated seconds
+    rather than a session count.  ``warmup`` seconds are discarded
+    before measurement starts.
+    """
+
+    protocol: Protocol
+    params: MultiHopParameters
+    horizon: float = 20_000.0
+    warmup: float = 500.0
+    timer_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
+    delay_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
+    seed: int = 20030825
+
+    def __post_init__(self) -> None:
+        if self.protocol not in Protocol.multihop_family():
+            raise ValueError(
+                f"{self.protocol} is not simulated in the multi-hop setting; "
+                f"use one of {[p.value for p in Protocol.multihop_family()]}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if not 0 <= self.warmup < self.horizon:
+            raise ValueError(
+                f"warmup must be in [0, horizon), got {self.warmup} vs {self.horizon}"
+            )
+
+    def replace(self, **changes: object) -> "MultiHopSimConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)

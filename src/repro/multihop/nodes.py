@@ -1,0 +1,312 @@
+"""Nodes of the multi-hop signaling chain.
+
+A chain is ``sender = node 0 -> node 1 -> ... -> node N``.  State
+installed by the sender must reach every node.  The three protocols of
+§III-B behave as follows at each node:
+
+* **SS** — state-carrying messages are forwarded downstream best-effort;
+  each relay holds a state-timeout timer; refreshes originate at the
+  sender only and are relayed hop by hop.
+* **SS+RT** — adds hop-by-hop reliable triggers: each node retransmits
+  a TRIGGER to its downstream neighbor every ``K`` until the hop-local
+  ACK arrives.  A relay whose state times out sends a hop-local NOTIFY
+  upstream so its neighbor re-installs (the notification mechanism of
+  §II applied per hop).
+* **HS** — reliable triggers only; no refreshes or timeouts.  A spurious
+  external failure signal at a relay purges its state, floods a REMOVAL
+  downstream, and sends a NOTIFY upstream toward the sender, which
+  re-triggers installation (the model's ``F``-state excursion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.protocols import Protocol
+from repro.protocols.messages import Message, MessageKind
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.sim.randomness import Timer
+
+__all__ = ["ChainSender", "RelayNode"]
+
+
+class _ReliableHop:
+    """Retransmit the newest TRIGGER downstream until the hop ACKs it."""
+
+    def __init__(
+        self,
+        env: Environment,
+        retransmission_timer: Timer,
+        transmit: Callable[[Message], None],
+    ) -> None:
+        self.env = env
+        self._timer = retransmission_timer
+        self._transmit = transmit
+        self._proc: Process | None = None
+        self._acked_version = 0
+        self._current: Message | None = None
+
+    def offer(self, message: Message) -> None:
+        """Send ``message`` downstream reliably (supersedes older ones)."""
+        self._current = message
+        self._transmit(message)
+        if self._acked_version >= message.version:
+            return
+        self.cancel()
+        self._proc = self.env.process(self._loop(message.version), name="hop-retx")
+
+    def on_ack(self, version: int) -> None:
+        """Stop retransmitting once the downstream hop acknowledged."""
+        self._acked_version = max(self._acked_version, version)
+        if self._current is not None and self._acked_version >= self._current.version:
+            self.cancel()
+
+    def cancel(self) -> None:
+        """Abort any in-progress retransmission loop."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("cancelled")
+        self._proc = None
+
+    def _loop(self, version: int):
+        try:
+            while (
+                self._current is not None
+                and self._current.version == version
+                and self._acked_version < version
+            ):
+                yield self.env.timeout(self._timer.draw())
+                if (
+                    self._current is None
+                    or self._current.version != version
+                    or self._acked_version >= version
+                ):
+                    return
+                self._transmit(
+                    Message(
+                        self._current.kind,
+                        self._current.version,
+                        self._current.value,
+                        retransmission=True,
+                    )
+                )
+        except Interrupt:
+            return
+
+
+class ChainSender:
+    """Node 0: owns the state value, generates triggers and refreshes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        protocol: Protocol,
+        refresh_timer: Timer,
+        retransmission_timer: Timer,
+        transmit_downstream: Callable[[Message], None],
+        on_value_change: Callable[[], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.protocol = protocol
+        self.version = 1
+        self.value: int = 1
+        self._transmit = transmit_downstream
+        self._on_value_change = on_value_change or (lambda: None)
+        self._refresh_timer = refresh_timer
+        self._hop = (
+            _ReliableHop(env, retransmission_timer, transmit_downstream)
+            if protocol.reliable_triggers
+            else None
+        )
+        self._refresh_proc: Process | None = None
+        self._started = False
+
+    def start(self) -> None:
+        """Send the initial trigger and start refreshing.
+
+        Separate from ``__init__`` so the chain harness can finish
+        wiring channels before the first message is transmitted.
+        """
+        if self._started:
+            raise RuntimeError("chain sender already started")
+        self._started = True
+        self._send_trigger()
+        if self.protocol.uses_refreshes:
+            self._refresh_proc = self.env.process(
+                self._refresh_loop(), name="chain-refresh"
+            )
+
+    def update(self) -> None:
+        """Poisson workload: change the state value."""
+        self.version += 1
+        self.value = self.version
+        self._on_value_change()
+        self._send_trigger()
+
+    def on_message(self, message: Message) -> None:
+        """Handle hop-1 ACKs and upstream NOTIFYs."""
+        if message.kind is MessageKind.ACK:
+            if self._hop is not None:
+                self._hop.on_ack(message.version)
+        elif message.kind is MessageKind.NOTIFY:
+            # A receiver dropped state (timeout or false signal):
+            # re-install by re-triggering the current value.
+            self._send_trigger()
+        else:
+            raise ValueError(f"chain sender cannot handle {message.kind!r}")
+
+    def _send_trigger(self) -> None:
+        message = Message(MessageKind.TRIGGER, self.version, self.value)
+        if self._hop is not None:
+            self._hop.offer(message)
+        else:
+            self._transmit(message)
+
+    def _refresh_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self._refresh_timer.draw())
+                self._transmit(Message(MessageKind.REFRESH, self.version, self.value))
+        except Interrupt:
+            return
+
+
+class RelayNode:
+    """Nodes 1..N: hold state, forward it downstream, expire it (soft)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        protocol: Protocol,
+        index: int,
+        is_last: bool,
+        timeout_timer: Timer,
+        retransmission_timer: Timer,
+        transmit_downstream: Callable[[Message], None] | None,
+        transmit_upstream: Callable[[Message], None],
+        on_value_change: Callable[[], None] | None = None,
+    ) -> None:
+        if is_last != (transmit_downstream is None):
+            raise ValueError("exactly the last node must lack a downstream link")
+        self.env = env
+        self.protocol = protocol
+        self.index = index
+        self.is_last = is_last
+        self.value: int | None = None
+        self.version = 0
+        self.timeout_removals = 0
+        self.false_signal_removals = 0
+        self._timeout_timer = timeout_timer
+        self._transmit_down = transmit_downstream
+        self._transmit_up = transmit_upstream
+        self._on_value_change = on_value_change or (lambda: None)
+        self._timeout_proc: Process | None = None
+        self._hop = (
+            _ReliableHop(env, retransmission_timer, transmit_downstream)
+            if protocol.reliable_triggers and transmit_downstream is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Upstream-facing input (messages travelling away from the sender)
+    # ------------------------------------------------------------------
+
+    def on_message_from_upstream(self, message: Message) -> None:
+        """Handle TRIGGER / REFRESH / REMOVAL arriving from the sender side."""
+        if message.carries_state:
+            if message.version >= self.version:
+                self._install(message.version, message.value)
+                if self.protocol.reliable_triggers and message.kind is MessageKind.TRIGGER:
+                    self._transmit_up(Message(MessageKind.ACK, message.version))
+                self._forward_state(message)
+        elif message.kind is MessageKind.REMOVAL:
+            # HS purge flood after an external failure signal.
+            if message.version >= self.version and self.value is not None:
+                self.version = max(self.version, message.version)
+                self._remove()
+            if self._transmit_down is not None:
+                self._transmit_down(message)
+        else:
+            raise ValueError(f"relay cannot handle {message.kind!r} from upstream")
+
+    # ------------------------------------------------------------------
+    # Downstream-facing input (messages travelling toward the sender)
+    # ------------------------------------------------------------------
+
+    def on_message_from_downstream(self, message: Message) -> None:
+        """Handle ACK / NOTIFY arriving from the receiver side."""
+        if message.kind is MessageKind.ACK:
+            if self._hop is not None:
+                self._hop.on_ack(message.version)
+        elif message.kind is MessageKind.NOTIFY:
+            if self.protocol is Protocol.HS:
+                # Failure flood: purge local state and keep propagating
+                # toward the sender, which will re-trigger.
+                if self.value is not None:
+                    self._remove()
+                self._transmit_up(message)
+            else:
+                # SS+RT hop-local notification: re-install the neighbor.
+                if self.value is not None:
+                    self._forward_state(
+                        Message(MessageKind.TRIGGER, self.version, self.value)
+                    )
+        else:
+            raise ValueError(f"relay cannot handle {message.kind!r} from downstream")
+
+    def false_remove(self) -> None:
+        """HS external failure signal fired spuriously at this node."""
+        if self.value is None:
+            return
+        self.false_signal_removals += 1
+        self._remove()
+        self._transmit_up(Message(MessageKind.NOTIFY, self.version))
+        if self._transmit_down is not None:
+            self._transmit_down(Message(MessageKind.REMOVAL, self.version))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _forward_state(self, message: Message) -> None:
+        if self._transmit_down is None:
+            return
+        forwarded = Message(message.kind, message.version, message.value)
+        if self._hop is not None and message.kind is MessageKind.TRIGGER:
+            self._hop.offer(forwarded)
+        else:
+            self._transmit_down(forwarded)
+
+    def _install(self, version: int, value: int | None) -> None:
+        self.version = version
+        self.value = value
+        self._on_value_change()
+        if self.protocol.uses_state_timeout:
+            self._restart_timeout()
+
+    def _remove(self) -> None:
+        self.value = None
+        self._on_value_change()
+        self._cancel_timeout()
+        if self._hop is not None:
+            self._hop.cancel()
+
+    def _restart_timeout(self) -> None:
+        self._cancel_timeout()
+        self._timeout_proc = self.env.process(self._timeout_loop(), name="relay-timeout")
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_proc is not None and self._timeout_proc.is_alive:
+            self._timeout_proc.interrupt("cancelled")
+        self._timeout_proc = None
+
+    def _timeout_loop(self):
+        try:
+            yield self.env.timeout(self._timeout_timer.draw())
+        except Interrupt:
+            return
+        if self.value is None:
+            return
+        self.timeout_removals += 1
+        self._remove()
+        if self.protocol.removal_notification:
+            self._transmit_up(Message(MessageKind.NOTIFY, self.version))

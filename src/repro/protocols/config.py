@@ -1,0 +1,40 @@
+"""Configuration for the single-hop protocol simulations."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.sim.randomness import TimerDiscipline
+
+__all__ = ["SingleHopSimConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SingleHopSimConfig:
+    """Everything one replication of the single-hop simulation needs.
+
+    The paper's validation runs (Figs. 11-12) use *deterministic*
+    protocol timers (R, T, K) against the model's exponential-timer
+    assumption; ``timer_discipline`` switches between the two.  The
+    workload (session length, update arrivals) is exponential/Poisson
+    in both cases — it is part of the model, not a protocol timer.
+    """
+
+    protocol: Protocol
+    params: SignalingParameters
+    timer_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
+    delay_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
+    sessions: int = 500
+    seed: int = 20030825
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.params.removal_rate <= 0:
+            raise ValueError("simulation requires removal_rate > 0 (finite sessions)")
+
+    def replace(self, **changes: object) -> "SingleHopSimConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)

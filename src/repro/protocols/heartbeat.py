@@ -1,0 +1,166 @@
+"""A heartbeat failure detector — the HS external-signal substrate.
+
+Hard-state signaling cannot time out orphaned state on its own; it
+"must rely on an external signal to detect that it is holding orphaned
+state", e.g. "a separate heartbeat protocol whose job is to detect when
+the signaling sender crashes" (paper §II).  The analytic model folds
+the detector into a single false-positive rate ``lambda_x``.  This
+module implements the detector as a real simulated component so that:
+
+* examples can run HS with an honest failure-detection substrate;
+* the mapping from heartbeat parameters to the model's ``lambda_x``
+  (:func:`false_positive_rate`) can be tested against simulation.
+
+Protocol: the monitored side emits a heartbeat every ``interval``
+seconds over a lossy channel; the monitor declares failure when
+``miss_threshold`` consecutive intervals pass with no heartbeat.  With
+per-message loss ``p`` the spurious-detection rate is approximately one
+false alarm per ``miss_threshold`` consecutive losses:
+
+``lambda_x ~= p^miss_threshold / interval``
+
+— the same form as the soft-state false-removal rate with
+``T = miss_threshold * interval``, which is why the paper can treat the
+two uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.sim.randomness import Timer
+
+__all__ = ["HeartbeatEmitter", "HeartbeatMonitor", "false_positive_rate"]
+
+
+def false_positive_rate(loss_rate: float, interval: float, miss_threshold: int) -> float:
+    """Approximate spurious failure-detection rate of the heartbeat pair.
+
+    This is the value to plug into the model's
+    ``external_false_signal_rate`` when HS runs over this detector.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if miss_threshold < 1:
+        raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+    return (loss_rate**miss_threshold) / interval
+
+
+class HeartbeatEmitter:
+    """Periodically sends heartbeats while the monitored side is alive."""
+
+    def __init__(
+        self,
+        env: Environment,
+        channel: Channel,
+        interval_timer: Timer,
+    ) -> None:
+        self.env = env
+        self.alive = True
+        self.heartbeats_sent = 0
+        self._channel = channel
+        self._timer = interval_timer
+        self._proc: Process = env.process(self._emit_loop(), name="heartbeat-emitter")
+
+    def crash(self) -> None:
+        """Stop emitting heartbeats (a real failure, not a false alarm)."""
+        self.alive = False
+        if self._proc.is_alive:
+            self._proc.interrupt("crashed")
+
+    def _emit_loop(self):
+        try:
+            while self.alive:
+                yield self.env.timeout(self._timer.draw())
+                if not self.alive:
+                    return
+                self.heartbeats_sent += 1
+                self._channel.send("heartbeat")
+        except Interrupt:
+            return
+
+
+class HeartbeatMonitor:
+    """Declares failure after ``miss_threshold`` missed heartbeats.
+
+    Implemented as a deadline watchdog restarted on every arrival: the
+    deadline is ``(miss_threshold + 0.5) * interval`` — long enough for
+    exactly ``miss_threshold`` consecutive heartbeats to fit in the
+    silent window regardless of phase, with half an interval of grace
+    for channel delay jitter.  ``on_failure`` fires on every detection —
+    genuine or spurious; the counter lets tests measure the false-alarm
+    rate against :func:`false_positive_rate`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float,
+        miss_threshold: int,
+        on_failure: Callable[[], None],
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.env = env
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.detections = 0
+        self._deadline = (miss_threshold + 0.5) * interval
+        self._on_failure = on_failure
+        self._stopped = False
+        self._watch_proc: Process = env.process(self._watch_loop(), name="heartbeat-monitor")
+
+    def on_heartbeat(self, _delivered: DeliveredMessage) -> None:
+        """Channel delivery callback: a heartbeat arrived."""
+        self._restart()
+
+    def stop(self) -> None:
+        """Stop monitoring (e.g. after the association is torn down)."""
+        self._stopped = True
+        if self._watch_proc.is_alive:
+            self._watch_proc.interrupt("stopped")
+
+    def _restart(self) -> None:
+        if self._stopped:
+            return
+        if self._watch_proc.is_alive:
+            self._watch_proc.interrupt("heartbeat")
+        self._watch_proc = self.env.process(self._watch_loop(), name="heartbeat-monitor")
+
+    def _watch_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self._deadline)
+                self.detections += 1
+                self._on_failure()
+        except Interrupt:
+            return
+
+
+def build_heartbeat_pair(
+    env: Environment,
+    loss_rate: float,
+    delay: float,
+    interval: float,
+    miss_threshold: int,
+    interval_timer: Timer,
+    rng,
+    on_failure: Callable[[], None],
+) -> tuple[HeartbeatEmitter, HeartbeatMonitor]:
+    """Wire an emitter and monitor over one lossy channel."""
+    monitor = HeartbeatMonitor(env, interval, miss_threshold, on_failure)
+    channel = Channel(
+        env,
+        ChannelConfig(loss_rate=loss_rate, mean_delay=delay),
+        rng,
+        monitor.on_heartbeat,
+        name="heartbeat",
+    )
+    emitter = HeartbeatEmitter(env, channel, interval_timer)
+    return emitter, monitor

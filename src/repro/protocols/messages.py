@@ -1,0 +1,59 @@
+"""Signaling message vocabulary shared by all protocol implementations."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind(str, enum.Enum):
+    """The kinds of signaling messages the five protocols exchange."""
+
+    TRIGGER = "trigger"
+    """Carries a state setup or update (paper's 'trigger message')."""
+
+    REFRESH = "refresh"
+    """Periodic best-effort copy of the sender's current state."""
+
+    REMOVAL = "removal"
+    """Explicit request to delete the receiver's state."""
+
+    ACK = "ack"
+    """Receiver acknowledgment of a reliably-transmitted trigger."""
+
+    REMOVAL_ACK = "removal_ack"
+    """Receiver acknowledgment of a reliably-transmitted removal."""
+
+    NOTIFY = "notify"
+    """Receiver-to-sender notice that installed state was removed
+    (by state-timeout or by the HS external failure signal)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One signaling message.
+
+    ``version`` is the sender's monotonically increasing state version;
+    receivers ignore messages older than what they already know, which
+    keeps cross-session races (possible in a real network, serialized
+    away in the analytic model) from corrupting state.
+    """
+
+    kind: MessageKind
+    version: int
+    value: int | None = None
+    retransmission: bool = False
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            raise ValueError(f"version must be non-negative, got {self.version}")
+        carries_state = self.kind in (MessageKind.TRIGGER, MessageKind.REFRESH)
+        if carries_state and self.value is None:
+            raise ValueError(f"{self.kind.value} message must carry a state value")
+
+    @property
+    def carries_state(self) -> bool:
+        """Whether this message installs/refreshes state at the receiver."""
+        return self.kind in (MessageKind.TRIGGER, MessageKind.REFRESH)

@@ -1,0 +1,194 @@
+"""The signaling sender: state lifecycle, refreshes, reliable transmission.
+
+The sender owns the authoritative state value (modeled as a
+monotonically increasing version number), and implements everything the
+five protocols put on the sending side:
+
+* trigger transmission on install/update (all protocols);
+* the refresh loop (soft-state protocols);
+* ACK-driven retransmission of triggers (SS+RT, SS+RTR, HS);
+* explicit removal, optionally retransmitted until acknowledged
+  (SS+ER best-effort; SS+RTR and HS reliable);
+* re-triggering after a receiver's removal notification (SS+RT,
+  SS+RTR, HS — recovery from false removal).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.protocols.messages import Message, MessageKind
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.sim.randomness import Timer
+
+__all__ = ["SignalingSender"]
+
+
+class SignalingSender:
+    """Sender-side state machine for all five protocols."""
+
+    def __init__(
+        self,
+        env: Environment,
+        protocol: Protocol,
+        params: SignalingParameters,
+        refresh_timer: Timer,
+        retransmission_timer: Timer,
+        transmit: Callable[[Message], None],
+        on_value_change: Callable[[], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.protocol = protocol
+        self.params = params
+        self.value: int | None = None
+        self.version = 0
+        self._refresh_timer = refresh_timer
+        self._retx_timer = retransmission_timer
+        self._transmit = transmit
+        self._on_value_change = on_value_change or (lambda: None)
+        self._refresh_proc: Process | None = None
+        self._trigger_retx_proc: Process | None = None
+        self._removal_retx_proc: Process | None = None
+        self._acked_version = 0
+        self._removal_acked_version = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations (driven by the session driver)
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Create local state and start installing it remotely."""
+        self._cancel(self._removal_retx_proc)
+        self._removal_retx_proc = None
+        self._bump_and_trigger()
+
+    def update(self) -> None:
+        """Change the local state value (requires installed state)."""
+        if self.value is None:
+            raise RuntimeError("cannot update: sender holds no state")
+        self._bump_and_trigger()
+
+    def remove(self) -> None:
+        """Delete local state; arrange for remote deletion per protocol."""
+        if self.value is None:
+            raise RuntimeError("cannot remove: sender holds no state")
+        removal_version = self.version
+        self._set_value(None)
+        self._cancel(self._refresh_proc)
+        self._refresh_proc = None
+        self._cancel(self._trigger_retx_proc)
+        self._trigger_retx_proc = None
+        if self.protocol.explicit_removal:
+            self._transmit(Message(MessageKind.REMOVAL, removal_version))
+            if self.protocol.reliable_removal:
+                self._removal_retx_proc = self.env.process(
+                    self._removal_retx_loop(removal_version), name="removal-retx"
+                )
+        # Pure soft state (SS, SS+RT): simply stop refreshing; the
+        # receiver's state-timeout performs the removal.
+
+    # ------------------------------------------------------------------
+    # Message handling (reverse channel)
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        """Handle an ACK / REMOVAL_ACK / NOTIFY from the receiver."""
+        if message.kind is MessageKind.ACK:
+            self._acked_version = max(self._acked_version, message.version)
+            if self._acked_version >= self.version:
+                self._cancel(self._trigger_retx_proc)
+                self._trigger_retx_proc = None
+        elif message.kind is MessageKind.REMOVAL_ACK:
+            self._removal_acked_version = max(self._removal_acked_version, message.version)
+            self._cancel(self._removal_retx_proc)
+            self._removal_retx_proc = None
+        elif message.kind is MessageKind.NOTIFY:
+            # The receiver dropped state we still hold: false removal.
+            # Recover by re-installing (SS+RT, SS+RTR, HS).
+            if self.value is not None and self.protocol.removal_notification:
+                self._send_trigger(retransmission=False)
+        else:
+            raise ValueError(f"sender cannot handle {message.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _bump_and_trigger(self) -> None:
+        self.version += 1
+        self._set_value(self.version)
+        self._send_trigger(retransmission=False)
+
+    def _set_value(self, value: int | None) -> None:
+        self.value = value
+        self._on_value_change()
+
+    def _send_trigger(self, retransmission: bool) -> None:
+        self._transmit(
+            Message(
+                MessageKind.TRIGGER,
+                self.version,
+                self.value,
+                retransmission=retransmission,
+            )
+        )
+        if not retransmission:
+            self._restart_refresh_loop()
+            if self.protocol.reliable_triggers:
+                self._cancel(self._trigger_retx_proc)
+                self._trigger_retx_proc = self.env.process(
+                    self._trigger_retx_loop(self.version), name="trigger-retx"
+                )
+
+    def _restart_refresh_loop(self) -> None:
+        if not self.protocol.uses_refreshes:
+            return
+        self._cancel(self._refresh_proc)
+        self._refresh_proc = self.env.process(self._refresh_loop(), name="refresh")
+
+    def _refresh_loop(self):
+        try:
+            while self.value is not None:
+                yield self.env.timeout(self._refresh_timer.draw())
+                if self.value is None:
+                    return
+                self._transmit(Message(MessageKind.REFRESH, self.version, self.value))
+        except Interrupt:
+            return
+
+    def _trigger_retx_loop(self, version: int):
+        try:
+            while (
+                self.value is not None
+                and self.version == version
+                and self._acked_version < version
+            ):
+                yield self.env.timeout(self._retx_timer.draw())
+                if (
+                    self.value is None
+                    or self.version != version
+                    or self._acked_version >= version
+                ):
+                    return
+                self._transmit(
+                    Message(MessageKind.TRIGGER, version, self.value, retransmission=True)
+                )
+        except Interrupt:
+            return
+
+    def _removal_retx_loop(self, version: int):
+        try:
+            while self.value is None and self._removal_acked_version < version:
+                yield self.env.timeout(self._retx_timer.draw())
+                if self.value is not None or self._removal_acked_version >= version:
+                    return
+                self._transmit(Message(MessageKind.REMOVAL, version, retransmission=True))
+        except Interrupt:
+            return
+
+    @staticmethod
+    def _cancel(proc: Process | None) -> None:
+        if proc is not None and proc.is_alive:
+            proc.interrupt("cancelled")

@@ -1,0 +1,229 @@
+"""Single-hop simulation harness: wiring, workload, measurement.
+
+:class:`SingleHopSimulation` builds a sender, a receiver, two lossy
+channels and (for HS) an external false-signal source; drives
+back-to-back session lifecycles (install -> Poisson updates -> removal
+-> wait until the receiver is empty); and measures exactly the paper's
+metrics:
+
+* inconsistency ratio — fraction of time the sender's and receiver's
+  state values differ (time-weighted, over the whole run);
+* normalized message rate — messages per session divided by the mean
+  sender session length, ``M = (messages/sessions) * mu_r``.
+
+Sessions are simulated back-to-back (a new session starts the moment
+both sides are empty), which realizes the paper's renewal construction
+of merging the absorbing state into the start state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.protocols import Protocol
+from repro.protocols.config import SingleHopSimConfig
+from repro.protocols.messages import Message, MessageKind
+from repro.protocols.receiver import SignalingReceiver
+from repro.protocols.sender import SignalingSender
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.engine import Environment
+from repro.sim.monitor import StateFractionMonitor
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+from repro.sim.stats import ReplicationSet
+
+__all__ = ["SingleHopSimResult", "SingleHopSimulation", "simulate_replications"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SingleHopSimResult:
+    """Measured outcome of one single-hop simulation run."""
+
+    protocol: Protocol
+    sessions: int
+    sim_time: float
+    inconsistent_time: float
+    message_counts: dict[str, int]
+    timeout_removals: int
+    false_signal_removals: int
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Fraction of time sender and receiver state values differed."""
+        if self.sim_time <= 0:
+            return 0.0
+        return self.inconsistent_time / self.sim_time
+
+    @property
+    def total_messages(self) -> int:
+        """All signaling messages transmitted (both directions)."""
+        return sum(self.message_counts.values())
+
+    @property
+    def messages_per_session(self) -> float:
+        """``Lambda`` — mean signaling messages per session lifecycle."""
+        return self.total_messages / self.sessions
+
+    @property
+    def mean_cycle_length(self) -> float:
+        """Mean install-to-fully-removed duration (receiver lifetime ``L``)."""
+        return self.sim_time / self.sessions
+
+    def normalized_message_rate(self, removal_rate: float) -> float:
+        """``M = Lambda * mu_r`` (messages per mean sender session)."""
+        if removal_rate <= 0:
+            raise ValueError(f"removal_rate must be positive, got {removal_rate}")
+        return self.messages_per_session * removal_rate
+
+
+class SingleHopSimulation:
+    """One replication of the single-hop protocol simulation.
+
+    ``env`` lets several simulations share one clock (see
+    :mod:`repro.protocols.multisession`); by default each simulation
+    owns a fresh environment.
+    """
+
+    def __init__(self, config: SingleHopSimConfig, env: Environment | None = None) -> None:
+        self.config = config
+        self.env = env if env is not None else Environment()
+        streams = RandomStreams(config.seed)
+        params = config.params
+        protocol = config.protocol
+
+        self._workload_rng = streams.stream("workload")
+        self._signal_rng = streams.stream("external-signal")
+        self.message_counts: dict[str, int] = {}
+
+        channel_config = ChannelConfig(
+            loss_rate=params.loss_rate,
+            mean_delay=params.delay,
+            delay_discipline=config.delay_discipline,
+        )
+        self._forward = Channel(
+            self.env,
+            channel_config,
+            streams.stream("forward-channel"),
+            self._deliver_to_receiver,
+            name="sender->receiver",
+        )
+        self._reverse = Channel(
+            self.env,
+            channel_config,
+            streams.stream("reverse-channel"),
+            self._deliver_to_sender,
+            name="receiver->sender",
+        )
+
+        def timer(mean: float, key: str) -> Timer:
+            return Timer(mean, config.timer_discipline, streams.stream(key))
+
+        self.sender = SignalingSender(
+            self.env,
+            protocol,
+            params,
+            refresh_timer=timer(params.refresh_interval, "refresh-timer"),
+            retransmission_timer=timer(params.retransmission_interval, "retx-timer"),
+            transmit=lambda msg: self._transmit(self._forward, msg),
+            on_value_change=self._update_consistency,
+        )
+        self.receiver = SignalingReceiver(
+            self.env,
+            protocol,
+            timeout_timer=timer(params.timeout_interval, "timeout-timer"),
+            transmit=lambda msg: self._transmit(self._reverse, msg),
+            on_value_change=self._update_consistency,
+        )
+        self._consistency = StateFractionMonitor(self.env, initial=False)
+        # Sender and receiver both start empty: values match.
+        self._consistency.set(True)
+
+        if protocol is Protocol.HS and params.external_false_signal_rate > 0:
+            self.env.process(self._false_signal_source(), name="external-signal")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _transmit(self, channel: Channel, message: Message) -> None:
+        key = message.kind.value
+        if message.retransmission:
+            key += "_retx"
+        self.message_counts[key] = self.message_counts.get(key, 0) + 1
+        channel.send(message)
+
+    def _deliver_to_receiver(self, delivered: DeliveredMessage) -> None:
+        self.receiver.on_message(delivered.payload)
+
+    def _deliver_to_sender(self, delivered: DeliveredMessage) -> None:
+        self.sender.on_message(delivered.payload)
+
+    def _update_consistency(self) -> None:
+        self._consistency.set(self.sender.value == self.receiver.value)
+
+    def _false_signal_source(self):
+        rate = self.config.params.external_false_signal_rate
+        while True:
+            yield self.env.timeout(float(self._signal_rng.exponential(1.0 / rate)))
+            self.receiver.false_remove()
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+
+    def _session_workload(self):
+        params = self.config.params
+        for _ in range(self.config.sessions):
+            self.sender.install()
+            remaining = float(self._workload_rng.exponential(params.removal_rate**-1))
+            while True:
+                if params.update_rate <= 0:
+                    yield self.env.timeout(remaining)
+                    break
+                gap = float(self._workload_rng.exponential(1.0 / params.update_rate))
+                if gap >= remaining:
+                    yield self.env.timeout(remaining)
+                    break
+                yield self.env.timeout(gap)
+                remaining -= gap
+                self.sender.update()
+            self.sender.remove()
+            yield self.receiver.wait_empty()
+
+    def run(self) -> SingleHopSimResult:
+        """Execute the configured number of sessions and collect metrics."""
+        driver = self.env.process(self._session_workload(), name="session-driver")
+        self.env.run(until=driver)
+        sim_time = self.env.now
+        return SingleHopSimResult(
+            protocol=self.config.protocol,
+            sessions=self.config.sessions,
+            sim_time=sim_time,
+            inconsistent_time=sim_time - self._consistency.active_time(),
+            message_counts=dict(self.message_counts),
+            timeout_removals=self.receiver.timeout_removals,
+            false_signal_removals=self.receiver.false_signal_removals,
+        )
+
+
+def simulate_replications(
+    config: SingleHopSimConfig,
+    replications: int = 10,
+) -> ReplicationSet:
+    """Run independent replications; returns I and M samples.
+
+    Metrics recorded per replication: ``inconsistency_ratio`` and
+    ``normalized_message_rate``.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    streams = RandomStreams(config.seed)
+    results = ReplicationSet()
+    for index in range(replications):
+        replication_config = config.replace(seed=streams.spawn(index).seed)
+        outcome = SingleHopSimulation(replication_config).run()
+        results.add("inconsistency_ratio", outcome.inconsistency_ratio)
+        results.add(
+            "normalized_message_rate",
+            outcome.normalized_message_rate(config.params.removal_rate),
+        )
+    return results

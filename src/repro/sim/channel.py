@@ -1,0 +1,115 @@
+"""The signaling channel: Bernoulli loss plus delay, no reordering.
+
+The paper's network model (§III): the sender and receiver "communicate
+over a network that can delay and lose, but not reorder, messages".
+Losses are independent Bernoulli trials with parameter ``p_l``; the
+channel delay has mean ``delta`` and is either fixed or exponential.
+
+Non-reordering is enforced explicitly: each message's delivery time is
+clamped to be no earlier than the previously accepted message's delivery
+time, which makes exponential delays safe to use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.sim.randomness import TimerDiscipline
+
+__all__ = ["Channel", "ChannelConfig", "DeliveredMessage"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelConfig:
+    """Loss/delay parameters of one directed channel."""
+
+    loss_rate: float
+    mean_delay: float
+    delay_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.mean_delay <= 0:
+            raise ValueError(f"mean_delay must be positive, got {self.mean_delay}")
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveredMessage:
+    """Record of one message handed to a receiver."""
+
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+
+class Channel:
+    """A unidirectional lossy channel delivering to a callback.
+
+    ``send`` never blocks the sender (signaling messages are datagrams).
+    Statistics (``sent``, ``lost``, ``delivered``) are kept for the
+    message-overhead metrics.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ChannelConfig,
+        rng: np.random.Generator,
+        deliver: Callable[[DeliveredMessage], None],
+        name: str = "channel",
+        on_loss: Callable[[Any], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self._rng = rng
+        self._deliver = deliver
+        self._on_loss = on_loss
+        self._last_delivery_time = -float("inf")
+        self.sent = 0
+        self.lost = 0
+        self.delivered = 0
+
+    def send(self, payload: Any) -> bool:
+        """Transmit ``payload``; returns False when the channel drops it.
+
+        When an ``on_loss`` callback is configured, it fires one channel
+        delay after the drop — modeling an idealized loss-detection
+        signal (used by the Raman-McCanne NACK extension, where "the
+        receiver learns of this loss instantaneously" on the arrival
+        timescale).
+        """
+        self.sent += 1
+        if self._rng.random() < self.config.loss_rate:
+            self.lost += 1
+            if self._on_loss is not None:
+                lost_payload = payload
+                event = self.env.timeout(self._draw_delay())
+                event.callbacks.append(lambda _evt: self._on_loss(lost_payload))
+            return False
+        delay = self._draw_delay()
+        deliver_at = max(self.env.now + delay, self._last_delivery_time)
+        self._last_delivery_time = deliver_at
+        sent_at = self.env.now
+        event = self.env.timeout(deliver_at - self.env.now)
+        event.callbacks.append(
+            lambda _evt: self._on_arrival(payload, sent_at)
+        )
+        return True
+
+    def _draw_delay(self) -> float:
+        if self.config.delay_discipline is TimerDiscipline.DETERMINISTIC:
+            return self.config.mean_delay
+        return float(self._rng.exponential(self.config.mean_delay))
+
+    def _on_arrival(self, payload: Any, sent_at: float) -> None:
+        self.delivered += 1
+        self._deliver(
+            DeliveredMessage(payload=payload, sent_at=sent_at, delivered_at=self.env.now)
+        )

@@ -1,0 +1,301 @@
+"""A minimal but complete generator-based discrete-event simulation kernel.
+
+Design
+------
+The kernel follows the classic event-list architecture:
+
+* an :class:`Environment` owns the simulated clock and a priority queue of
+  scheduled events;
+* an :class:`Event` is a one-shot occurrence that callbacks (usually
+  suspended processes) can wait on;
+* a :class:`Process` wraps a Python generator.  The generator yields
+  events; when a yielded event fires, the process is resumed with the
+  event's value (or the event's exception is thrown into it).
+
+This is deliberately the same process model as simpy's, so protocol code
+reads like ordinary simpy code.  Only the features the protocol
+implementations need are provided: timeouts, process join, interrupts,
+and immediate (zero-delay) events.  Determinism is guaranteed: events
+scheduled for the same time fire in scheduling order (FIFO tie-break).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary caller-supplied object
+    describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event has three phases: *pending* (created, not yet fired),
+    *triggered* (scheduled to fire, value/exception decided), and
+    *processed* (callbacks have run).  Processes wait on an event by
+    yielding it; the kernel registers the process as a callback.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event has fired and its callbacks have run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (valid once triggered)."""
+        if not self._triggered:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True when the event fired successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire by raising ``exception`` in waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator's ``return`` value becomes the event value, so parent
+    processes can ``result = yield child_process``.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError("Process requires a generator (did you call the function?)")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        multiple times before it resumes queues the interrupts.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        interrupt = Interrupt(cause)
+        self._interrupts.append(interrupt)
+        if self._target is not None:
+            # Detach from the event currently waited on, then resume now.
+            target, self._target = self._target, None
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            wakeup = Event(self.env)
+            wakeup.callbacks.append(self._resume)
+            wakeup.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.env._active_process = self
+        try:
+            while True:
+                if self._interrupts:
+                    interrupt = self._interrupts.pop(0)
+                    target = self.generator.throw(interrupt)
+                elif event._exception is not None:
+                    target = self.generator.throw(event._exception)
+                else:
+                    target = self.generator.send(event._value)
+                # The generator yielded a new event to wait on.
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded {target!r}, expected an Event"
+                    )
+                if target.callbacks is None:
+                    # Already processed: feed its outcome straight back in.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if isinstance(exc, SimulationError):
+                raise
+            self.fail(exc)
+        finally:
+            self.env._active_process = None
+
+
+class Environment:
+    """The simulation environment: clock, event queue, process factory."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._fire()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock passes it), an event
+        (run until it fires; its value is returned), or ``None`` (run
+        until no events remain).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event._processed:
+                if not self._queue:
+                    raise SimulationError("event queue empty before 'until' event fired")
+                self.step()
+            if stop_event._exception is not None:
+                raise stop_event._exception
+            return stop_event._value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,103 @@
+"""Time-weighted measurement utilities.
+
+The paper's central metric — the inconsistency ratio — is a *fraction of
+time*, so measurement must be time-weighted, not sample-weighted.
+:class:`TimeWeightedValue` integrates a piecewise-constant signal;
+:class:`StateFractionMonitor` specializes it to "fraction of time a
+boolean predicate held"; :class:`Counter` tallies discrete occurrences
+(signaling messages) for rate metrics.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+
+__all__ = ["Counter", "StateFractionMonitor", "TimeWeightedValue"]
+
+
+class TimeWeightedValue:
+    """Integrates a piecewise-constant real-valued signal over time."""
+
+    def __init__(self, env: Environment, initial: float = 0.0) -> None:
+        self.env = env
+        self._value = float(initial)
+        self._last_change = env.now
+        self._integral = 0.0
+        self._start = env.now
+
+    @property
+    def value(self) -> float:
+        """Current value of the signal."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the signal's value as of the current simulated time."""
+        now = self.env.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = float(value)
+        self._last_change = now
+
+    def integral(self) -> float:
+        """Integral of the signal from monitor creation until now."""
+        return self._integral + self._value * (self.env.now - self._last_change)
+
+    def time_average(self) -> float:
+        """Time average of the signal; 0 when no time has elapsed."""
+        elapsed = self.env.now - self._start
+        if elapsed <= 0:
+            return 0.0
+        return self.integral() / elapsed
+
+    def reset(self) -> None:
+        """Restart integration from the current time, keeping the value."""
+        self._integral = 0.0
+        self._last_change = self.env.now
+        self._start = self.env.now
+
+
+class StateFractionMonitor:
+    """Fraction of time a boolean condition held."""
+
+    def __init__(self, env: Environment, initial: bool = False) -> None:
+        self._signal = TimeWeightedValue(env, 1.0 if initial else 0.0)
+
+    @property
+    def active(self) -> bool:
+        """Whether the condition currently holds."""
+        return self._signal.value > 0.5
+
+    def set(self, active: bool) -> None:
+        """Record the condition becoming true/false now."""
+        self._signal.set(1.0 if active else 0.0)
+
+    def active_time(self) -> float:
+        """Total time the condition has held."""
+        return self._signal.integral()
+
+    def fraction(self) -> float:
+        """Fraction of elapsed time the condition held."""
+        return self._signal.time_average()
+
+    def reset(self) -> None:
+        """Restart measurement from the current time."""
+        self._signal.reset()
+
+
+class Counter:
+    """A named tally of discrete events (e.g. messages of one kind)."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` occurrences."""
+        if amount < 0:
+            raise ValueError(f"cannot increment by a negative amount: {amount}")
+        self.count += amount
+
+    def rate(self, elapsed: float) -> float:
+        """Occurrences per unit time over ``elapsed``; 0 if no time passed."""
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed

@@ -1,0 +1,95 @@
+"""Reproducible random streams and the paper's two timer disciplines.
+
+The analytic model approximates every timer (refresh ``R``, state-timeout
+``T``, retransmission ``K``) and the channel delay as exponentially
+distributed; the validation simulations (paper §III-A.3) instead use
+deterministic timers.  :class:`Timer` captures both disciplines behind one
+interface so protocol code is written once.
+
+Each simulated component draws from its own named substream
+(:class:`RandomStreams`), so adding a component or reordering draws in
+one component never perturbs another — the standard variance-reduction
+discipline for replicated experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["RandomStreams", "Timer", "TimerDiscipline"]
+
+
+class TimerDiscipline(str, enum.Enum):
+    """How a timer interval is drawn.
+
+    ``DETERMINISTIC`` and ``EXPONENTIAL`` are the paper's two regimes
+    (protocol practice vs. the model's solvability assumption).
+    ``JITTERED`` is deployed practice for refresh timers — RSVP
+    randomizes each refresh uniformly over [0.5, 1.5] of the nominal
+    period to avoid synchronization of periodic messages — and lets the
+    test suite show the model's conclusions are insensitive to it.
+    """
+
+    DETERMINISTIC = "deterministic"
+    EXPONENTIAL = "exponential"
+    JITTERED = "jittered"
+
+
+class RandomStreams:
+    """A family of independent, reproducible random substreams.
+
+    Substreams are derived from a root seed and a stable string key using
+    numpy's ``SeedSequence.spawn`` semantics, so ``stream("channel")`` is
+    identical across runs with the same root seed regardless of how many
+    other streams exist or in what order they are created.
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed of this stream family."""
+        return self._seed
+
+    def stream(self, key: str) -> np.random.Generator:
+        """Return the generator for ``key``, creating it on first use."""
+        if key not in self._cache:
+            material = [self._seed] + [ord(ch) for ch in key]
+            self._cache[key] = np.random.default_rng(np.random.SeedSequence(material))
+        return self._cache[key]
+
+    def spawn(self, replication: int) -> "RandomStreams":
+        """Derive an independent family for one replication of an experiment."""
+        if replication < 0:
+            raise ValueError(f"replication index must be non-negative, got {replication}")
+        return RandomStreams(self._seed * 1_000_003 + replication + 1)
+
+
+class Timer:
+    """Draws successive intervals for one timer under a given discipline."""
+
+    def __init__(
+        self,
+        mean: float,
+        discipline: TimerDiscipline | str,
+        rng: np.random.Generator,
+    ) -> None:
+        if mean <= 0:
+            raise ValueError(f"timer mean must be positive, got {mean}")
+        self.mean = float(mean)
+        self.discipline = TimerDiscipline(discipline)
+        self._rng = rng
+
+    def draw(self) -> float:
+        """Return the next interval."""
+        if self.discipline is TimerDiscipline.DETERMINISTIC:
+            return self.mean
+        if self.discipline is TimerDiscipline.JITTERED:
+            return float(self._rng.uniform(0.5 * self.mean, 1.5 * self.mean))
+        return float(self._rng.exponential(self.mean))

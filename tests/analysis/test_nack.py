@@ -1,0 +1,61 @@
+"""Tests for the SS+NACK (Raman-McCanne style) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.nack import (
+    NackSimulation,
+    equivalent_ss_rt_params,
+    simulate_nack_replications,
+)
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.protocols.config import SingleHopSimConfig
+
+
+class TestConfiguration:
+    def test_requires_pure_ss(self, params):
+        config = SingleHopSimConfig(protocol=Protocol.SS_RT, params=params, sessions=5)
+        with pytest.raises(ValueError):
+            NackSimulation(config)
+
+    def test_equivalent_params_use_two_delays(self, params):
+        equivalent = equivalent_ss_rt_params(params)
+        assert equivalent.retransmission_interval == pytest.approx(2 * params.delay)
+
+
+class TestBehavior:
+    def test_nack_improves_on_ss(self, params):
+        summary = simulate_nack_replications(params, sessions=120, replications=3)
+        assert summary.improvement() > 0.10
+
+    def test_nacks_are_sent_under_loss(self, params):
+        config = SingleHopSimConfig(
+            protocol=Protocol.SS, params=params, sessions=60, seed=8
+        )
+        sim = NackSimulation(config)
+        sim.run()
+        assert sim.nacks_sent > 0
+        assert sim.nack_repairs > 0
+
+    def test_no_nacks_without_loss(self, lossless_params):
+        config = SingleHopSimConfig(
+            protocol=Protocol.SS, params=lossless_params, sessions=30, seed=8
+        )
+        sim = NackSimulation(config)
+        sim.run()
+        assert sim.nacks_sent == 0
+
+    def test_nack_behaves_like_fast_ss_rt(self, params):
+        """The paper's §IV mapping: SS+NACK ~ SS+RT with K ~ 2*Delta."""
+        summary = simulate_nack_replications(params, sessions=250, replications=4)
+        nack_inconsistency = summary.nack.mean("inconsistency_ratio")
+        model_rt = SingleHopModel(
+            Protocol.SS_RT, equivalent_ss_rt_params(params)
+        ).solve()
+        model_ss = SingleHopModel(Protocol.SS, params).solve()
+        # NACK must land in the band between fast SS+RT and plain SS,
+        # much closer to the former.
+        assert nack_inconsistency < 0.8 * model_ss.inconsistency_ratio
+        assert nack_inconsistency > 0.5 * model_rt.inconsistency_ratio

@@ -1,0 +1,72 @@
+"""Tests for timer optimization (the Fig. 7 / Fig. 8a structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.optimizer import optimize_refresh_timer, optimize_timers_jointly
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+
+
+class TestRefreshOptimizer:
+    def test_ss_optimum_interior_and_near_fig7(self, params):
+        best = optimize_refresh_timer(Protocol.SS, params)
+        # Fig. 7 puts SS's optimum in the mid-single-digit seconds.
+        assert 2.0 < best.refresh_interval < 20.0
+        assert best.timeout_multiple == pytest.approx(3.0)
+
+    def test_optimum_beats_neighbors(self, params):
+        best = optimize_refresh_timer(Protocol.SS, params)
+        for factor in (0.5, 2.0):
+            neighbor = params.with_coupled_timers(best.refresh_interval * factor)
+            cost = SingleHopModel(Protocol.SS, neighbor).solve().integrated_cost(10.0)
+            assert best.cost <= cost + 1e-9
+
+    def test_ss_rtr_prefers_long_timers(self, params):
+        ss = optimize_refresh_timer(Protocol.SS, params)
+        rtr = optimize_refresh_timer(Protocol.SS_RTR, params)
+        assert rtr.refresh_interval > 5.0 * ss.refresh_interval
+
+    def test_rtr_optimum_approaches_hs_cost(self, params):
+        rtr = optimize_refresh_timer(Protocol.SS_RTR, params)
+        hs = SingleHopModel(Protocol.HS, params).solve().integrated_cost(10.0)
+        assert rtr.cost == pytest.approx(hs, rel=0.15)
+
+    def test_weight_moves_optimum(self, params):
+        cheap_staleness = optimize_refresh_timer(Protocol.SS, params, weight=1.0)
+        dear_staleness = optimize_refresh_timer(Protocol.SS, params, weight=100.0)
+        # Expensive inconsistency favors faster refreshes.
+        assert dear_staleness.refresh_interval < cheap_staleness.refresh_interval
+
+    def test_invalid_bounds_rejected(self, params):
+        with pytest.raises(ValueError):
+            optimize_refresh_timer(Protocol.SS, params, bounds=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            optimize_refresh_timer(Protocol.SS, params, bounds=(5.0, 1.0))
+
+
+class TestJointOptimizer:
+    def test_joint_at_least_as_good_as_fixed_multiple(self, params):
+        fixed = optimize_refresh_timer(Protocol.SS, params, timeout_multiple=3.0)
+        joint = optimize_timers_jointly(Protocol.SS, params)
+        assert joint.cost <= fixed.cost + 1e-9
+
+    def test_ss_rt_prefers_tight_timeout(self, params):
+        # Fig. 8a: SS+RT "works best with a timeout timer value that is
+        # just slightly larger than that of the state-refresh timer".
+        joint = optimize_timers_jointly(Protocol.SS_RT, params)
+        assert joint.timeout_multiple <= 2.0
+
+    def test_ss_rtr_prefers_loose_timeout(self, params):
+        joint = optimize_timers_jointly(Protocol.SS_RTR, params)
+        assert joint.timeout_multiple >= 5.0
+
+    def test_result_fields(self, params):
+        best = optimize_timers_jointly(Protocol.SS_ER, params)
+        assert best.protocol is Protocol.SS_ER
+        assert best.weight == 10.0
+        assert best.cost > 0
+        assert best.timeout_interval == pytest.approx(
+            best.refresh_interval * best.timeout_multiple
+        )

@@ -1,0 +1,88 @@
+"""Tests for the staged-refresh-timer extension (Pan & Schulzrinne)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.staged_timers import (
+    StagedRefreshConfig,
+    StagedRefreshSimulation,
+    compare_staged_refresh,
+)
+from repro.core.protocols import Protocol
+from repro.protocols.config import SingleHopSimConfig
+from repro.protocols.messages import MessageKind
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StagedRefreshConfig(fast_interval=0.0)
+        with pytest.raises(ValueError):
+            StagedRefreshConfig(fast_interval=1.0, fast_count=0)
+
+    def test_requires_pure_ss(self, params):
+        config = SingleHopSimConfig(protocol=Protocol.SS_RT, params=params, sessions=5)
+        with pytest.raises(ValueError):
+            StagedRefreshSimulation(config, StagedRefreshConfig(fast_interval=0.1))
+
+
+class TestBehavior:
+    def test_stage_one_refreshes_are_fast(self, lossless_params):
+        # With fast_count=2 and fast_interval=0.2, the first refreshes
+        # after setup arrive well before the nominal R=5s.
+        config = SingleHopSimConfig(
+            protocol=Protocol.SS, params=lossless_params, sessions=1, seed=3
+        )
+        sim = StagedRefreshSimulation(
+            config, StagedRefreshConfig(fast_interval=0.2, fast_count=2)
+        )
+        result = sim.run()
+        # A 1-session run of mean 1800s sends far more refreshes than
+        # plain SS would only if staging re-arms per trigger; here we
+        # simply check refreshes exist and the run completes.
+        assert result.message_counts.get(MessageKind.REFRESH.value, 0) > 0
+
+    def test_staging_improves_consistency_under_loss(self, params):
+        lossy = params.replace(loss_rate=0.1)
+        comparison = compare_staged_refresh(
+            lossy,
+            StagedRefreshConfig(fast_interval=2 * lossy.delay, fast_count=3),
+            sessions=120,
+            replications=3,
+        )
+        assert comparison.inconsistency_improvement() > 0.15
+
+    def test_staging_cheaper_than_globally_fast_refresh(self, params):
+        # The point of staging: near-trigger protection without paying
+        # the fast rate forever.  The overhead is bounded by
+        # fast_count extra refreshes per trigger (~fast_count*lambda_u),
+        # far below what running R = fast_interval globally would cost.
+        from repro.core.singlehop import SingleHopModel
+
+        lossy = params.replace(loss_rate=0.1)
+        staged_config = StagedRefreshConfig(fast_interval=2 * lossy.delay, fast_count=3)
+        comparison = compare_staged_refresh(
+            lossy, staged_config, sessions=120, replications=3
+        )
+        # Bounded by the per-trigger budget...
+        trigger_rate = lossy.update_rate + lossy.removal_rate
+        plain_rate = comparison.plain_ss.mean("normalized_message_rate")
+        budget = staged_config.fast_count * trigger_rate / plain_rate
+        assert comparison.overhead_increase() < 1.3 * budget
+        # ...and far below a globally fast refresh timer.
+        globally_fast = SingleHopModel(
+            Protocol.SS, lossy.with_coupled_timers(staged_config.fast_interval)
+        ).solve()
+        staged_rate = comparison.staged.mean("normalized_message_rate")
+        assert staged_rate < 0.1 * globally_fast.normalized_message_rate
+
+    def test_staging_noop_without_loss(self, lossless_params):
+        comparison = compare_staged_refresh(
+            lossless_params,
+            StagedRefreshConfig(fast_interval=0.1, fast_count=2),
+            sessions=60,
+            replications=2,
+        )
+        # No losses to repair: consistency basically unchanged.
+        assert abs(comparison.inconsistency_improvement()) < 0.10

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    MultiHopParameters,
+    SignalingParameters,
+    kazaa_defaults,
+    reservation_defaults,
+)
+
+
+@pytest.fixture
+def params() -> SignalingParameters:
+    """The paper's single-hop (Kazaa) defaults."""
+    return kazaa_defaults()
+
+
+@pytest.fixture
+def multihop_params() -> MultiHopParameters:
+    """The paper's multi-hop (reservation) defaults, shrunk to 5 hops
+    so chain solves and simulations stay fast in unit tests."""
+    return reservation_defaults().replace(hops=5)
+
+
+@pytest.fixture
+def lossless_params() -> SignalingParameters:
+    """A loss-free channel: deterministic behavior for unit tests."""
+    return kazaa_defaults().replace(loss_rate=0.0)

@@ -1,0 +1,129 @@
+"""Tests for the parameter dataclasses and paper defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    MultiHopParameters,
+    SignalingParameters,
+    kazaa_defaults,
+    reservation_defaults,
+)
+
+
+class TestSignalingParameters:
+    def test_defaults_match_design_doc(self):
+        params = kazaa_defaults()
+        assert params.loss_rate == 0.02
+        assert params.delay == 0.03
+        assert params.update_rate == pytest.approx(1 / 20)
+        assert params.mean_session_length == pytest.approx(1800.0)
+        assert params.refresh_interval == 5.0
+        assert params.timeout_interval == 15.0
+        assert params.retransmission_interval == pytest.approx(0.12)
+        assert params.external_false_signal_rate == pytest.approx(1e-4)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("loss_rate", -0.1),
+            ("loss_rate", 1.0),
+            ("delay", 0.0),
+            ("refresh_interval", -1.0),
+            ("timeout_interval", 0.0),
+            ("retransmission_interval", 0.0),
+            ("update_rate", -1.0),
+            ("removal_rate", -0.5),
+            ("external_false_signal_rate", -1e-9),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SignalingParameters(**{field: value})
+
+    def test_false_removal_rate_formula(self):
+        params = SignalingParameters(
+            loss_rate=0.1, refresh_interval=5.0, timeout_interval=15.0
+        )
+        assert params.false_removal_rate == pytest.approx((0.1**3) / 15.0)
+
+    def test_false_removal_rate_zero_loss(self):
+        assert SignalingParameters(loss_rate=0.0).false_removal_rate == 0.0
+
+    def test_false_removal_rate_decreases_with_timeout(self):
+        short = SignalingParameters(timeout_interval=10.0)
+        long = SignalingParameters(timeout_interval=30.0)
+        assert long.false_removal_rate < short.false_removal_rate
+
+    def test_replace_returns_new_instance(self):
+        base = kazaa_defaults()
+        changed = base.replace(loss_rate=0.1)
+        assert changed.loss_rate == 0.1
+        assert base.loss_rate == 0.02
+
+    def test_with_coupled_timers(self):
+        params = kazaa_defaults().with_coupled_timers(8.0)
+        assert params.refresh_interval == 8.0
+        assert params.timeout_interval == 24.0
+
+    def test_with_coupled_timers_custom_multiple(self):
+        params = kazaa_defaults().with_coupled_timers(4.0, timeout_multiple=2.0)
+        assert params.timeout_interval == 8.0
+
+    def test_infinite_session_when_removal_rate_zero(self):
+        params = SignalingParameters(removal_rate=0.0)
+        assert params.mean_session_length == float("inf")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            kazaa_defaults().loss_rate = 0.5  # type: ignore[misc]
+
+
+class TestMultiHopParameters:
+    def test_defaults_match_design_doc(self):
+        params = reservation_defaults()
+        assert params.hops == 20
+        assert params.loss_rate == 0.02
+        assert params.delay == 0.03
+        assert params.update_rate == pytest.approx(1 / 60)
+        assert params.external_false_signal_rate == pytest.approx(0.02**3)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("hops", 0),
+            ("hops", -3),
+            ("loss_rate", 1.0),
+            ("delay", 0.0),
+            ("update_rate", 0.0),
+            ("refresh_interval", 0.0),
+            ("timeout_interval", -2.0),
+            ("retransmission_interval", 0.0),
+            ("external_false_signal_rate", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            MultiHopParameters(**{field: value})
+
+    def test_refresh_reach_probability(self):
+        params = MultiHopParameters(loss_rate=0.1, hops=5)
+        assert params.refresh_reach_probability(0) == 1.0
+        assert params.refresh_reach_probability(2) == pytest.approx(0.81)
+
+    def test_refresh_reach_probability_bounds(self):
+        params = MultiHopParameters(hops=5)
+        with pytest.raises(ValueError):
+            params.refresh_reach_probability(6)
+        with pytest.raises(ValueError):
+            params.refresh_reach_probability(-1)
+
+    def test_with_coupled_timers(self):
+        params = reservation_defaults().with_coupled_timers(2.0)
+        assert params.refresh_interval == 2.0
+        assert params.timeout_interval == 6.0
+
+    def test_replace(self):
+        params = reservation_defaults().replace(hops=3)
+        assert params.hops == 3

@@ -1,0 +1,55 @@
+"""Tests for the protocol capability flags (paper §II definitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import Protocol
+
+
+class TestCapabilityMatrix:
+    """Each protocol's mechanisms as described in §II."""
+
+    @pytest.mark.parametrize(
+        "protocol,refreshes,timeout,rel_trig,exp_rm,rel_rm,notify",
+        [
+            (Protocol.SS, True, True, False, False, False, False),
+            (Protocol.SS_ER, True, True, False, True, False, False),
+            (Protocol.SS_RT, True, True, True, False, False, True),
+            (Protocol.SS_RTR, True, True, True, True, True, True),
+            (Protocol.HS, False, False, True, True, True, True),
+        ],
+    )
+    def test_flags(self, protocol, refreshes, timeout, rel_trig, exp_rm, rel_rm, notify):
+        assert protocol.uses_refreshes is refreshes
+        assert protocol.uses_state_timeout is timeout
+        assert protocol.reliable_triggers is rel_trig
+        assert protocol.explicit_removal is exp_rm
+        assert protocol.reliable_removal is rel_rm
+        assert protocol.removal_notification is notify
+
+    def test_values_match_paper_names(self):
+        assert [p.value for p in Protocol] == ["SS", "SS+ER", "SS+RT", "SS+RTR", "HS"]
+
+    def test_soft_state_family(self):
+        family = Protocol.soft_state_family()
+        assert Protocol.HS not in family
+        assert len(family) == 4
+
+    def test_multihop_family(self):
+        assert Protocol.multihop_family() == (Protocol.SS, Protocol.SS_RT, Protocol.HS)
+
+    def test_reliable_removal_implies_explicit_removal(self):
+        for protocol in Protocol:
+            if protocol.reliable_removal:
+                assert protocol.explicit_removal
+
+    def test_reliable_removal_implies_reliable_triggers(self):
+        # The spectrum is ordered: removal reliability is only added on
+        # top of trigger reliability (SS+RTR, HS).
+        for protocol in Protocol:
+            if protocol.reliable_removal:
+                assert protocol.reliable_triggers
+
+    def test_lookup_by_value(self):
+        assert Protocol("SS+ER") is Protocol.SS_ER

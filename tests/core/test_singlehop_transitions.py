@@ -1,0 +1,144 @@
+"""Tests that the generated chain matches Table I, row by row."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop.states import SingleHopState as S
+from repro.core.singlehop.transitions import (
+    build_transition_rates,
+    effective_false_removal_rate,
+    state_space,
+)
+
+PARAMS = SignalingParameters(
+    loss_rate=0.1,
+    delay=0.05,
+    update_rate=0.02,
+    removal_rate=0.001,
+    refresh_interval=4.0,
+    timeout_interval=12.0,
+    retransmission_interval=0.5,
+    external_false_signal_rate=3e-4,
+)
+
+P = PARAMS.loss_rate
+D = PARAMS.delay
+R = PARAMS.refresh_interval
+T = PARAMS.timeout_interval
+K = PARAMS.retransmission_interval
+
+
+def rate(protocol, origin, destination):
+    return build_transition_rates(protocol, PARAMS).get((origin, destination), 0.0)
+
+
+class TestCommonRows:
+    """Rows 1-2 of Table I are identical across the five protocols."""
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_fast_path_loss(self, protocol):
+        assert rate(protocol, S.S10_FAST, S.S10_SLOW) == pytest.approx(P / D)
+        assert rate(protocol, S.IC_FAST, S.IC_SLOW) == pytest.approx(P / D)
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_fast_path_success(self, protocol):
+        assert rate(protocol, S.S10_FAST, S.CONSISTENT) == pytest.approx((1 - P) / D)
+        assert rate(protocol, S.IC_FAST, S.CONSISTENT) == pytest.approx((1 - P) / D)
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_update_transitions(self, protocol):
+        lam_u = PARAMS.update_rate
+        assert rate(protocol, S.CONSISTENT, S.IC_FAST) == pytest.approx(lam_u)
+        assert rate(protocol, S.S10_SLOW, S.S10_FAST) == pytest.approx(lam_u)
+        assert rate(protocol, S.IC_SLOW, S.IC_FAST) == pytest.approx(lam_u)
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_removal_transitions(self, protocol):
+        mu_r = PARAMS.removal_rate
+        assert rate(protocol, S.S10_SLOW, S.ABSORBED) == pytest.approx(mu_r)
+        assert rate(protocol, S.CONSISTENT, S.S01_FAST) == pytest.approx(mu_r)
+        assert rate(protocol, S.IC_SLOW, S.S01_FAST) == pytest.approx(mu_r)
+
+
+class TestRow3SlowPathRecovery:
+    def test_ss_and_ss_er_refresh_only(self):
+        for protocol in (Protocol.SS, Protocol.SS_ER):
+            assert rate(protocol, S.S10_SLOW, S.CONSISTENT) == pytest.approx((1 - P) / R)
+            assert rate(protocol, S.IC_SLOW, S.CONSISTENT) == pytest.approx((1 - P) / R)
+
+    def test_reliable_trigger_adds_retransmission(self):
+        expected = (1.0 / R + 1.0 / K) * (1 - P)
+        for protocol in (Protocol.SS_RT, Protocol.SS_RTR):
+            assert rate(protocol, S.S10_SLOW, S.CONSISTENT) == pytest.approx(expected)
+
+    def test_hs_retransmission_only(self):
+        assert rate(Protocol.HS, S.S10_SLOW, S.CONSISTENT) == pytest.approx((1 - P) / K)
+
+
+class TestRows4to6OrphanRemoval:
+    def test_row4_removal_loss(self):
+        for protocol in (Protocol.SS_ER, Protocol.SS_RTR, Protocol.HS):
+            assert rate(protocol, S.S01_FAST, S.S01_SLOW) == pytest.approx(P / D)
+        for protocol in (Protocol.SS, Protocol.SS_RT):
+            assert rate(protocol, S.S01_FAST, S.S01_SLOW) == 0.0
+
+    def test_row5_first_chance_removal(self):
+        for protocol in (Protocol.SS, Protocol.SS_RT):
+            assert rate(protocol, S.S01_FAST, S.ABSORBED) == pytest.approx(1.0 / T)
+        for protocol in (Protocol.SS_ER, Protocol.SS_RTR, Protocol.HS):
+            assert rate(protocol, S.S01_FAST, S.ABSORBED) == pytest.approx((1 - P) / D)
+
+    def test_row6_lost_removal_recovery(self):
+        assert rate(Protocol.SS_ER, S.S01_SLOW, S.ABSORBED) == pytest.approx(1.0 / T)
+        assert rate(Protocol.SS_RTR, S.S01_SLOW, S.ABSORBED) == pytest.approx(
+            1.0 / T + (1 - P) / K
+        )
+        assert rate(Protocol.HS, S.S01_SLOW, S.ABSORBED) == pytest.approx((1 - P) / K)
+
+
+class TestFalseRemoval:
+    def test_soft_state_rate(self):
+        expected = (P ** (T / R)) / T
+        for protocol in Protocol.soft_state_family():
+            assert effective_false_removal_rate(protocol, PARAMS) == pytest.approx(expected)
+            assert rate(protocol, S.CONSISTENT, S.S10_SLOW) == pytest.approx(expected)
+            assert rate(protocol, S.IC_SLOW, S.S10_SLOW) == pytest.approx(expected)
+
+    def test_hs_uses_external_rate(self):
+        assert effective_false_removal_rate(Protocol.HS, PARAMS) == pytest.approx(3e-4)
+        assert rate(Protocol.HS, S.CONSISTENT, S.S10_SLOW) == pytest.approx(3e-4)
+
+
+class TestStateSpace:
+    def test_s01_slow_only_with_explicit_removal(self):
+        for protocol in Protocol:
+            has_slow = S.S01_SLOW in state_space(protocol)
+            assert has_slow == protocol.explicit_removal
+
+    def test_eight_or_seven_states(self):
+        assert len(state_space(Protocol.SS)) == 7
+        assert len(state_space(Protocol.SS_ER)) == 8
+
+    def test_no_transition_references_missing_state(self):
+        for protocol in Protocol:
+            states = set(state_space(protocol))
+            for origin, destination in build_transition_rates(protocol, PARAMS):
+                assert origin in states
+                assert destination in states
+
+    def test_serialization_no_removal_from_fast_states(self):
+        """Events are serialized: no removal while a message is in flight."""
+        for protocol in Protocol:
+            rates = build_transition_rates(protocol, PARAMS)
+            assert (S.S10_FAST, S.S01_FAST) not in rates
+            assert (S.IC_FAST, S.S01_FAST) not in rates
+            assert (S.S10_FAST, S.ABSORBED) not in rates
+
+    def test_no_update_from_consistent_fast_path(self):
+        """The model serializes updates too: no IC1 -> (1,0)1 style jumps."""
+        for protocol in Protocol:
+            rates = build_transition_rates(protocol, PARAMS)
+            assert (S.IC_FAST, S.S10_FAST) not in rates

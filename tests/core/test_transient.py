@@ -1,0 +1,118 @@
+"""Tests for the transient (time-dependent) analysis extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.markov import ContinuousTimeMarkovChain
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.core.transient import (
+    consistency_probability,
+    time_to_consistency,
+    transient_distribution,
+)
+
+
+class TestTransientDistribution:
+    def test_time_zero_is_start_state(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        [dist] = transient_distribution(chain, "a", [0.0])
+        assert dist["a"] == pytest.approx(1.0)
+        assert dist["b"] == pytest.approx(0.0)
+
+    def test_exponential_decay_known_solution(self):
+        # a -> b at rate 2: P(a at t) = exp(-2t).
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 2.0})
+        [dist] = transient_distribution(chain, "a", [0.5])
+        assert dist["a"] == pytest.approx(math.exp(-1.0), rel=1e-6)
+        assert dist["b"] == pytest.approx(1 - math.exp(-1.0), rel=1e-6)
+
+    def test_distribution_sums_to_one(self):
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b", "c"], {("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "a"): 0.5}
+        )
+        for dist in transient_distribution(chain, "a", [0.1, 1.0, 10.0]):
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_long_time_approaches_stationary(self):
+        chain = ContinuousTimeMarkovChain(
+            ["on", "off"], {("on", "off"): 3.0, ("off", "on"): 2.0}
+        )
+        [dist] = transient_distribution(chain, "on", [1000.0])
+        stationary = chain.stationary_distribution()
+        assert dist["on"] == pytest.approx(stationary["on"], abs=1e-9)
+
+    def test_negative_time_rejected(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        with pytest.raises(ValueError):
+            transient_distribution(chain, "a", [-1.0])
+
+    def test_unknown_start_rejected(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        with pytest.raises(ValueError):
+            transient_distribution(chain, "zzz", [1.0])
+
+
+class TestConsistencyProbability:
+    def test_starts_at_zero(self, params):
+        model = SingleHopModel(Protocol.SS, params)
+        [p0] = consistency_probability(model, [0.0])
+        assert p0 == pytest.approx(0.0)
+
+    def test_rises_past_channel_delay(self, params):
+        model = SingleHopModel(Protocol.SS, params)
+        probabilities = consistency_probability(
+            model, [params.delay / 10, params.delay, 5 * params.delay]
+        )
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_matches_exponential_delay_race_at_2_delta(self, params):
+        # The model's delay is exponential, so at t = 2*Delta:
+        # P ~ (1 - p_l) * (1 - e^-2), not the deterministic (1 - p_l).
+        model = SingleHopModel(Protocol.SS, params)
+        [p] = consistency_probability(model, [2 * params.delay])
+        expected = (1 - params.loss_rate) * (1 - math.exp(-2.0))
+        assert p == pytest.approx(expected, abs=0.02)
+
+    def test_approaches_one_minus_loss_by_10_delta(self, params):
+        # Once the delay race has resolved, one trigger attempt has
+        # succeeded with probability ~ 1 - p_l.
+        model = SingleHopModel(Protocol.SS, params)
+        [p] = consistency_probability(model, [10 * params.delay])
+        assert p == pytest.approx(1 - params.loss_rate, abs=0.015)
+
+    def test_reliable_triggers_converge_faster_under_loss(self):
+        from repro.core.parameters import kazaa_defaults
+
+        lossy = kazaa_defaults().replace(loss_rate=0.3)
+        t_probe = 4 * lossy.retransmission_interval
+        ss = consistency_probability(SingleHopModel(Protocol.SS, lossy), [t_probe])[0]
+        rt = consistency_probability(SingleHopModel(Protocol.SS_RT, lossy), [t_probe])[0]
+        assert rt > ss
+
+
+class TestTimeToConsistency:
+    def test_within_one_delay_for_modest_target(self, params):
+        model = SingleHopModel(Protocol.SS, params)
+        t90 = time_to_consistency(model, target=0.9)
+        assert params.delay * 0.5 <= t90 <= params.delay * 3
+
+    def test_tighter_target_takes_longer(self, params):
+        model = SingleHopModel(Protocol.SS_RT, params)
+        t90 = time_to_consistency(model, target=0.90)
+        t97 = time_to_consistency(model, target=0.97)
+        assert t97 >= t90
+
+    def test_unreachable_target_returns_inf(self, params):
+        # Updates and removals keep P(consistent) strictly below ~1;
+        # 0.9999 is unattainable at the Kazaa defaults.
+        model = SingleHopModel(Protocol.SS, params)
+        assert time_to_consistency(model, target=0.9999) == float("inf")
+
+    def test_invalid_target_rejected(self, params):
+        model = SingleHopModel(Protocol.SS, params)
+        with pytest.raises(ValueError):
+            time_to_consistency(model, target=1.5)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_accepts_flags(self):
+        args = build_parser().parse_args(["run", "fig4", "--fast"])
+        assert args.experiment == "fig4"
+        assert args.fast
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(experiment_ids())
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "SS+RTR" in out
+
+    def test_run_fast_figure(self, capsys):
+        assert main(["run", "fig5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "loss rate" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "fig5.txt"
+        assert main(["run", "fig5", "--fast", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "loss rate" in target.read_text()
+
+    def test_claims_command(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "explicit removal" in out

@@ -1,0 +1,90 @@
+"""Tests for the sweep helpers and simulation support utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import kazaa_defaults, reservation_defaults
+from repro.core.protocols import Protocol
+from repro.experiments.common import (
+    multihop_metric_series,
+    parametric_singlehop_series,
+    singlehop_metric_series,
+)
+from repro.experiments.simsupport import (
+    sessions_for_length,
+    simulate_singlehop_point,
+)
+
+
+class TestSingleHopSweep:
+    def test_one_series_per_protocol(self):
+        base = kazaa_defaults()
+        series = singlehop_metric_series(
+            (100.0, 1000.0),
+            lambda session: base.replace(removal_rate=1.0 / session),
+            lambda sol: sol.inconsistency_ratio,
+        )
+        assert [s.label for s in series] == [p.value for p in Protocol]
+        assert all(len(s.y) == 2 for s in series)
+
+    def test_protocol_subset(self):
+        base = kazaa_defaults()
+        series = singlehop_metric_series(
+            (100.0,),
+            lambda session: base.replace(removal_rate=1.0 / session),
+            lambda sol: sol.inconsistency_ratio,
+            protocols=(Protocol.SS, Protocol.HS),
+        )
+        assert [s.label for s in series] == ["SS", "HS"]
+
+
+class TestParametricSweep:
+    def test_points_sorted_by_x_metric(self):
+        base = kazaa_defaults()
+        series = parametric_singlehop_series(
+            (1.0, 10.0, 100.0),
+            lambda r: base.with_coupled_timers(r),
+            x_metric=lambda sol: sol.inconsistency_ratio,
+            y_metric=lambda sol: sol.normalized_message_rate,
+            protocols=(Protocol.SS,),
+        )
+        xs = series[0].x
+        assert xs == tuple(sorted(xs))
+
+
+class TestMultiHopSweep:
+    def test_multihop_series(self):
+        base = reservation_defaults()
+        series = multihop_metric_series(
+            (2.0, 4.0),
+            lambda n: base.replace(hops=int(n)),
+            lambda sol: sol.inconsistency_ratio,
+        )
+        assert [s.label for s in series] == [p.value for p in Protocol.multihop_family()]
+
+
+class TestSimSupport:
+    def test_sessions_budget_split(self):
+        assert sessions_for_length(100.0, 10_000.0) == 100
+        assert sessions_for_length(1.0, 10_000.0) == 600  # capped high
+        assert sessions_for_length(1e6, 10_000.0) == 20  # capped low
+
+    def test_sessions_validation(self):
+        with pytest.raises(ValueError):
+            sessions_for_length(0.0, 100.0)
+        with pytest.raises(ValueError):
+            sessions_for_length(10.0, 0.0)
+
+    def test_simulate_point_reports_cis(self):
+        point = simulate_singlehop_point(
+            Protocol.SS_ER,
+            kazaa_defaults(),
+            sessions=30,
+            replications=3,
+            seed=5,
+        )
+        assert 0.0 <= point.inconsistency <= 1.0
+        assert point.inconsistency_err >= 0.0
+        assert point.message_rate > 0.0
+        assert point.message_rate_err >= 0.0

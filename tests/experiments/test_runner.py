@@ -1,0 +1,141 @@
+"""Tests for the experiment framework itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import experiment_ids, registry, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    Panel,
+    Series,
+    geometric_sweep,
+    linear_sweep,
+)
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1.0, 2.0), (1.0,))
+
+    def test_error_bar_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1.0,), (1.0,), (0.1, 0.2))
+
+    def test_from_points(self):
+        series = Series.from_points("x", [(1.0, 10.0), (2.0, 20.0)])
+        assert series.x == (1.0, 2.0)
+        assert series.y == (10.0, 20.0)
+
+    def test_value_at(self):
+        series = Series("x", (1.0, 2.0), (10.0, 20.0))
+        assert series.value_at(2.0) == 20.0
+        with pytest.raises(KeyError):
+            series.value_at(3.0)
+
+
+class TestPanel:
+    def make_panel(self):
+        return Panel(
+            name="p",
+            x_label="x",
+            y_label="y",
+            series=(Series("a", (1.0,), (1.0,)), Series("b", (1.0,), (2.0,))),
+        )
+
+    def test_series_by_label(self):
+        panel = self.make_panel()
+        assert panel.series_by_label("b").y == (2.0,)
+        with pytest.raises(KeyError):
+            panel.series_by_label("zzz")
+
+    def test_labels(self):
+        assert self.make_panel().labels() == ("a", "b")
+
+
+class TestExperimentResult:
+    def make_result(self):
+        panel = Panel(
+            name="main",
+            x_label="x",
+            y_label="y",
+            series=(Series("a", (1.0, 2.0), (0.5, 0.25)),),
+        )
+        return ExperimentResult("test", "a test", (panel,), ("a note",))
+
+    def test_panel_lookup(self):
+        result = self.make_result()
+        assert result.panel("main").name == "main"
+        with pytest.raises(KeyError):
+            result.panel("missing")
+
+    def test_to_text_contains_everything(self):
+        text = self.make_result().to_text()
+        assert "test" in text
+        assert "a note" in text
+        assert "0.5" in text
+        assert "a" in text
+
+    def test_to_text_renders_error_bars(self):
+        panel = Panel(
+            name="m",
+            x_label="x",
+            y_label="y",
+            series=(Series("s", (1.0,), (0.5,), (0.01,)),),
+        )
+        text = ExperimentResult("e", "t", (panel,)).to_text()
+        assert "±" in text
+
+
+class TestSweeps:
+    def test_geometric_endpoints(self):
+        sweep = geometric_sweep(1.0, 100.0, 3)
+        assert sweep[0] == pytest.approx(1.0)
+        assert sweep[1] == pytest.approx(10.0)
+        assert sweep[2] == pytest.approx(100.0)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0.0, 10.0, 3)
+        with pytest.raises(ValueError):
+            geometric_sweep(10.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            geometric_sweep(1.0, 10.0, 1)
+
+    def test_linear_endpoints(self):
+        sweep = linear_sweep(0.0, 1.0, 5)
+        assert sweep == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            linear_sweep(1.0, 0.0, 3)
+
+
+class TestRegistry:
+    EXPECTED = {
+        "table1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig17",
+        "fig18",
+        "fig19",
+    }
+
+    def test_every_paper_artifact_registered(self):
+        assert set(experiment_ids()) == self.EXPECTED
+
+    def test_registry_returns_callables(self):
+        for run in registry().values():
+            assert callable(run)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

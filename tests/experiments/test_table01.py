@@ -1,0 +1,77 @@
+"""Tests that the generated Table I matches the paper's closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.experiments.table01 import ROW_LABELS, transition_table
+
+PARAMS = SignalingParameters(
+    loss_rate=0.05,
+    delay=0.04,
+    refresh_interval=6.0,
+    timeout_interval=18.0,
+    retransmission_interval=0.2,
+    external_false_signal_rate=2e-4,
+)
+
+P, D = PARAMS.loss_rate, PARAMS.delay
+R, T, K = (
+    PARAMS.refresh_interval,
+    PARAMS.timeout_interval,
+    PARAMS.retransmission_interval,
+)
+
+#: Table I as printed in the paper, evaluated at PARAMS.
+EXPECTED = {
+    Protocol.SS: [P / D, (1 - P) / D, (1 - P) / R, 0.0, 1 / T, 0.0, (P ** (T / R)) / T],
+    Protocol.SS_ER: [
+        P / D,
+        (1 - P) / D,
+        (1 - P) / R,
+        P / D,
+        (1 - P) / D,
+        1 / T,
+        (P ** (T / R)) / T,
+    ],
+    Protocol.SS_RT: [
+        P / D,
+        (1 - P) / D,
+        (1 / R + 1 / K) * (1 - P),
+        0.0,
+        1 / T,
+        0.0,
+        (P ** (T / R)) / T,
+    ],
+    Protocol.SS_RTR: [
+        P / D,
+        (1 - P) / D,
+        (1 / R + 1 / K) * (1 - P),
+        P / D,
+        (1 - P) / D,
+        1 / T + (1 - P) / K,
+        (P ** (T / R)) / T,
+    ],
+    Protocol.HS: [
+        P / D,
+        (1 - P) / D,
+        (1 - P) / K,
+        P / D,
+        (1 - P) / D,
+        (1 - P) / K,
+        2e-4,
+    ],
+}
+
+
+@pytest.mark.parametrize("protocol", list(Protocol))
+def test_column_matches_paper(protocol):
+    table = transition_table(PARAMS)
+    for label, expected in zip(ROW_LABELS, EXPECTED[protocol]):
+        assert table[protocol][label] == pytest.approx(expected), (protocol, label)
+
+
+def test_row_count_matches_table1():
+    assert len(ROW_LABELS) == 7

@@ -1,0 +1,253 @@
+"""Unit tests for chain sender and relay nodes over scripted pipes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import Protocol
+from repro.multihop.nodes import ChainSender, RelayNode
+from repro.protocols.messages import Message, MessageKind
+from repro.sim.engine import Environment
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+
+R, T, K, DELAY = 5.0, 15.0, 0.5, 0.03
+
+
+class NodeHarness:
+    """One relay wired to inspectable upstream/downstream sinks."""
+
+    def __init__(self, protocol: Protocol, is_last=False, drop_down: int = 0):
+        self.env = Environment()
+        streams = RandomStreams(2)
+        self.down: list[Message] = []
+        self.up: list[Message] = []
+        self._drop_down = drop_down
+
+        def timer(mean, key):
+            return Timer(mean, TimerDiscipline.DETERMINISTIC, streams.stream(key))
+
+        def downstream(message: Message) -> None:
+            self.down.append(message)
+
+        self.node = RelayNode(
+            self.env,
+            protocol,
+            index=1,
+            is_last=is_last,
+            timeout_timer=timer(T, "t"),
+            retransmission_timer=timer(K, "k"),
+            transmit_downstream=None if is_last else downstream,
+            transmit_upstream=self.up.append,
+        )
+
+    def deliver(self, message: Message) -> None:
+        self.node.on_message_from_upstream(message)
+
+
+class TestRelayForwarding:
+    def test_trigger_installed_and_forwarded(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        assert harness.node.value == 1
+        assert [m.kind for m in harness.down] == [MessageKind.TRIGGER]
+
+    def test_refresh_forwarded_best_effort(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.deliver(Message(MessageKind.REFRESH, 1, 1))
+        kinds = [m.kind for m in harness.down]
+        assert kinds == [MessageKind.TRIGGER, MessageKind.REFRESH]
+
+    def test_last_node_does_not_forward(self):
+        harness = NodeHarness(Protocol.SS, is_last=True)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        assert harness.node.value == 1
+        assert harness.down == []
+
+    def test_stale_message_ignored(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 5, 5))
+        harness.deliver(Message(MessageKind.REFRESH, 3, 3))
+        assert harness.node.value == 5
+        assert len(harness.down) == 1  # stale refresh not forwarded
+
+    def test_wiring_validation(self):
+        env = Environment()
+        streams = RandomStreams(3)
+        timer = Timer(1.0, TimerDiscipline.DETERMINISTIC, streams.stream("x"))
+        with pytest.raises(ValueError):
+            RelayNode(
+                env,
+                Protocol.SS,
+                index=1,
+                is_last=True,
+                timeout_timer=timer,
+                retransmission_timer=timer,
+                transmit_downstream=lambda m: None,  # last node with downstream
+                transmit_upstream=lambda m: None,
+            )
+
+
+class TestRelayTimeout:
+    def test_state_expires_without_refreshes(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.env.run(until=T + 1e-6)
+        assert harness.node.value is None
+        assert harness.node.timeout_removals == 1
+
+    def test_refresh_restarts_timeout(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+
+        def refresher(env):
+            while True:
+                yield env.timeout(R)
+                harness.deliver(Message(MessageKind.REFRESH, 1, 1))
+
+        harness.env.process(refresher(harness.env))
+        harness.env.run(until=4 * T)
+        assert harness.node.value == 1
+
+    def test_ss_rt_timeout_notifies_upstream(self):
+        harness = NodeHarness(Protocol.SS_RT)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.env.run(until=T + 1e-6)
+        assert MessageKind.NOTIFY in [m.kind for m in harness.up]
+
+    def test_ss_timeout_does_not_notify(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.env.run(until=T + 1e-6)
+        assert MessageKind.NOTIFY not in [m.kind for m in harness.up]
+
+    def test_hs_never_times_out(self):
+        harness = NodeHarness(Protocol.HS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.env.run(until=100 * T)
+        assert harness.node.value == 1
+
+
+class TestHopReliability:
+    def test_trigger_acked_upstream(self):
+        harness = NodeHarness(Protocol.SS_RT)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        assert [m.kind for m in harness.up] == [MessageKind.ACK]
+
+    def test_ss_does_not_ack(self):
+        harness = NodeHarness(Protocol.SS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        assert harness.up == []
+
+    def test_unacked_forward_retransmitted(self):
+        harness = NodeHarness(Protocol.SS_RT)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.env.run(until=2 * K + 1e-6)
+        triggers = [m for m in harness.down if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 3  # original + 2 retransmissions
+        assert triggers[1].retransmission
+
+    def test_downstream_ack_stops_retransmission(self):
+        harness = NodeHarness(Protocol.SS_RT)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.node.on_message_from_downstream(Message(MessageKind.ACK, 1))
+        harness.env.run(until=10 * K)
+        triggers = [m for m in harness.down if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 1
+
+    def test_hop_notify_reinstalls_neighbor(self):
+        harness = NodeHarness(Protocol.SS_RT)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.node.on_message_from_downstream(Message(MessageKind.ACK, 1))
+        before = len([m for m in harness.down if m.kind is MessageKind.TRIGGER])
+        harness.node.on_message_from_downstream(Message(MessageKind.NOTIFY, 1))
+        after = len([m for m in harness.down if m.kind is MessageKind.TRIGGER])
+        assert after == before + 1
+
+
+class TestHsFailureFlood:
+    def test_false_remove_floods_both_directions(self):
+        harness = NodeHarness(Protocol.HS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.node.on_message_from_downstream(Message(MessageKind.ACK, 1))
+        harness.node.false_remove()
+        assert harness.node.value is None
+        assert MessageKind.NOTIFY in [m.kind for m in harness.up]
+        assert MessageKind.REMOVAL in [m.kind for m in harness.down]
+
+    def test_notify_purges_and_propagates_upstream(self):
+        harness = NodeHarness(Protocol.HS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.node.on_message_from_downstream(Message(MessageKind.NOTIFY, 1))
+        assert harness.node.value is None
+        assert MessageKind.NOTIFY in [m.kind for m in harness.up]
+
+    def test_removal_flood_purges_and_propagates_downstream(self):
+        harness = NodeHarness(Protocol.HS)
+        harness.deliver(Message(MessageKind.TRIGGER, 1, 1))
+        harness.node.on_message_from_upstream(Message(MessageKind.REMOVAL, 1))
+        assert harness.node.value is None
+        assert MessageKind.REMOVAL in [m.kind for m in harness.down]
+
+
+class TestChainSender:
+    def make_sender(self, protocol):
+        env = Environment()
+        streams = RandomStreams(4)
+        sent: list[Message] = []
+        sender = ChainSender(
+            env,
+            protocol,
+            refresh_timer=Timer(R, TimerDiscipline.DETERMINISTIC, streams.stream("r")),
+            retransmission_timer=Timer(
+                K, TimerDiscipline.DETERMINISTIC, streams.stream("k")
+            ),
+            transmit_downstream=sent.append,
+        )
+        return env, sender, sent
+
+    def test_start_sends_initial_trigger(self):
+        env, sender, sent = self.make_sender(Protocol.SS)
+        sender.start()
+        assert [m.kind for m in sent] == [MessageKind.TRIGGER]
+
+    def test_double_start_rejected(self):
+        env, sender, sent = self.make_sender(Protocol.SS)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+    def test_refreshes_flow(self):
+        env, sender, sent = self.make_sender(Protocol.SS)
+        sender.start()
+        env.run(until=3 * R + 1e-6)
+        refreshes = [m for m in sent if m.kind is MessageKind.REFRESH]
+        assert len(refreshes) == 3
+
+    def test_update_bumps_version(self):
+        env, sender, sent = self.make_sender(Protocol.SS)
+        sender.start()
+        sender.update()
+        assert sender.version == 2
+        triggers = [m for m in sent if m.kind is MessageKind.TRIGGER]
+        assert triggers[-1].version == 2
+
+    def test_hs_retransmits_until_acked(self):
+        env, sender, sent = self.make_sender(Protocol.HS)
+        sender.start()
+        env.run(until=K + 1e-6)
+        triggers = [m for m in sent if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 2
+        sender.on_message(Message(MessageKind.ACK, 1))
+        env.run(until=10 * K)
+        triggers = [m for m in sent if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 2
+
+    def test_notify_re_triggers(self):
+        env, sender, sent = self.make_sender(Protocol.HS)
+        sender.start()
+        sender.on_message(Message(MessageKind.ACK, 1))
+        before = len([m for m in sent if m.kind is MessageKind.TRIGGER])
+        sender.on_message(Message(MessageKind.NOTIFY, 1))
+        after = len([m for m in sent if m.kind is MessageKind.TRIGGER])
+        assert after == before + 1

@@ -1,0 +1,99 @@
+"""Tests for the heartbeat failure-detector substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.heartbeat import (
+    HeartbeatMonitor,
+    build_heartbeat_pair,
+    false_positive_rate,
+)
+from repro.sim.engine import Environment
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+
+
+def make_pair(loss=0.0, interval=1.0, miss_threshold=2, seed=1, detections=None):
+    env = Environment()
+    streams = RandomStreams(seed)
+    detections = detections if detections is not None else []
+    emitter, monitor = build_heartbeat_pair(
+        env,
+        loss_rate=loss,
+        delay=0.01,
+        interval=interval,
+        miss_threshold=miss_threshold,
+        interval_timer=Timer(interval, TimerDiscipline.DETERMINISTIC, streams.stream("hb")),
+        rng=streams.stream("chan"),
+        on_failure=lambda: detections.append(env.now),
+    )
+    return env, emitter, monitor, detections
+
+
+class TestFalsePositiveFormula:
+    def test_formula(self):
+        assert false_positive_rate(0.1, 2.0, 3) == pytest.approx((0.1**3) / 2.0)
+
+    def test_zero_loss_never_false(self):
+        assert false_positive_rate(0.0, 1.0, 2) == 0.0
+
+    @pytest.mark.parametrize(
+        "loss,interval,threshold",
+        [(-0.1, 1.0, 1), (1.0, 1.0, 1), (0.1, 0.0, 1), (0.1, 1.0, 0)],
+    )
+    def test_validation(self, loss, interval, threshold):
+        with pytest.raises(ValueError):
+            false_positive_rate(loss, interval, threshold)
+
+
+class TestDetection:
+    def test_healthy_emitter_no_alarms(self):
+        env, _, monitor, detections = make_pair(loss=0.0)
+        env.run(until=1000.0)
+        assert detections == []
+        assert monitor.detections == 0
+
+    def test_crash_detected_within_deadline(self):
+        env, emitter, monitor, detections = make_pair(loss=0.0, miss_threshold=2)
+        env.run(until=10.0)
+        emitter.crash()
+        env.run(until=10.0 + 2.5 * 1.0 + 1.0)
+        assert len(detections) == 1
+        # Detection within the deadline window after the last heartbeat.
+        assert detections[0] <= 10.0 + 2.5 + 1.0
+
+    def test_stop_silences_monitor(self):
+        env, emitter, monitor, detections = make_pair(loss=0.0)
+        env.run(until=5.0)
+        emitter.crash()
+        monitor.stop()
+        env.run(until=100.0)
+        assert detections == []
+
+    def test_measured_false_alarm_rate_matches_prediction(self):
+        env, _, monitor, _ = make_pair(loss=0.08, miss_threshold=2, seed=12)
+        horizon = 300_000.0
+        env.run(until=horizon)
+        measured = monitor.detections / horizon
+        predicted = false_positive_rate(0.08, 1.0, 2)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_higher_threshold_fewer_false_alarms(self):
+        rates = {}
+        for threshold in (1, 2):
+            env, _, monitor, _ = make_pair(loss=0.1, miss_threshold=threshold, seed=9)
+            env.run(until=100_000.0)
+            rates[threshold] = monitor.detections
+        assert rates[2] < rates[1]
+
+    def test_invalid_monitor_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(env, interval=0.0, miss_threshold=1, on_failure=lambda: None)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(env, interval=1.0, miss_threshold=0, on_failure=lambda: None)
+
+    def test_emitter_counts_heartbeats(self):
+        env, emitter, _, _ = make_pair(loss=0.0)
+        env.run(until=10.5)
+        assert emitter.heartbeats_sent == 10

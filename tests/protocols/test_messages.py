@@ -1,0 +1,41 @@
+"""Tests for the signaling message vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.messages import Message, MessageKind
+
+
+class TestMessage:
+    def test_trigger_carries_state(self):
+        message = Message(MessageKind.TRIGGER, version=1, value=1)
+        assert message.carries_state
+
+    def test_refresh_carries_state(self):
+        assert Message(MessageKind.REFRESH, version=2, value=2).carries_state
+
+    @pytest.mark.parametrize(
+        "kind",
+        [MessageKind.REMOVAL, MessageKind.ACK, MessageKind.REMOVAL_ACK, MessageKind.NOTIFY],
+    )
+    def test_control_messages_do_not_carry_state(self, kind):
+        assert not Message(kind, version=1).carries_state
+
+    @pytest.mark.parametrize("kind", [MessageKind.TRIGGER, MessageKind.REFRESH])
+    def test_state_messages_require_value(self, kind):
+        with pytest.raises(ValueError):
+            Message(kind, version=1, value=None)
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.ACK, version=-1)
+
+    def test_frozen(self):
+        message = Message(MessageKind.ACK, version=1)
+        with pytest.raises(AttributeError):
+            message.version = 2  # type: ignore[misc]
+
+    def test_retransmission_flag_defaults_false(self):
+        assert not Message(MessageKind.ACK, version=1).retransmission
+        assert Message(MessageKind.ACK, version=1, retransmission=True).retransmission

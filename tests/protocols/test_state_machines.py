@@ -1,0 +1,306 @@
+"""Unit tests for the sender/receiver state machines over ideal channels.
+
+These tests wire the sender and receiver through hand-made transports
+(synchronous or scripted) so each protocol mechanism can be exercised
+deterministically: install/update propagation, soft-state timeout,
+explicit removal, ACK-driven retransmission, and notification recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SignalingParameters
+from repro.core.protocols import Protocol
+from repro.protocols.messages import Message, MessageKind
+from repro.protocols.receiver import SignalingReceiver
+from repro.protocols.sender import SignalingSender
+from repro.sim.engine import Environment
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+
+PARAMS = SignalingParameters()
+
+
+class Harness:
+    """Sender and receiver joined by scriptable unidirectional pipes."""
+
+    def __init__(self, protocol: Protocol, drop_forward: int = 0) -> None:
+        self.env = Environment()
+        self.protocol = protocol
+        streams = RandomStreams(1)
+        self.forward_log: list[Message] = []
+        self.reverse_log: list[Message] = []
+        self._drop_forward = drop_forward
+
+        def timer(mean: float, key: str) -> Timer:
+            return Timer(mean, TimerDiscipline.DETERMINISTIC, streams.stream(key))
+
+        delay = PARAMS.delay
+
+        def forward(message: Message) -> None:
+            self.forward_log.append(message)
+            if self._drop_forward > 0:
+                self._drop_forward -= 1
+                return
+            event = self.env.timeout(delay)
+            event.callbacks.append(lambda _e: self.receiver.on_message(message))
+
+        def reverse(message: Message) -> None:
+            self.reverse_log.append(message)
+            event = self.env.timeout(delay)
+            event.callbacks.append(lambda _e: self.sender.on_message(message))
+
+        self.sender = SignalingSender(
+            self.env,
+            protocol,
+            PARAMS,
+            refresh_timer=timer(PARAMS.refresh_interval, "refresh"),
+            retransmission_timer=timer(PARAMS.retransmission_interval, "retx"),
+            transmit=forward,
+        )
+        self.receiver = SignalingReceiver(
+            self.env,
+            protocol,
+            timeout_timer=timer(PARAMS.timeout_interval, "timeout"),
+            transmit=reverse,
+        )
+
+    def forward_kinds(self) -> list[MessageKind]:
+        return [m.kind for m in self.forward_log]
+
+    def reverse_kinds(self) -> list[MessageKind]:
+        return [m.kind for m in self.reverse_log]
+
+
+class TestInstallAndUpdate:
+    def test_install_reaches_receiver_after_delay(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        assert harness.receiver.value is None
+        harness.env.run(until=PARAMS.delay + 1e-9)
+        assert harness.receiver.value == harness.sender.value == 1
+
+    def test_update_bumps_version_and_propagates(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.sender.update()
+        assert harness.sender.value == 2
+        harness.env.run(until=1.0 + PARAMS.delay + 1e-9)
+        assert harness.receiver.value == 2
+
+    def test_update_without_state_rejected(self):
+        harness = Harness(Protocol.SS)
+        with pytest.raises(RuntimeError):
+            harness.sender.update()
+
+    def test_refreshes_flow_periodically(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=3 * PARAMS.refresh_interval + 1.0)
+        refreshes = [m for m in harness.forward_log if m.kind is MessageKind.REFRESH]
+        assert len(refreshes) == 3
+
+    def test_hs_sends_no_refreshes(self):
+        harness = Harness(Protocol.HS)
+        harness.sender.install()
+        harness.env.run(until=10 * PARAMS.refresh_interval)
+        assert MessageKind.REFRESH not in harness.forward_kinds()
+
+    def test_stale_state_message_ignored(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.receiver.on_message(Message(MessageKind.REFRESH, version=0, value=99))
+        assert harness.receiver.value == 1
+
+
+class TestSoftStateTimeout:
+    def test_receiver_state_expires_without_refreshes(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.sender.remove()
+        harness.env.run(until=1.0 + PARAMS.timeout_interval + 1e-6)
+        assert harness.receiver.value is None
+        assert harness.receiver.timeout_removals == 1
+
+    def test_refreshes_keep_state_alive(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=10 * PARAMS.timeout_interval)
+        assert harness.receiver.value is not None
+        assert harness.receiver.timeout_removals == 0
+
+    def test_hs_receiver_never_times_out(self):
+        harness = Harness(Protocol.HS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        # Silence the sender entirely; HS state must persist.
+        harness.sender.remove()  # HS sends explicit removal...
+        harness2 = Harness(Protocol.HS)
+        harness2.sender.install()
+        harness2.env.run(until=100 * PARAMS.timeout_interval)
+        assert harness2.receiver.value is not None
+
+    def test_ss_rt_timeout_sends_notify_and_sender_recovers(self):
+        harness = Harness(Protocol.SS_RT, drop_forward=100_000)
+        harness.sender.install()
+        # All forward messages dropped: the receiver never installs, so
+        # no timeout fires (nothing to expire) — instead check NOTIFY on
+        # a receiver that had state and lost it.
+        harness2 = Harness(Protocol.SS_RT)
+        harness2.sender.install()
+        harness2.env.run(until=1.0)
+        harness2.receiver._timeout_proc.interrupt("test")  # silence timer
+        harness2.receiver._timeout_proc = None
+        # Simulate a timeout removal directly:
+        harness2.receiver.value = None
+        harness2.receiver._on_value_change()
+        harness2.receiver._transmit(Message(MessageKind.NOTIFY, harness2.receiver.version))
+        before = harness2.forward_kinds().count(MessageKind.TRIGGER)
+        harness2.env.run(until=1.0 + PARAMS.delay + 1e-6)
+        after = harness2.forward_kinds().count(MessageKind.TRIGGER)
+        assert after == before + 1  # sender re-triggered
+
+
+class TestExplicitRemoval:
+    def test_ss_er_removal_message_clears_receiver(self):
+        harness = Harness(Protocol.SS_ER)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.sender.remove()
+        harness.env.run(until=1.0 + PARAMS.delay + 1e-9)
+        assert harness.receiver.value is None
+        assert MessageKind.REMOVAL in harness.forward_kinds()
+        assert harness.receiver.timeout_removals == 0
+
+    def test_ss_removal_sends_no_message(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.sender.remove()
+        harness.env.run(until=2.0)
+        assert MessageKind.REMOVAL not in harness.forward_kinds()
+
+    def test_removal_without_state_rejected(self):
+        harness = Harness(Protocol.SS)
+        with pytest.raises(RuntimeError):
+            harness.sender.remove()
+
+    def test_refreshes_stop_after_removal(self):
+        harness = Harness(Protocol.SS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.sender.remove()
+        sent_before = len(harness.forward_log)
+        harness.env.run(until=1.0 + 5 * PARAMS.refresh_interval)
+        assert len(harness.forward_log) == sent_before
+
+    def test_reliable_removal_retransmits_until_acked(self):
+        harness = Harness(Protocol.SS_RTR, drop_forward=0)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness._drop_forward = 2  # lose the removal and its 1st retx
+        harness.sender.remove()
+        harness.env.run(until=1.0 + 3 * PARAMS.retransmission_interval + 3 * PARAMS.delay)
+        removals = [m for m in harness.forward_log if m.kind is MessageKind.REMOVAL]
+        assert len(removals) == 3
+        assert removals[-1].retransmission
+        assert harness.receiver.value is None
+        assert MessageKind.REMOVAL_ACK in harness.reverse_kinds()
+
+    def test_best_effort_removal_not_retransmitted(self):
+        harness = Harness(Protocol.SS_ER)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness._drop_forward = 1  # lose the removal message
+        harness.sender.remove()
+        harness.env.run(until=1.0 + PARAMS.timeout_interval + 1e-6)
+        removals = [m for m in harness.forward_log if m.kind is MessageKind.REMOVAL]
+        assert len(removals) == 1
+        # The state-timeout eventually cleans up instead.
+        assert harness.receiver.value is None
+        assert harness.receiver.timeout_removals == 1
+
+
+class TestReliableTriggers:
+    def test_trigger_acked_no_retransmission(self):
+        harness = Harness(Protocol.SS_RT)
+        harness.sender.install()
+        harness.env.run(until=5.0)
+        triggers = [m for m in harness.forward_log if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 1
+        assert harness.reverse_kinds().count(MessageKind.ACK) == 1
+
+    def test_lost_trigger_retransmitted(self):
+        harness = Harness(Protocol.SS_RT, drop_forward=1)
+        harness.sender.install()
+        harness.env.run(until=PARAMS.retransmission_interval + 2 * PARAMS.delay + 1e-6)
+        triggers = [m for m in harness.forward_log if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 2
+        assert triggers[1].retransmission
+        assert harness.receiver.value == 1
+
+    def test_ss_never_retransmits(self):
+        harness = Harness(Protocol.SS, drop_forward=1)
+        harness.sender.install()
+        harness.env.run(until=PARAMS.refresh_interval - 1e-6)
+        triggers = [m for m in harness.forward_log if m.kind is MessageKind.TRIGGER]
+        assert len(triggers) == 1  # recovery only via the next refresh
+
+    def test_update_supersedes_pending_retransmission(self):
+        harness = Harness(Protocol.SS_RT, drop_forward=1)
+        harness.sender.install()
+        harness.env.run(until=0.01)
+        harness.sender.update()  # version 2 before version 1 was acked
+        harness.env.run(until=2.0)
+        # Version 2 must be installed; version-1 retransmissions stop.
+        assert harness.receiver.value == 2
+        late_v1 = [
+            m
+            for m in harness.forward_log
+            if m.kind is MessageKind.TRIGGER and m.version == 1 and m.retransmission
+        ]
+        assert not late_v1
+
+    def test_duplicate_trigger_acked_again(self):
+        harness = Harness(Protocol.SS_RT)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        # Deliver a duplicate of the same version (as a lost-ACK retx would).
+        harness.receiver.on_message(Message(MessageKind.TRIGGER, version=1, value=1))
+        assert harness.reverse_kinds().count(MessageKind.ACK) == 2
+
+
+class TestFalseRemovalRecovery:
+    def test_hs_false_signal_notifies_and_sender_reinstalls(self):
+        harness = Harness(Protocol.HS)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        harness.receiver.false_remove()
+        assert harness.receiver.value is None
+        assert MessageKind.NOTIFY in harness.reverse_kinds()
+        harness.env.run(until=1.0 + 2 * PARAMS.delay + 1e-6)
+        assert harness.receiver.value == harness.sender.value
+
+    def test_false_remove_when_empty_is_noop(self):
+        harness = Harness(Protocol.HS)
+        harness.receiver.false_remove()
+        assert harness.receiver.false_signal_removals == 0
+        assert harness.reverse_log == []
+
+    def test_wait_empty_fires_immediately_when_empty(self):
+        harness = Harness(Protocol.SS)
+        event = harness.receiver.wait_empty()
+        assert event.triggered
+
+    def test_wait_empty_fires_on_removal(self):
+        harness = Harness(Protocol.SS_ER)
+        harness.sender.install()
+        harness.env.run(until=1.0)
+        event = harness.receiver.wait_empty()
+        assert not event.triggered
+        harness.sender.remove()
+        harness.env.run(until=1.0 + PARAMS.delay + 1e-9)
+        assert event.processed

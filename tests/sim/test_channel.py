@@ -1,0 +1,149 @@
+"""Tests for the lossy, delaying, non-reordering channel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.engine import Environment
+from repro.sim.randomness import RandomStreams, TimerDiscipline
+
+
+def make_channel(loss=0.0, delay=0.1, discipline=TimerDiscipline.DETERMINISTIC, seed=1):
+    env = Environment()
+    received = []
+    channel = Channel(
+        env,
+        ChannelConfig(loss_rate=loss, mean_delay=delay, delay_discipline=discipline),
+        RandomStreams(seed).stream("chan"),
+        received.append,
+    )
+    return env, channel, received
+
+
+class TestChannelConfig:
+    @pytest.mark.parametrize("loss", [-0.1, 1.0, 1.5])
+    def test_invalid_loss_rejected(self, loss):
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_rate=loss, mean_delay=0.1)
+
+    @pytest.mark.parametrize("delay", [0.0, -0.5])
+    def test_invalid_delay_rejected(self, delay):
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_rate=0.0, mean_delay=delay)
+
+
+class TestDelivery:
+    def test_lossless_delivers_everything(self):
+        env, channel, received = make_channel()
+        for i in range(100):
+            assert channel.send(i)
+        env.run()
+        assert [m.payload for m in received] == list(range(100))
+        assert channel.delivered == 100
+        assert channel.lost == 0
+
+    def test_fixed_delay_applied(self):
+        env, channel, received = make_channel(delay=0.25)
+        channel.send("x")
+        env.run()
+        assert received[0].sent_at == 0.0
+        assert received[0].delivered_at == 0.25
+
+    def test_loss_statistics_conserved(self):
+        env, channel, received = make_channel(loss=0.4, seed=3)
+        for i in range(2000):
+            channel.send(i)
+        env.run()
+        assert channel.sent == 2000
+        assert channel.lost + channel.delivered == channel.sent
+        assert channel.delivered == len(received)
+
+    def test_loss_rate_statistically_plausible(self):
+        env, channel, _ = make_channel(loss=0.3, seed=5)
+        for i in range(10_000):
+            channel.send(i)
+        env.run()
+        assert channel.lost / channel.sent == pytest.approx(0.3, abs=0.02)
+
+    def test_certain_delivery_with_zero_loss(self):
+        env, channel, _ = make_channel(loss=0.0)
+        assert all(channel.send(i) for i in range(50))
+
+    def test_send_returns_false_on_drop(self):
+        env, channel, _ = make_channel(loss=0.999999, seed=9)
+        outcomes = [channel.send(i) for i in range(20)]
+        assert not any(outcomes)
+
+
+class TestNonReordering:
+    def test_exponential_delays_do_not_reorder(self):
+        env, channel, received = make_channel(
+            delay=0.5, discipline=TimerDiscipline.EXPONENTIAL, seed=11
+        )
+        for i in range(500):
+            channel.send(i)
+        env.run()
+        payloads = [m.payload for m in received]
+        assert payloads == sorted(payloads)
+
+    def test_delivery_times_monotone(self):
+        env, channel, received = make_channel(
+            delay=0.5, discipline=TimerDiscipline.EXPONENTIAL, seed=13
+        )
+
+        def staggered(env):
+            for i in range(200):
+                channel.send(i)
+                yield env.timeout(0.01)
+
+        env.process(staggered(env))
+        env.run()
+        times = [m.delivered_at for m in received]
+        assert times == sorted(times)
+
+    @given(seed=st.integers(0, 2**16), loss=st.floats(0.0, 0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_property_random_channels(self, seed, loss):
+        env, channel, received = make_channel(
+            loss=loss, delay=0.2, discipline=TimerDiscipline.EXPONENTIAL, seed=seed
+        )
+        for i in range(100):
+            channel.send(i)
+        env.run()
+        payloads = [m.payload for m in received]
+        assert payloads == sorted(payloads)
+
+
+class TestLossHook:
+    def test_on_loss_reports_lost_payloads(self):
+        env = Environment()
+        received, lost = [], []
+        channel = Channel(
+            env,
+            ChannelConfig(loss_rate=0.5, mean_delay=0.1),
+            RandomStreams(17).stream("chan"),
+            received.append,
+            on_loss=lost.append,
+        )
+        for i in range(300):
+            channel.send(i)
+        env.run()
+        assert len(lost) == channel.lost
+        assert set(lost) | {m.payload for m in received} == set(range(300))
+
+    def test_loss_notification_arrives_after_delay(self):
+        env = Environment()
+        events = []
+        channel = Channel(
+            env,
+            ChannelConfig(loss_rate=0.9999999, mean_delay=0.3),
+            RandomStreams(19).stream("chan"),
+            lambda m: events.append(("delivered", env.now)),
+            on_loss=lambda p: events.append(("lost", env.now)),
+        )
+        channel.send("x")
+        env.run()
+        assert events == [("lost", 0.3)]

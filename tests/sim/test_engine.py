@@ -1,0 +1,390 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Environment, Event, Interrupt, SimulationError
+
+
+def run_collecting(generator_factory):
+    """Run a single process to completion; return (env, result)."""
+    env = Environment()
+    proc = env.process(generator_factory(env))
+    result = env.run(until=proc)
+    return env, result
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        def proc(env):
+            yield env.timeout(2.5)
+            return env.now
+
+        _, result = run_collecting(proc)
+        assert result == 2.5
+
+    def test_sequential_timeouts_accumulate(self):
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            yield env.timeout(3.0)
+            return env.now
+
+        _, result = run_collecting(proc)
+        assert result == 6.0
+
+    def test_zero_delay_timeout_allowed(self):
+        def proc(env):
+            yield env.timeout(0.0)
+            return env.now
+
+        _, result = run_collecting(proc)
+        assert result == 0.0
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_sets_clock(self):
+        env = Environment()
+        env.run(until=100.0)
+        assert env.now == 100.0
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+
+class TestEventOrdering:
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_earlier_events_fire_first(self):
+        env = Environment()
+        order = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(env, 3.0, "late"))
+        env.process(proc(env, 1.0, "early"))
+        env.process(proc(env, 2.0, "middle"))
+        env.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_peek_empty_queue_is_inf(self):
+        env = Environment()
+        # Drain the queue first (nothing scheduled).
+        assert env.peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestEvents:
+    def test_event_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_succeed_carries_value(self):
+        def proc(env):
+            event = env.event()
+            event.succeed("payload", delay=1.0)
+            got = yield event
+            return got
+
+        _, result = run_collecting(proc)
+        assert result == "payload"
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_failed_event_raises_in_waiter(self):
+        class Boom(Exception):
+            pass
+
+        def proc(env):
+            event = env.event()
+            event.fail(Boom("bang"), delay=1.0)
+            with pytest.raises(Boom):
+                yield event
+            return "survived"
+
+        _, result = run_collecting(proc)
+        assert result == "survived"
+
+    def test_waiting_on_processed_event_returns_value_immediately(self):
+        env = Environment()
+        early = env.event()
+        early.succeed(41)
+        collected = []
+
+        def late(env):
+            yield env.timeout(5.0)
+            value = yield early
+            collected.append((env.now, value))
+
+        env.process(late(env))
+        env.run()
+        assert collected == [(5.0, 41)]
+
+    def test_ok_reflects_outcome(self):
+        env = Environment()
+        good = env.event()
+        good.succeed()
+        bad = env.event()
+        bad.fail(ValueError("x"))
+        assert good.ok
+        assert not bad.ok
+
+
+class TestProcesses:
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_return_value_becomes_event_value(self):
+        def child(env):
+            yield env.timeout(1.0)
+            return 42
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return result
+
+        _, result = run_collecting(parent)
+        assert result == 42
+
+    def test_yielding_non_event_raises(self):
+        def proc(env):
+            yield 7  # type: ignore[misc]
+
+        env = Environment()
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        class Boom(Exception):
+            pass
+
+        def child(env):
+            yield env.timeout(1.0)
+            raise Boom("child exploded")
+
+        def parent(env):
+            with pytest.raises(Boom):
+                yield env.process(child(env))
+            return "handled"
+
+        _, result = run_collecting(parent)
+        assert result == "handled"
+
+    def test_unwaited_process_failure_raises_at_run_until_event(self):
+        class Boom(Exception):
+            pass
+
+        def child(env):
+            yield env.timeout(1.0)
+            raise Boom()
+
+        env = Environment()
+        proc = env.process(child(env))
+        with pytest.raises(Boom):
+            env.run(until=proc)
+
+    def test_is_alive_lifecycle(self):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env = Environment()
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_two_processes_interleave(self):
+        env = Environment()
+        log = []
+
+        def ticker(env, period, tag, count):
+            for _ in range(count):
+                yield env.timeout(period)
+                log.append((env.now, tag))
+
+        env.process(ticker(env, 2.0, "a", 3))
+        env.process(ticker(env, 3.0, "b", 2))
+        env.run()
+        # At t=6 both fire; "b" scheduled its timeout earlier (t=3 vs
+        # t=4), so the FIFO tie-break runs it first.
+        assert log == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+    def test_active_process_visible_during_execution(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+                log.append("overslept")
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def waker(env, target):
+            yield env.timeout(3.0)
+            target.interrupt("alarm")
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert log == [(3.0, "alarm")]
+
+    def test_interrupt_dead_process_rejected(self):
+        def quick(env):
+            yield env.timeout(1.0)
+
+        env = Environment()
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        log = []
+
+        def resilient(env):
+            try:
+                yield env.timeout(50.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        def waker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt()
+
+        target = env.process(resilient(env))
+        env.process(waker(env, target))
+        env.run()
+        assert log == [3.0]
+
+    def test_original_timeout_does_not_fire_after_interrupt(self):
+        env = Environment()
+        wakeups = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+                wakeups.append("timeout")
+            except Interrupt:
+                wakeups.append("interrupt")
+            # Sleep past the original timeout to catch double-resume.
+            yield env.timeout(20.0)
+
+        def waker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert wakeups == ["interrupt"]
+
+
+class TestRunUntil:
+    def test_run_until_event_returns_its_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("done", delay=4.0)
+        assert env.run(until=event) == "done"
+        assert env.now == 4.0
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+    def test_run_without_until_drains_queue(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(7.0)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [7.0]
+        assert env.peek() == float("inf")
+
+    def test_run_until_time_leaves_future_events_queued(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(10.0)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert log == []
+        env.run(until=15.0)
+        assert log == [10.0]

@@ -1,0 +1,89 @@
+"""Tests for random streams and timer disciplines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_keys_differ(self):
+        streams = RandomStreams(7)
+        a = streams.stream("x").random(5)
+        b = streams.stream("y").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(8).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_stream_independent_of_creation_order(self):
+        forward = RandomStreams(7)
+        first = forward.stream("a").random(3)
+        backward = RandomStreams(7)
+        backward.stream("zzz")  # create an unrelated stream first
+        second = backward.stream("a").random(3)
+        assert list(first) == list(second)
+
+    def test_spawn_reproducible(self):
+        a = RandomStreams(7).spawn(3).stream("x").random(4)
+        b = RandomStreams(7).spawn(3).stream("x").random(4)
+        assert list(a) == list(b)
+
+    def test_spawn_replications_differ(self):
+        a = RandomStreams(7).spawn(0).stream("x").random(4)
+        b = RandomStreams(7).spawn(1).stream("x").random(4)
+        assert list(a) != list(b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(-1)
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).spawn(-2)
+
+
+class TestTimer:
+    def test_deterministic_draw_is_mean(self):
+        timer = Timer(5.0, TimerDiscipline.DETERMINISTIC, RandomStreams(1).stream("t"))
+        assert [timer.draw() for _ in range(3)] == [5.0, 5.0, 5.0]
+
+    def test_exponential_draws_vary(self):
+        timer = Timer(5.0, TimerDiscipline.EXPONENTIAL, RandomStreams(1).stream("t"))
+        draws = [timer.draw() for _ in range(10)]
+        assert len(set(draws)) > 1
+        assert all(d > 0 for d in draws)
+
+    def test_exponential_mean_approximately_right(self):
+        timer = Timer(2.0, TimerDiscipline.EXPONENTIAL, RandomStreams(2).stream("t"))
+        draws = [timer.draw() for _ in range(20_000)]
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_discipline_accepts_string(self):
+        timer = Timer(1.0, "deterministic", RandomStreams(1).stream("t"))
+        assert timer.discipline is TimerDiscipline.DETERMINISTIC
+
+    @pytest.mark.parametrize("mean", [0.0, -1.0])
+    def test_invalid_mean_rejected(self, mean):
+        with pytest.raises(ValueError):
+            Timer(mean, TimerDiscipline.DETERMINISTIC, RandomStreams(1).stream("t"))
+
+    @given(mean=st.floats(min_value=1e-3, max_value=1e6), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_draws_always_positive(self, mean, seed):
+        timer = Timer(mean, TimerDiscipline.EXPONENTIAL, RandomStreams(seed).stream("t"))
+        assert all(timer.draw() >= 0.0 for _ in range(5))
