@@ -13,7 +13,7 @@ from collections.abc import Callable, Sequence
 
 from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
-from repro.core.singlehop import SingleHopModel, solve_all
+from repro.runtime import parallel_map, solve_protocol_suite
 
 __all__ = ["ClaimCheck", "check_claims", "default_claims", "plausible_decodings"]
 
@@ -99,22 +99,31 @@ def default_claims() -> dict[str, Callable[[dict[Protocol, object]], tuple[bool,
 def check_claims(
     parameterizations: Sequence[SignalingParameters] | None = None,
     claims: dict[str, Callable] | None = None,
+    jobs: int | None = None,
 ) -> list[ClaimCheck]:
-    """Evaluate every claim on every parameterization."""
-    parameterizations = parameterizations or plausible_decodings()
+    """Evaluate every claim on every parameterization.
+
+    The decoding grid is embarrassingly parallel: each parameterization
+    is an independent five-protocol solve, fanned across workers via the
+    runtime.  The (cheap, unpicklable) claim predicates run in the
+    parent, in grid order, so the report is deterministic.
+    """
+    parameterizations = tuple(parameterizations or plausible_decodings())
     claims = claims or default_claims()
+    suites = parallel_map(solve_protocol_suite, parameterizations, jobs=jobs)
     checks: list[ClaimCheck] = []
-    for params in parameterizations:
-        solutions = solve_all(params)
+    for params, solutions in zip(parameterizations, suites):
         for name, predicate in claims.items():
             holds, detail = predicate(solutions)
             checks.append(ClaimCheck(claim=name, params=params, holds=holds, detail=detail))
     return checks
 
 
-def robustness_report(checks: Sequence[ClaimCheck] | None = None) -> str:
+def robustness_report(
+    checks: Sequence[ClaimCheck] | None = None, jobs: int | None = None
+) -> str:
     """Summarize how many parameterizations support each claim."""
-    checks = checks if checks is not None else check_claims()
+    checks = checks if checks is not None else check_claims(jobs=jobs)
     by_claim: dict[str, list[ClaimCheck]] = {}
     for check in checks:
         by_claim.setdefault(check.claim, []).append(check)

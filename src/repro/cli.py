@@ -3,11 +3,13 @@
 Usage::
 
     repro-signaling list
-    repro-signaling run fig4 [--fast] [--output fig4.txt]
-    repro-signaling all [--fast] [--output-dir results/]
-    repro-signaling claims
+    repro-signaling run fig4 [--fast] [--jobs N] [--output fig4.txt]
+    repro-signaling all [--fast] [--jobs N] [--output-dir results/]
+    repro-signaling claims [--jobs N]
 
-(or ``python -m repro.cli ...``).
+(or ``python -m repro.cli ...``).  ``--jobs N`` fans sweep points (for
+``run``/``claims``) or whole experiments (for ``all``) across N worker
+processes; results are identical to the serial run, just faster.
 """
 
 from __future__ import annotations
@@ -22,8 +24,29 @@ from repro.core.protocols import Protocol
 from repro.experiments import experiment_ids, run_experiment
 from repro.experiments.claims import render_report
 from repro.experiments.diagrams import render_multihop_chain, render_singlehop_chain
+from repro.runtime import effective_jobs, run_experiments, using_jobs
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="solve across N worker processes (default: serial, or $REPRO_JOBS)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,14 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         help="also write one CSV per panel into this directory",
     )
+    _add_jobs_flag(run_cmd)
 
     all_cmd = commands.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--fast", action="store_true")
     all_cmd.add_argument("--output-dir", type=pathlib.Path)
+    _add_jobs_flag(all_cmd)
 
-    commands.add_parser(
+    claims_cmd = commands.add_parser(
         "claims", help="check the paper's qualitative claims across decodings"
     )
+    _add_jobs_flag(claims_cmd)
 
     report_cmd = commands.add_parser(
         "report", help="evaluate every per-figure claim against regenerated figures"
@@ -104,7 +130,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        result = run_experiment(args.experiment, fast=args.fast)
+        with using_jobs(args.jobs):
+            result = run_experiment(args.experiment, fast=args.fast)
         _emit(result.to_text(), args.output)
         if args.csv_dir is not None:
             args.csv_dir.mkdir(parents=True, exist_ok=True)
@@ -117,8 +144,15 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 print(f"wrote {path}")
         return 0
     if args.command == "all":
-        for experiment_id in sorted(experiment_ids()):
-            result = run_experiment(experiment_id, fast=args.fast)
+        ids = sorted(experiment_ids())
+        if effective_jobs(args.jobs) <= 1:
+            # Serial: stream each experiment's output as it completes,
+            # so a long run shows progress and a late crash cannot
+            # discard the artifacts already produced.
+            results = (run_experiments([experiment_id], fast=args.fast)[0] for experiment_id in ids)
+        else:
+            results = run_experiments(ids, fast=args.fast, jobs=args.jobs)
+        for experiment_id, result in zip(ids, results):
             output = (
                 args.output_dir / f"{experiment_id}.txt"
                 if args.output_dir is not None
@@ -129,7 +163,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 print()
         return 0
     if args.command == "claims":
-        print(robustness_report())
+        print(robustness_report(jobs=args.jobs))
         return 0
     if args.command == "report":
         print(render_report(fast=not args.full))

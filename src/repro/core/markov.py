@@ -11,18 +11,41 @@ implemented here on top of numpy/scipy linear algebra:
 
 States may be arbitrary hashable objects; the chain is specified as a
 sparse mapping ``{(from_state, to_state): rate}``.
+
+Two linear-algebra backends are provided: the original dense
+``numpy.linalg.solve`` path, and a ``scipy.sparse`` LU path that never
+materializes the O(n²) generator.  The backend is chosen per chain via
+the ``solver`` argument — ``"auto"`` (the default) picks sparse once the
+state count reaches :data:`SPARSE_STATE_THRESHOLD`, keeping the small
+paper chains bit-identical to the historical dense results while large
+multihop/heterogeneous chains scale.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Hashable, Mapping, Sequence
-from typing import Any
 
 import numpy as np
 
-__all__ = ["ContinuousTimeMarkovChain"]
+__all__ = ["SPARSE_STATE_THRESHOLD", "ContinuousTimeMarkovChain"]
 
 State = Hashable
+
+#: State count at which ``solver="auto"`` switches to the sparse backend.
+SPARSE_STATE_THRESHOLD = 256
+
+_SOLVERS = ("auto", "dense", "sparse")
+
+
+def _sparse_modules():
+    """``(scipy.sparse, scipy.sparse.linalg)``, or ``None`` if unavailable."""
+    try:
+        import scipy.sparse
+        import scipy.sparse.linalg
+    except ImportError:
+        return None
+    return scipy.sparse, scipy.sparse.linalg
 
 
 class ContinuousTimeMarkovChain:
@@ -36,13 +59,21 @@ class ContinuousTimeMarkovChain:
         Mapping from ``(origin, destination)`` to a non-negative
         transition rate.  Zero-rate entries are allowed and ignored.
         Self-loops are rejected (they are meaningless in a CTMC).
+    solver:
+        ``"dense"``, ``"sparse"``, or ``"auto"`` (sparse once the state
+        count reaches :data:`SPARSE_STATE_THRESHOLD`, dense below it or
+        when scipy is unavailable).
     """
 
     def __init__(
         self,
         states: Sequence[State],
         rates: Mapping[tuple[State, State], float],
+        solver: str = "auto",
     ) -> None:
+        if solver not in _SOLVERS:
+            raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
+        self._solver = solver
         if len(states) == 0:
             raise ValueError("a chain needs at least one state")
         if len(set(states)) != len(states):
@@ -74,8 +105,41 @@ class ContinuousTimeMarkovChain:
         """The rate of ``origin -> destination`` (0 when absent)."""
         return self._rates.get((origin, destination), 0.0)
 
+    @property
+    def solver(self) -> str:
+        """The configured backend (``"auto"``, ``"dense"`` or ``"sparse"``)."""
+        return self._solver
+
+    def _use_sparse(self, n: int) -> bool:
+        if self._solver == "dense":
+            return False
+        if self._solver == "sparse":
+            if _sparse_modules() is None:
+                raise RuntimeError("solver='sparse' requested but scipy is unavailable")
+            return True
+        return n >= SPARSE_STATE_THRESHOLD and _sparse_modules() is not None
+
+    def _generator_triplets(self) -> tuple[list[int], list[int], list[float]]:
+        """COO triplets of ``Q`` (off-diagonal rates plus the diagonal)."""
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        exit_rates = [0.0] * len(self._states)
+        for (origin, destination), rate in self._rates.items():
+            i, j = self._index[origin], self._index[destination]
+            rows.append(i)
+            cols.append(j)
+            data.append(rate)
+            exit_rates[i] += rate
+        for i, total in enumerate(exit_rates):
+            if total:
+                rows.append(i)
+                cols.append(i)
+                data.append(-total)
+        return rows, cols, data
+
     def generator_matrix(self) -> np.ndarray:
-        """The generator ``Q`` (rows sum to zero)."""
+        """The generator ``Q`` (rows sum to zero), densely materialized."""
         n = len(self._states)
         q = np.zeros((n, n))
         for (origin, destination), rate in self._rates.items():
@@ -84,6 +148,16 @@ class ContinuousTimeMarkovChain:
         np.fill_diagonal(q, q.diagonal() - q.sum(axis=1))
         return q
 
+    def sparse_generator_matrix(self):
+        """The generator ``Q`` as a ``scipy.sparse`` CSR matrix."""
+        modules = _sparse_modules()
+        if modules is None:
+            raise RuntimeError("scipy is required for sparse_generator_matrix()")
+        sparse, _ = modules
+        n = len(self._states)
+        rows, cols, data = self._generator_triplets()
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
     def stationary_distribution(self) -> dict[State, float]:
         """Solve ``pi Q = 0`` with ``sum(pi) = 1``.
 
@@ -91,8 +165,19 @@ class ContinuousTimeMarkovChain:
         states receive probability 0.  Raises ``ValueError`` when the
         linear system is singular (e.g. several closed classes).
         """
+        n = len(self._states)
+        if self._use_sparse(n):
+            pi, residual, scale = self._stationary_sparse(n)
+        else:
+            pi, residual, scale = self._stationary_dense(n)
+        if residual > 1e-8 * scale or np.any(pi < -1e-9):
+            raise ValueError("stationary distribution solve failed (ill-conditioned chain)")
+        pi = np.clip(pi, 0.0, None)
+        pi /= pi.sum()
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def _stationary_dense(self, n: int) -> tuple[np.ndarray, float, float]:
         q = self.generator_matrix()
-        n = q.shape[0]
         # Replace the last balance equation with the normalization row.
         a = q.T.copy()
         a[-1, :] = 1.0
@@ -104,11 +189,39 @@ class ContinuousTimeMarkovChain:
             raise ValueError("stationary distribution is not unique or does not exist") from exc
         residual = float(np.max(np.abs(q.T @ pi)))
         scale = max(1.0, float(np.max(np.abs(q))))
-        if residual > 1e-8 * scale or np.any(pi < -1e-9):
-            raise ValueError("stationary distribution solve failed (ill-conditioned chain)")
-        pi = np.clip(pi, 0.0, None)
-        pi /= pi.sum()
-        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+        return pi, residual, scale
+
+    def _stationary_sparse(self, n: int) -> tuple[np.ndarray, float, float]:
+        sparse, sparse_linalg = _sparse_modules()
+        rows, cols, data = self._generator_triplets()
+        q_t = sparse.csr_matrix((data, (cols, rows)), shape=(n, n))
+        # A = Q^T with the last balance row replaced by normalization.
+        a_rows: list[int] = []
+        a_cols: list[int] = []
+        a_data: list[float] = []
+        for i, j, value in zip(rows, cols, data):
+            if j == n - 1:
+                continue
+            a_rows.append(j)
+            a_cols.append(i)
+            a_data.append(value)
+        a_rows.extend([n - 1] * n)
+        a_cols.extend(range(n))
+        a_data.extend([1.0] * n)
+        a = sparse.csc_matrix((a_data, (a_rows, a_cols)), shape=(n, n))
+        b = np.zeros(n)
+        b[-1] = 1.0
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", sparse_linalg.MatrixRankWarning)
+                pi = sparse_linalg.spsolve(a, b)
+        except (RuntimeError, sparse_linalg.MatrixRankWarning) as exc:
+            raise ValueError("stationary distribution is not unique or does not exist") from exc
+        if not np.all(np.isfinite(pi)):
+            raise ValueError("stationary distribution is not unique or does not exist")
+        residual = float(np.max(np.abs(q_t @ pi)))
+        scale = max(1.0, max((abs(v) for v in data), default=1.0))
+        return pi, residual, scale
 
     def mean_time_to_absorption(
         self,
@@ -132,17 +245,58 @@ class ContinuousTimeMarkovChain:
         t_index = {s: i for i, s in enumerate(transient)}
         if start not in t_index:
             raise ValueError(f"unknown start state {start!r}")
-        q = self.generator_matrix()
-        rows = [self._index[s] for s in transient]
-        q_tt = q[np.ix_(rows, rows)]
-        try:
-            times = np.linalg.solve(-q_tt, np.ones(len(transient)))
-        except np.linalg.LinAlgError as exc:
-            raise ValueError("absorption is not certain from the given start state") from exc
+        if self._use_sparse(len(self._states)):
+            times = self._absorption_times_sparse(transient, t_index)
+        else:
+            times = self._absorption_times_dense(transient)
         value = float(times[t_index[start]])
         if not np.isfinite(value) or value < 0:
             raise ValueError("absorption time solve produced an invalid value")
         return value
+
+    def _absorption_times_dense(self, transient: list[State]) -> np.ndarray:
+        q = self.generator_matrix()
+        rows = [self._index[s] for s in transient]
+        q_tt = q[np.ix_(rows, rows)]
+        try:
+            return np.linalg.solve(-q_tt, np.ones(len(transient)))
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("absorption is not certain from the given start state") from exc
+
+    def _absorption_times_sparse(
+        self, transient: list[State], t_index: dict[State, int]
+    ) -> np.ndarray:
+        sparse, sparse_linalg = _sparse_modules()
+        m = len(transient)
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        exit_rates = [0.0] * m
+        for (origin, destination), rate in self._rates.items():
+            i = t_index.get(origin)
+            if i is None:
+                continue
+            exit_rates[i] += rate
+            j = t_index.get(destination)
+            if j is not None:
+                # -Q_TT: negate the off-diagonal rates.
+                rows.append(i)
+                cols.append(j)
+                data.append(-rate)
+        for i, total in enumerate(exit_rates):
+            rows.append(i)
+            cols.append(i)
+            data.append(total)
+        neg_q_tt = sparse.csc_matrix((data, (rows, cols)), shape=(m, m))
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", sparse_linalg.MatrixRankWarning)
+                times = sparse_linalg.spsolve(neg_q_tt, np.ones(m))
+        except (RuntimeError, sparse_linalg.MatrixRankWarning) as exc:
+            raise ValueError("absorption is not certain from the given start state") from exc
+        if not np.all(np.isfinite(times)):
+            raise ValueError("absorption is not certain from the given start state")
+        return np.atleast_1d(times)
 
     def absorption_probability_flow(self, absorbing: Sequence[State]) -> dict[State, float]:
         """Total rate into each absorbing state from transient states.
@@ -177,7 +331,7 @@ class ContinuousTimeMarkovChain:
             if origin == target:
                 continue
             new_rates[(origin, target)] = new_rates.get((origin, target), 0.0) + rate
-        return ContinuousTimeMarkovChain(new_states, new_rates)
+        return ContinuousTimeMarkovChain(new_states, new_rates, solver=self._solver)
 
     def holding_time(self, state: State) -> float:
         """Mean sojourn time of ``state`` (inf when it has no exits)."""

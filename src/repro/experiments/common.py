@@ -1,14 +1,23 @@
-"""Shared sweep helpers for the experiment modules."""
+"""Shared sweep helpers for the experiment modules.
+
+Sweeps are expressed as flat task batches and handed to
+:mod:`repro.runtime`, which dedupes repeated ``(protocol, params)``
+points through the memo cache and fans cache misses across the process
+pool when a worker count is configured (``--jobs`` / ``REPRO_JOBS``).
+Results come back in task order, so output is identical to the old
+serial loops.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro.core.multihop import MultiHopModel, MultiHopSolution
+from repro.core.multihop import MultiHopSolution
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
-from repro.core.singlehop import SingleHopModel, SingleHopSolution
+from repro.core.singlehop import SingleHopSolution
 from repro.experiments.runner import Series
+from repro.runtime import solve_multihop_batch, solve_singlehop_batch
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -22,21 +31,31 @@ ALL_PROTOCOLS: tuple[Protocol, ...] = tuple(Protocol)
 MULTIHOP_PROTOCOLS: tuple[Protocol, ...] = Protocol.multihop_family()
 
 
+def _empty_series(protocols: Sequence[Protocol]) -> list[Series]:
+    return [Series(protocol.value, (), ()) for protocol in protocols]
+
+
+def _chunk(values: list, size: int) -> list[list]:
+    return [values[i : i + size] for i in range(0, len(values), size)]
+
+
 def singlehop_metric_series(
     xs: Sequence[float],
     make_params: Callable[[float], SignalingParameters],
     metric: Callable[[SingleHopSolution], float],
     protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+    jobs: int | None = None,
 ) -> list[Series]:
     """Sweep ``xs`` through the single-hop model; one series per protocol."""
-    series = []
-    for protocol in protocols:
-        ys = []
-        for x in xs:
-            solution = SingleHopModel(protocol, make_params(x)).solve()
-            ys.append(metric(solution))
-        series.append(Series(protocol.value, tuple(xs), tuple(ys)))
-    return series
+    xs = tuple(xs)
+    if not xs:
+        return _empty_series(protocols)
+    tasks = [(protocol, make_params(x)) for protocol in protocols for x in xs]
+    solutions = solve_singlehop_batch(tasks, jobs=jobs)
+    return [
+        Series(protocol.value, xs, tuple(metric(solution) for solution in group))
+        for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
+    ]
 
 
 def parametric_singlehop_series(
@@ -45,6 +64,7 @@ def parametric_singlehop_series(
     x_metric: Callable[[SingleHopSolution], float],
     y_metric: Callable[[SingleHopSolution], float],
     protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+    jobs: int | None = None,
 ) -> list[Series]:
     """Trade-off curves: sweep a hidden parameter, plot metric vs metric.
 
@@ -52,13 +72,14 @@ def parametric_singlehop_series(
     inconsistency while a parameter (R, lambda_u or Delta) varies along
     the curve.
     """
+    sweep = tuple(sweep)
+    if not sweep:
+        return _empty_series(protocols)
+    tasks = [(protocol, make_params(value)) for protocol in protocols for value in sweep]
+    solutions = solve_singlehop_batch(tasks, jobs=jobs)
     series = []
-    for protocol in protocols:
-        points = []
-        for value in sweep:
-            solution = SingleHopModel(protocol, make_params(value)).solve()
-            points.append((x_metric(solution), y_metric(solution)))
-        points.sort()
+    for protocol, group in zip(protocols, _chunk(solutions, len(sweep))):
+        points = sorted((x_metric(solution), y_metric(solution)) for solution in group)
         series.append(Series.from_points(protocol.value, points))
     return series
 
@@ -68,13 +89,15 @@ def multihop_metric_series(
     make_params: Callable[[float], MultiHopParameters],
     metric: Callable[[MultiHopSolution], float],
     protocols: Sequence[Protocol] = MULTIHOP_PROTOCOLS,
+    jobs: int | None = None,
 ) -> list[Series]:
     """Sweep ``xs`` through the multi-hop model; one series per protocol."""
-    series = []
-    for protocol in protocols:
-        ys = []
-        for x in xs:
-            solution = MultiHopModel(protocol, make_params(x)).solve()
-            ys.append(metric(solution))
-        series.append(Series(protocol.value, tuple(xs), tuple(ys)))
-    return series
+    xs = tuple(xs)
+    if not xs:
+        return _empty_series(protocols)
+    tasks = [(protocol, make_params(x)) for protocol in protocols for x in xs]
+    solutions = solve_multihop_batch(tasks, jobs=jobs)
+    return [
+        Series(protocol.value, xs, tuple(metric(solution) for solution in group))
+        for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
+    ]

@@ -50,6 +50,7 @@ def run(fast: bool = False) -> ExperimentResult:
         series=tuple(soft) + (hs_point,),
         log_x=True,
         log_y=True,
+        shared_x=False,
     )
     notes = ("HS does not vary with R and appears as a single point.",)
     return ExperimentResult(EXPERIMENT_ID, TITLE, (panel,), notes)

@@ -47,6 +47,7 @@ def run(fast: bool = False) -> ExperimentResult:
             series=tuple(update_series),
             log_x=True,
             log_y=True,
+            shared_x=False,
         ),
         Panel(
             name="b: varying channel delay",
@@ -55,6 +56,7 @@ def run(fast: bool = False) -> ExperimentResult:
             series=tuple(delay_series),
             log_x=True,
             log_y=True,
+            shared_x=False,
         ),
     )
     return ExperimentResult(EXPERIMENT_ID, TITLE, panels)

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
-from repro.core.singlehop import SingleHopModel
 from repro.experiments.runner import ExperimentResult, Panel, Series, geometric_sweep, register
-from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_point
+from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_batch
+from repro.runtime import solve_singlehop_batch
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Fig. 11: deterministic-timer simulation vs model, sweeping 1/mu_r"
@@ -36,33 +36,45 @@ def run(fast: bool = False, seed: int = 11) -> ExperimentResult:
         replications = 5
         budget = 120_000.0
 
+    protocols = tuple(Protocol)
+    grid = [
+        (protocol, base.replace(removal_rate=1.0 / session_length), session_length)
+        for protocol in protocols
+        for session_length in xs
+    ]
+    solutions = solve_singlehop_batch([(p, params) for p, params, _ in grid])
+    points = simulate_singlehop_batch(
+        (p, params, sessions_for_length(length, budget), replications, seed)
+        for p, params, length in grid
+    )
+
     model_i: list[Series] = []
     model_m: list[Series] = []
     sim_i: list[Series] = []
     sim_m: list[Series] = []
-    for protocol in Protocol:
-        mi, mm = [], []
-        si, si_err, sm, sm_err = [], [], [], []
-        for session_length in xs:
-            params = base.replace(removal_rate=1.0 / session_length)
-            solution = SingleHopModel(protocol, params).solve()
-            mi.append(solution.inconsistency_ratio)
-            mm.append(solution.normalized_message_rate)
-            point = simulate_singlehop_point(
-                protocol,
-                params,
-                sessions=sessions_for_length(session_length, budget),
-                replications=replications,
-                seed=seed,
+    for k, protocol in enumerate(protocols):
+        chunk = slice(k * len(xs), (k + 1) * len(xs))
+        model, sim = solutions[chunk], points[chunk]
+        model_i.append(Series(protocol.value, xs, tuple(s.inconsistency_ratio for s in model)))
+        model_m.append(
+            Series(protocol.value, xs, tuple(s.normalized_message_rate for s in model))
+        )
+        sim_i.append(
+            Series(
+                f"{protocol.value} sim",
+                xs,
+                tuple(p.inconsistency for p in sim),
+                tuple(p.inconsistency_err for p in sim),
             )
-            si.append(point.inconsistency)
-            si_err.append(point.inconsistency_err)
-            sm.append(point.message_rate)
-            sm_err.append(point.message_rate_err)
-        model_i.append(Series(protocol.value, xs, tuple(mi)))
-        model_m.append(Series(protocol.value, xs, tuple(mm)))
-        sim_i.append(Series(f"{protocol.value} sim", xs, tuple(si), tuple(si_err)))
-        sim_m.append(Series(f"{protocol.value} sim", xs, tuple(sm), tuple(sm_err)))
+        )
+        sim_m.append(
+            Series(
+                f"{protocol.value} sim",
+                xs,
+                tuple(p.message_rate for p in sim),
+                tuple(p.message_rate_err for p in sim),
+            )
+        )
 
     panels = (
         Panel(

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
-from repro.core.singlehop import SingleHopModel
 from repro.experiments.runner import ExperimentResult, Panel, Series, register
-from repro.experiments.simsupport import simulate_singlehop_point
+from repro.experiments.simsupport import simulate_singlehop_batch
+from repro.runtime import solve_singlehop_batch
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Fig. 12: deterministic-timer simulation vs model, sweeping R (T = 3R)"
@@ -30,33 +30,44 @@ def run(fast: bool = False, seed: int = 12) -> ExperimentResult:
         replications = 5
         sessions = 80
 
+    protocols = tuple(Protocol)
+    grid = [
+        (protocol, base.with_coupled_timers(refresh))
+        for protocol in protocols
+        for refresh in xs
+    ]
+    solutions = solve_singlehop_batch(grid)
+    points = simulate_singlehop_batch(
+        (protocol, params, sessions, replications, seed) for protocol, params in grid
+    )
+
     model_i: list[Series] = []
     model_m: list[Series] = []
     sim_i: list[Series] = []
     sim_m: list[Series] = []
-    for protocol in Protocol:
-        mi, mm = [], []
-        si, si_err, sm, sm_err = [], [], [], []
-        for refresh in xs:
-            params = base.with_coupled_timers(refresh)
-            solution = SingleHopModel(protocol, params).solve()
-            mi.append(solution.inconsistency_ratio)
-            mm.append(solution.normalized_message_rate)
-            point = simulate_singlehop_point(
-                protocol,
-                params,
-                sessions=sessions,
-                replications=replications,
-                seed=seed,
+    for k, protocol in enumerate(protocols):
+        chunk = slice(k * len(xs), (k + 1) * len(xs))
+        model, sim = solutions[chunk], points[chunk]
+        model_i.append(Series(protocol.value, xs, tuple(s.inconsistency_ratio for s in model)))
+        model_m.append(
+            Series(protocol.value, xs, tuple(s.normalized_message_rate for s in model))
+        )
+        sim_i.append(
+            Series(
+                f"{protocol.value} sim",
+                xs,
+                tuple(p.inconsistency for p in sim),
+                tuple(p.inconsistency_err for p in sim),
             )
-            si.append(point.inconsistency)
-            si_err.append(point.inconsistency_err)
-            sm.append(point.message_rate)
-            sm_err.append(point.message_rate_err)
-        model_i.append(Series(protocol.value, xs, tuple(mi)))
-        model_m.append(Series(protocol.value, xs, tuple(mm)))
-        sim_i.append(Series(f"{protocol.value} sim", xs, tuple(si), tuple(si_err)))
-        sim_m.append(Series(f"{protocol.value} sim", xs, tuple(sm), tuple(sm_err)))
+        )
+        sim_m.append(
+            Series(
+                f"{protocol.value} sim",
+                xs,
+                tuple(p.message_rate for p in sim),
+                tuple(p.message_rate_err for p in sim),
+            )
+        )
 
     panels = (
         Panel(

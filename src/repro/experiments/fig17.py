@@ -11,10 +11,10 @@ refresh-starvation timeouts at distant hops).
 
 from __future__ import annotations
 
-from repro.core.multihop import MultiHopModel
 from repro.core.parameters import reservation_defaults
 from repro.core.protocols import Protocol
 from repro.experiments.runner import ExperimentResult, Panel, Series, register
+from repro.runtime import solve_multihop_batch
 
 EXPERIMENT_ID = "fig17"
 TITLE = "Fig. 17: fraction of time the i-th hop is inconsistent (N = 20)"
@@ -25,10 +25,12 @@ def run(fast: bool = False) -> ExperimentResult:
     """Per-hop inconsistency profile on the 20-hop reservation defaults."""
     params = reservation_defaults()
     hops = tuple(float(h) for h in range(1, params.hops + 1))
-    series = []
-    for protocol in Protocol.multihop_family():
-        solution = MultiHopModel(protocol, params).solve()
-        series.append(Series(protocol.value, hops, tuple(solution.hop_profile())))
+    protocols = Protocol.multihop_family()
+    solutions = solve_multihop_batch([(protocol, params) for protocol in protocols])
+    series = [
+        Series(protocol.value, hops, tuple(solution.hop_profile()))
+        for protocol, solution in zip(protocols, solutions)
+    ]
     panel = Panel(
         name="per-hop inconsistency",
         x_label="hop index i",

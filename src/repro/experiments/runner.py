@@ -66,7 +66,15 @@ class Series:
 
 @dataclasses.dataclass(frozen=True)
 class Panel:
-    """One plot panel: a y-quantity over a shared x-axis."""
+    """One plot panel: a y-quantity over a shared x-axis.
+
+    ``shared_x=True`` (the default) asserts that every series samples
+    the same x values, which row-oriented rendering relies on; the
+    constructor validates it so misaligned series fail loudly instead
+    of rendering silently shifted tables.  Parametric panels whose
+    series legitimately trace their own x values (the Fig. 9/10
+    tradeoff curves) set ``shared_x=False`` and render per series.
+    """
 
     name: str
     x_label: str
@@ -74,6 +82,21 @@ class Panel:
     series: tuple[Series, ...]
     log_x: bool = False
     log_y: bool = False
+    shared_x: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError(f"panel {self.name!r} has no series")
+        if self.shared_x:
+            reference = self.series[0].x
+            for candidate in self.series[1:]:
+                if candidate.x != reference:
+                    raise ValueError(
+                        f"panel {self.name!r}: series {candidate.label!r} x-axis "
+                        f"differs from {self.series[0].label!r} "
+                        f"({len(candidate.x)} vs {len(reference)} points); "
+                        "use shared_x=False for parametric panels"
+                    )
 
     def series_by_label(self, label: str) -> Series:
         """Find a series by its label."""
@@ -104,27 +127,21 @@ class ExperimentResult:
         raise KeyError(f"no panel named {name!r} in {self.experiment_id}")
 
     def to_text(self, max_width: int = 118) -> str:
-        """Render the experiment as aligned text tables (one per panel)."""
+        """Render the experiment as aligned text tables (one per panel).
+
+        Shared-axis panels render one row per x with a column per
+        series (the x-alignment is guaranteed by ``Panel``'s
+        validation); parametric panels render each series as its own
+        ``(x, y)`` block since their x values differ per series.
+        """
         lines = [f"== {self.experiment_id}: {self.title} =="]
         for panel in self.panels:
             lines.append("")
             lines.append(f"-- {panel.name} ({panel.y_label} vs {panel.x_label}) --")
-            labels = panel.labels()
-            header = f"{panel.x_label[:16]:>16s} " + " ".join(
-                f"{label:>12s}" for label in labels
-            )
-            lines.append(header[:max_width])
-            xs = panel.series[0].x
-            for i, x in enumerate(xs):
-                cells = []
-                for series in panel.series:
-                    value = series.y[i] if i < len(series.y) else float("nan")
-                    cell = f"{value:12.5g}"
-                    if series.y_err is not None and i < len(series.y_err):
-                        cell = f"{value:8.4g}±{series.y_err[i]:.2g}"
-                        cell = f"{cell:>12s}"
-                    cells.append(cell)
-                lines.append(f"{x:16.6g} " + " ".join(cells)[:max_width])
+            if panel.shared_x:
+                lines.extend(_shared_panel_rows(panel, max_width))
+            else:
+                lines.extend(_parametric_panel_rows(panel, max_width))
         if self.notes:
             lines.append("")
             lines.extend(f"note: {note}" for note in self.notes)
@@ -133,34 +150,92 @@ class ExperimentResult:
     def to_csv(self) -> dict[str, str]:
         """One CSV document per panel (for external plotting tools).
 
-        Returns ``{panel_name: csv_text}``.  Columns: the x axis, then
-        one column per series (plus ``<label>_err`` columns for series
-        with confidence intervals).
+        Returns ``{panel_name: csv_text}``.  Shared-axis panels have
+        one x column, then one column per series (plus ``<label>_err``
+        columns for series with confidence intervals).  Parametric
+        panels carry a ``<label>_x`` column per series instead; series
+        shorter than the longest leave their cells empty.
         """
         documents: dict[str, str] = {}
         for panel in self.panels:
-            header = [panel.x_label]
-            for series in panel.series:
-                header.append(series.label)
-                if series.y_err is not None:
-                    header.append(f"{series.label}_err")
-            rows = [",".join(_csv_quote(cell) for cell in header)]
-            xs = panel.series[0].x
-            for i, x in enumerate(xs):
-                row = [f"{x:.10g}"]
-                for series in panel.series:
-                    value = series.y[i] if i < len(series.y) else float("nan")
-                    row.append(f"{value:.10g}")
-                    if series.y_err is not None:
-                        err = series.y_err[i] if i < len(series.y_err) else float("nan")
-                        row.append(f"{err:.10g}")
-                rows.append(",".join(row))
-            documents[panel.name] = "\n".join(rows) + "\n"
+            documents[panel.name] = (
+                _shared_panel_csv(panel) if panel.shared_x else _parametric_panel_csv(panel)
+            )
         return documents
 
 
+def _shared_panel_rows(panel: Panel, max_width: int) -> list[str]:
+    header = f"{panel.x_label[:16]:>16s} " + " ".join(
+        f"{label:>12s}" for label in panel.labels()
+    )
+    lines = [header[:max_width]]
+    for i, x in enumerate(panel.series[0].x):
+        cells = []
+        for series in panel.series:
+            value = series.y[i]
+            cell = f"{value:12.5g}"
+            if series.y_err is not None:
+                cell = f"{value:8.4g}±{series.y_err[i]:.2g}"
+                cell = f"{cell:>12s}"
+            cells.append(cell)
+        lines.append(f"{x:16.6g} " + " ".join(cells)[:max_width])
+    return lines
+
+
+def _parametric_panel_rows(panel: Panel, max_width: int) -> list[str]:
+    lines: list[str] = []
+    for series in panel.series:
+        lines.append(f" [{series.label}]")
+        header = f"{panel.x_label[:16]:>16s} {panel.y_label[:12]:>12s}"
+        lines.append(header[:max_width])
+        for i, x in enumerate(series.x):
+            cell = f"{series.y[i]:12.5g}"
+            if series.y_err is not None:
+                cell = f"{series.y[i]:8.4g}±{series.y_err[i]:.2g}"
+                cell = f"{cell:>12s}"
+            lines.append(f"{x:16.6g} {cell}"[:max_width])
+    return lines
+
+
+def _shared_panel_csv(panel: Panel) -> str:
+    header = [panel.x_label]
+    for series in panel.series:
+        header.append(series.label)
+        if series.y_err is not None:
+            header.append(f"{series.label}_err")
+    rows = [",".join(_csv_quote(cell) for cell in header)]
+    for i, x in enumerate(panel.series[0].x):
+        row = [f"{x:.10g}"]
+        for series in panel.series:
+            row.append(f"{series.y[i]:.10g}")
+            if series.y_err is not None:
+                row.append(f"{series.y_err[i]:.10g}")
+        rows.append(",".join(row))
+    return "\n".join(rows) + "\n"
+
+
+def _parametric_panel_csv(panel: Panel) -> str:
+    header: list[str] = []
+    for series in panel.series:
+        header.extend((f"{series.label}_x", series.label))
+        if series.y_err is not None:
+            header.append(f"{series.label}_err")
+    rows = [",".join(_csv_quote(cell) for cell in header)]
+    length = max(len(series.x) for series in panel.series)
+    for i in range(length):
+        row: list[str] = []
+        for series in panel.series:
+            in_range = i < len(series.x)
+            row.append(f"{series.x[i]:.10g}" if in_range else "")
+            row.append(f"{series.y[i]:.10g}" if in_range else "")
+            if series.y_err is not None:
+                row.append(f"{series.y_err[i]:.10g}" if in_range else "")
+        rows.append(",".join(row))
+    return "\n".join(rows) + "\n"
+
+
 def _csv_quote(cell: str) -> str:
-    if "," in cell or '"' in cell:
+    if any(ch in cell for ch in (",", '"', "\n", "\r")):
         escaped = cell.replace('"', '""')
         return f'"{escaped}"'
     return cell
@@ -173,7 +248,9 @@ def geometric_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
     if points < 2:
         raise ValueError(f"need at least 2 points, got {points}")
     ratio = (high / low) ** (1.0 / (points - 1))
-    return tuple(low * ratio**i for i in range(points))
+    # low * ratio**(points-1) drifts off `high` in floating point, which
+    # breaks exact-match lookups like Series.value_at(high); pin it.
+    return tuple(low * ratio**i for i in range(points - 1)) + (high,)
 
 
 def linear_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
@@ -183,7 +260,7 @@ def linear_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
     if points < 2:
         raise ValueError(f"need at least 2 points, got {points}")
     step = (high - low) / (points - 1)
-    return tuple(low + step * i for i in range(points))
+    return tuple(low + step * i for i in range(points - 1)) + (high,)
 
 
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}

@@ -9,14 +9,21 @@ simulations and package (mean, half-width) per metric.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
 
 from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
 from repro.protocols.config import SingleHopSimConfig
 from repro.protocols.session import simulate_replications
+from repro.runtime import parallel_map
 from repro.sim.randomness import TimerDiscipline
 
-__all__ = ["SimPoint", "simulate_singlehop_point", "sessions_for_length"]
+__all__ = [
+    "SimPoint",
+    "sessions_for_length",
+    "simulate_singlehop_batch",
+    "simulate_singlehop_point",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,3 +72,25 @@ def simulate_singlehop_point(
         message_rate=message_rate.mean,
         message_rate_err=message_rate.half_width,
     )
+
+
+SimTask = tuple[Protocol, SignalingParameters, int, int, int]
+
+
+def _simulate_task(task: SimTask) -> SimPoint:
+    protocol, params, sessions, replications, seed = task
+    return simulate_singlehop_point(
+        protocol, params, sessions=sessions, replications=replications, seed=seed
+    )
+
+
+def simulate_singlehop_batch(
+    tasks: Iterable[SimTask], jobs: int | None = None
+) -> list[SimPoint]:
+    """Run many ``(protocol, params, sessions, replications, seed)``
+    simulation points, fanned across workers, in task order.
+
+    Each point is seeded independently of batch order, so parallel runs
+    reproduce the serial estimates exactly.
+    """
+    return parallel_map(_simulate_task, tasks, jobs=jobs)

@@ -1,0 +1,48 @@
+"""Parallel sweep execution runtime.
+
+Every paper artifact is a parameter sweep, and the sweeps are
+embarrassingly parallel: each point is an independent CTMC solve.  This
+package turns those loops into data-parallel batches:
+
+* :mod:`repro.runtime.executor` — a process-pool ``parallel_map`` with
+  deterministic (input-order) results and a process-wide default job
+  count (``--jobs`` on the CLI, ``REPRO_JOBS`` in the environment);
+* :mod:`repro.runtime.cache` — a content-keyed memo cache so repeated
+  ``(model, parameters)`` solves are computed once across figures;
+* :mod:`repro.runtime.solvers` — picklable solve entry points used as
+  pool tasks, plus batch helpers that combine the cache and the pool.
+
+Serial execution (``jobs=1``, the default) takes exactly the same code
+path point-by-point, so parallel runs are bit-identical to serial ones.
+"""
+
+from repro.runtime.cache import SolveCache, global_cache
+from repro.runtime.executor import (
+    configure,
+    effective_jobs,
+    parallel_map,
+    using_jobs,
+)
+from repro.runtime.solvers import (
+    run_experiment_task,
+    run_experiments,
+    solve_heterogeneous_batch,
+    solve_multihop_batch,
+    solve_protocol_suite,
+    solve_singlehop_batch,
+)
+
+__all__ = [
+    "SolveCache",
+    "configure",
+    "effective_jobs",
+    "global_cache",
+    "parallel_map",
+    "run_experiment_task",
+    "run_experiments",
+    "solve_heterogeneous_batch",
+    "solve_multihop_batch",
+    "solve_protocol_suite",
+    "solve_singlehop_batch",
+    "using_jobs",
+]

@@ -1,0 +1,126 @@
+"""Process-pool sweep executor with deterministic result ordering.
+
+``parallel_map(fn, items)`` is the single primitive everything else
+builds on.  It preserves input order (``ProcessPoolExecutor.map``
+semantics), degrades to a plain serial loop when one worker is
+requested (or when the platform cannot spawn a pool, e.g. in a
+sandbox), and resolves the worker count from, in priority order:
+
+1. the explicit ``jobs=`` argument,
+2. the process-wide default set by :func:`configure` / :func:`using_jobs`
+   (the CLI's ``--jobs`` flag lands here),
+3. the ``REPRO_JOBS`` environment variable,
+4. serial (one worker).
+
+Worker processes run sweeps serially (the default is not inherited into
+children), so nested parallelism cannot fork-bomb the machine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+__all__ = ["configure", "effective_jobs", "parallel_map", "using_jobs"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_ENV_JOBS = "REPRO_JOBS"
+_default_jobs: int | None = None
+
+
+def _validate_jobs(jobs: int) -> int:
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware when supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def process_pool_usable() -> bool:
+    """Whether this platform can actually run a worker pool.
+
+    Sandboxes can forbid process spawning, in which case
+    :func:`parallel_map` silently degrades to serial; callers that
+    assert on parallel speedups should gate on this.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return list(pool.map(int, [0])) == [0]
+    except Exception:  # noqa: BLE001 - any spawn failure means "no pool"
+        return False
+
+
+def configure(jobs: int | None) -> None:
+    """Set the process-wide default worker count (``None`` resets it)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else _validate_jobs(jobs)
+
+
+def effective_jobs(jobs: int | None = None) -> int:
+    """Resolve a ``jobs`` argument against the configured defaults."""
+    if jobs is not None:
+        return _validate_jobs(jobs)
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(_ENV_JOBS, "").strip()
+    if env:
+        try:
+            return _validate_jobs(int(env))
+        except ValueError:
+            raise ValueError(f"invalid {_ENV_JOBS}={env!r} (need a positive integer)") from None
+    return 1
+
+
+@contextlib.contextmanager
+def using_jobs(jobs: int | None) -> Iterator[None]:
+    """Temporarily set the default worker count (restores on exit)."""
+    global _default_jobs
+    previous = _default_jobs
+    configure(jobs)
+    try:
+        yield
+    finally:
+        _default_jobs = previous
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+) -> list[_R]:
+    """Apply ``fn`` to every item, in order, optionally across processes.
+
+    Results are returned in input order regardless of worker scheduling,
+    so a parallel sweep renders byte-identically to a serial one.  ``fn``
+    and the items must be picklable when ``jobs > 1``; use the
+    module-level task functions in :mod:`repro.runtime.solvers`.
+    """
+    materialized = list(items)
+    workers = min(effective_jobs(jobs), len(materialized))
+    if workers <= 1:
+        return [fn(item) for item in materialized]
+    if chunksize is None:
+        # ~4 chunks per worker balances scheduling against pickling.
+        chunksize = max(1, math.ceil(len(materialized) / (workers * 4)))
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError, ValueError):
+        # Pool creation can fail on restricted platforms; the sweep is
+        # still correct serially.
+        return [fn(item) for item in materialized]
+    with pool:
+        return list(pool.map(fn, materialized, chunksize=chunksize))

@@ -1,0 +1,172 @@
+"""Picklable solve tasks and cache-aware batch helpers.
+
+Pool workers need module-level callables (closures don't pickle), so
+every model family gets a ``solve_*_point(task)`` function taking one
+plain-data task tuple.  The ``solve_*_batch`` helpers are what the
+sweep code calls: they dedupe tasks by content key, serve repeats from
+:func:`repro.runtime.cache.global_cache`, fan the misses across the
+pool, and return results in task order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.multihop import MultiHopModel, MultiHopSolution
+from repro.core.multihop.heterogeneous import HeterogeneousHop, HeterogeneousMultiHopModel
+from repro.core.parameters import MultiHopParameters, SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel, SingleHopSolution
+from repro.runtime.cache import cache_key, global_cache
+from repro.runtime.executor import parallel_map, using_jobs
+
+__all__ = [
+    "run_experiment_task",
+    "run_experiments",
+    "solve_heterogeneous_batch",
+    "solve_heterogeneous_point",
+    "solve_multihop_batch",
+    "solve_multihop_point",
+    "solve_protocol_suite",
+    "solve_singlehop_batch",
+    "solve_singlehop_point",
+]
+
+_MISSING = object()
+
+SingleHopTask = tuple[Protocol, SignalingParameters]
+MultiHopTask = tuple[Protocol, MultiHopParameters]
+HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
+
+
+def _singlehop_key(task: SingleHopTask) -> tuple:
+    protocol, params = task
+    return cache_key("singlehop", protocol, params)
+
+
+def _multihop_key(task: MultiHopTask) -> tuple:
+    protocol, params = task
+    return cache_key("multihop", protocol, params)
+
+
+def _heterogeneous_key(task: HeterogeneousTask) -> tuple:
+    protocol, params, hops = task
+    hop_key = tuple((h.loss_rate, h.delay) for h in hops)
+    return cache_key("heterogeneous", protocol, params, hop_key)
+
+
+def _memoized(key: tuple, compute):
+    cache = global_cache()
+    value = cache.get(key, _MISSING)
+    if value is _MISSING:
+        value = compute()
+        cache.put(key, value)
+    return value
+
+
+def _compute_singlehop(task: SingleHopTask) -> SingleHopSolution:
+    protocol, params = task
+    return SingleHopModel(protocol, params).solve()
+
+
+def _compute_multihop(task: MultiHopTask) -> MultiHopSolution:
+    protocol, params = task
+    return MultiHopModel(protocol, params).solve()
+
+
+def _compute_heterogeneous(task: HeterogeneousTask) -> MultiHopSolution:
+    protocol, params, hops = task
+    return HeterogeneousMultiHopModel(protocol, params, hops).solve()
+
+
+def solve_singlehop_point(task: SingleHopTask) -> SingleHopSolution:
+    """Solve one single-hop ``(protocol, params)`` point (memoized)."""
+    return _memoized(_singlehop_key(task), lambda: _compute_singlehop(task))
+
+
+def solve_multihop_point(task: MultiHopTask) -> MultiHopSolution:
+    """Solve one multi-hop ``(protocol, params)`` point (memoized)."""
+    return _memoized(_multihop_key(task), lambda: _compute_multihop(task))
+
+
+def solve_heterogeneous_point(task: HeterogeneousTask) -> MultiHopSolution:
+    """Solve one heterogeneous ``(protocol, params, hops)`` point (memoized)."""
+    return _memoized(_heterogeneous_key(task), lambda: _compute_heterogeneous(task))
+
+
+def solve_protocol_suite(
+    params: SignalingParameters,
+) -> dict[Protocol, SingleHopSolution]:
+    """Solve every protocol on one parameter set (memoized per point).
+
+    Drop-in for :func:`repro.core.singlehop.solve_all`, and picklable so
+    the sensitivity grid can fan whole parameterizations across workers.
+    """
+    return {protocol: solve_singlehop_point((protocol, params)) for protocol in Protocol}
+
+
+def _solve_batch(compute_fn, key_fn, tasks, jobs):
+    # compute_fn is the raw (unmemoized) solve: memoization happens
+    # once here, so batch points are neither double-counted in the
+    # cache stats nor double-written to the cache.
+    tasks = list(tasks)
+    keys = [key_fn(task) for task in tasks]
+    cache = global_cache()
+    resolved: dict[tuple, object] = {}
+    pending: dict[tuple, object] = {}
+    for key, task in zip(keys, tasks):
+        if key in resolved or key in pending:
+            continue
+        value = cache.get(key, _MISSING)
+        if value is _MISSING:
+            pending[key] = task
+        else:
+            resolved[key] = value
+    if pending:
+        computed = parallel_map(compute_fn, list(pending.values()), jobs=jobs)
+        for key, value in zip(pending, computed):
+            cache.put(key, value)
+            resolved[key] = value
+    return [resolved[key] for key in keys]
+
+
+def solve_singlehop_batch(
+    tasks: Iterable[SingleHopTask], jobs: int | None = None
+) -> list[SingleHopSolution]:
+    """Solve many single-hop points; results in task order."""
+    return _solve_batch(_compute_singlehop, _singlehop_key, tasks, jobs)
+
+
+def solve_multihop_batch(
+    tasks: Iterable[MultiHopTask], jobs: int | None = None
+) -> list[MultiHopSolution]:
+    """Solve many multi-hop points; results in task order."""
+    return _solve_batch(_compute_multihop, _multihop_key, tasks, jobs)
+
+
+def solve_heterogeneous_batch(
+    tasks: Iterable[HeterogeneousTask], jobs: int | None = None
+) -> list[MultiHopSolution]:
+    """Solve many heterogeneous multi-hop points; results in task order."""
+    return _solve_batch(_compute_heterogeneous, _heterogeneous_key, tasks, jobs)
+
+
+def run_experiment_task(task: tuple[str, bool]):
+    """Run one whole experiment (pool task for ``repro-signaling all``).
+
+    The experiment's internal sweeps run serially inside the worker so
+    cross-experiment parallelism never nests process pools.
+    """
+    from repro.experiments import run_experiment
+
+    experiment_id, fast = task
+    with using_jobs(1):
+        return run_experiment(experiment_id, fast=fast)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str], fast: bool = False, jobs: int | None = None
+):
+    """Run several experiments, fanned across workers, in input order."""
+    tasks = [(experiment_id, bool(fast)) for experiment_id in experiment_ids]
+    return parallel_map(run_experiment_task, tasks, jobs=jobs)

@@ -202,6 +202,12 @@ class Process(Event):
                     raise SimulationError(
                         f"process {self.name!r} yielded {target!r}, expected an Event"
                     )
+                if self._interrupts:
+                    # More interrupts were queued before this resume:
+                    # deliver them now (at the current time) instead of
+                    # leaving them to fire after the new wait finishes.
+                    # The yielded event stays pending, unsubscribed.
+                    continue
                 if target.callbacks is None:
                     # Already processed: feed its outcome straight back in.
                     event = target

@@ -21,6 +21,12 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig4", "--fast"])
         assert args.experiment == "fig4"
         assert args.fast
+        assert args.jobs is None
+
+    def test_jobs_flag_parsed(self):
+        assert build_parser().parse_args(["run", "fig4", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["all", "--jobs", "2"]).jobs == 2
+        assert build_parser().parse_args(["claims", "--jobs", "2"]).jobs == 2
 
 
 class TestCommands:
@@ -50,3 +56,10 @@ class TestCommands:
         assert main(["claims"]) == 0
         out = capsys.readouterr().out
         assert "explicit removal" in out
+
+    def test_run_with_jobs_matches_serial(self, capsys):
+        assert main(["run", "fig17", "--fast"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig17", "--fast", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

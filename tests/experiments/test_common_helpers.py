@@ -88,3 +88,22 @@ class TestSimSupport:
         assert point.inconsistency_err >= 0.0
         assert point.message_rate > 0.0
         assert point.message_rate_err >= 0.0
+
+
+class TestEmptySweeps:
+    def test_empty_sweep_returns_empty_series(self):
+        from repro.experiments.common import (
+            multihop_metric_series,
+            parametric_singlehop_series,
+            singlehop_metric_series,
+        )
+
+        for series in (
+            singlehop_metric_series((), lambda x: kazaa_defaults(), lambda s: 0.0),
+            parametric_singlehop_series(
+                (), lambda x: kazaa_defaults(), lambda s: 0.0, lambda s: 0.0
+            ),
+            multihop_metric_series((), lambda x: None, lambda s: 0.0),
+        ):
+            assert all(s.x == () and s.y == () for s in series)
+            assert len(series) >= 3

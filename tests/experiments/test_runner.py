@@ -53,6 +53,44 @@ class TestPanel:
     def test_labels(self):
         assert self.make_panel().labels() == ("a", "b")
 
+    def test_mismatched_x_axes_rejected(self):
+        with pytest.raises(ValueError, match="x-axis"):
+            Panel(
+                name="p",
+                x_label="x",
+                y_label="y",
+                series=(
+                    Series("a", (1.0, 2.0), (1.0, 2.0)),
+                    Series("b", (1.0, 3.0), (1.0, 2.0)),
+                ),
+            )
+
+    def test_shorter_series_rejected(self):
+        with pytest.raises(ValueError, match="x-axis"):
+            Panel(
+                name="p",
+                x_label="x",
+                y_label="y",
+                series=(Series("a", (1.0, 2.0), (1.0, 2.0)), Series("b", (1.0,), (1.0,))),
+            )
+
+    def test_parametric_panel_allows_differing_x(self):
+        panel = Panel(
+            name="p",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series("a", (1.0, 2.0), (1.0, 2.0)),
+                Series("b", (5.0,), (1.0,)),
+            ),
+            shared_x=False,
+        )
+        assert panel.labels() == ("a", "b")
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            Panel(name="p", x_label="x", y_label="y", series=())
+
 
 class TestExperimentResult:
     def make_result(self):
@@ -87,6 +125,72 @@ class TestExperimentResult:
         text = ExperimentResult("e", "t", (panel,)).to_text()
         assert "±" in text
 
+    def make_parametric_result(self):
+        panel = Panel(
+            name="tradeoff",
+            x_label="I",
+            y_label="M",
+            series=(
+                Series("a", (0.1, 0.2), (1.0, 2.0)),
+                Series("b", (0.5,), (9.0,)),
+            ),
+            shared_x=False,
+        )
+        return ExperimentResult("e", "t", (panel,))
+
+    def test_parametric_to_text_renders_per_series_blocks(self):
+        text = self.make_parametric_result().to_text()
+        assert "[a]" in text
+        assert "[b]" in text
+        # Every series' own points appear; no NaN padding rows.
+        assert "0.5" in text
+        assert "nan" not in text.lower()
+
+    def test_parametric_to_csv_has_per_series_x_columns(self):
+        csv_text = self.make_parametric_result().to_csv()["tradeoff"]
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a_x,a,b_x,b"
+        assert lines[1] == "0.1,1,0.5,9"
+        # The shorter series leaves its cells empty, not NaN.
+        assert lines[2] == "0.2,2,,"
+
+    def test_shared_csv_has_no_nan_padding(self):
+        csv_text = self.make_result().to_csv()["main"]
+        assert "nan" not in csv_text.lower()
+
+
+class TestCsvQuoting:
+    def make_result_with_label(self, label):
+        panel = Panel(
+            name="p",
+            x_label="x",
+            y_label="y",
+            series=(Series(label, (1.0,), (2.0,)),),
+        )
+        return ExperimentResult("e", "t", (panel,))
+
+    def test_comma_quoted(self):
+        csv_text = self.make_result_with_label("a,b").to_csv()["p"]
+        assert csv_text.splitlines()[0] == 'x,"a,b"'
+
+    def test_newline_quoted(self):
+        csv_text = self.make_result_with_label("two\nlines").to_csv()["p"]
+        assert '"two\nlines"' in csv_text
+        # The document still parses: the quoted field spans the break.
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(csv_text)))
+        assert rows[0] == ["x", "two\nlines"]
+
+    def test_carriage_return_quoted(self):
+        csv_text = self.make_result_with_label("a\rb").to_csv()["p"]
+        assert '"a\rb"' in csv_text
+
+    def test_double_quote_escaped(self):
+        csv_text = self.make_result_with_label('say "hi"').to_csv()["p"]
+        assert '"say ""hi"""' in csv_text
+
 
 class TestSweeps:
     def test_geometric_endpoints(self):
@@ -106,6 +210,28 @@ class TestSweeps:
     def test_linear_endpoints(self):
         sweep = linear_sweep(0.0, 1.0, 5)
         assert sweep == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_geometric_endpoint_is_exact(self):
+        # 10 * ((10000/10)**(1/15))**15 drifts off 10000.0 in floating
+        # point; the sweep must clamp so value_at(high) keeps working.
+        sweep = geometric_sweep(10.0, 10_000.0, 16)
+        assert sweep[-1] == 10_000.0
+        series = Series("s", sweep, tuple(range(16)))
+        assert series.value_at(10_000.0) == 15
+
+    def test_linear_endpoint_is_exact(self):
+        sweep = linear_sweep(0.1, 0.9, 7)
+        assert sweep[0] == 0.1
+        assert sweep[-1] == 0.9
+
+    def test_two_point_sweeps_are_exact(self):
+        assert geometric_sweep(3.0, 7.0, 2) == (3.0, 7.0)
+        assert linear_sweep(3.0, 7.0, 2) == (3.0, 7.0)
+
+    def test_geometric_interior_unchanged(self):
+        sweep = geometric_sweep(1.0, 100.0, 5)
+        assert sweep[2] == pytest.approx(10.0)
+        assert all(a < b for a, b in zip(sweep, sweep[1:]))
 
     def test_linear_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,77 @@
+"""Tests for the content-keyed solve cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SignalingParameters, kazaa_defaults
+from repro.core.protocols import Protocol
+from repro.runtime.cache import SolveCache, cache_key, global_cache
+
+
+class TestCacheKey:
+    def test_equal_parameter_content_maps_to_equal_keys(self):
+        a = cache_key("singlehop", Protocol.SS, SignalingParameters())
+        b = cache_key("singlehop", Protocol.SS, kazaa_defaults())
+        assert a == b
+
+    def test_different_parameters_differ(self):
+        base = kazaa_defaults()
+        a = cache_key("singlehop", Protocol.SS, base)
+        b = cache_key("singlehop", Protocol.SS, base.replace(delay=0.05))
+        assert a != b
+
+    def test_protocol_and_kind_distinguish(self):
+        params = kazaa_defaults()
+        assert cache_key("singlehop", Protocol.SS, params) != cache_key(
+            "singlehop", Protocol.HS, params
+        )
+        assert cache_key("singlehop", Protocol.SS, params) != cache_key(
+            "multihop", Protocol.SS, params
+        )
+
+    def test_extra_participates(self):
+        params = kazaa_defaults()
+        assert cache_key("h", Protocol.SS, params, extra=(1,)) != cache_key(
+            "h", Protocol.SS, params, extra=(2,)
+        )
+
+
+class TestSolveCache:
+    def test_miss_then_hit(self):
+        cache = SolveCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 42)
+        assert cache.get(("k",)) == 42
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_contains_and_len(self):
+        cache = SolveCache()
+        cache.put(("a",), 1)
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert len(cache) == 1
+
+    def test_clear_resets_everything(self):
+        cache = SolveCache()
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_eviction_beyond_maxsize_drops_oldest(self):
+        cache = SolveCache(maxsize=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)
+        assert len(cache) == 2
+        assert ("a",) not in cache
+        assert cache.get(("c",)) == 3
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(maxsize=0)
+
+    def test_global_cache_is_shared(self):
+        assert global_cache() is global_cache()

@@ -1,0 +1,94 @@
+"""Tests for the process-pool sweep executor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runtime import configure, effective_jobs, parallel_map, using_jobs
+from repro.runtime.executor import available_cpus
+
+
+@pytest.fixture(autouse=True)
+def reset_default_jobs():
+    configure(None)
+    yield
+    configure(None)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestJobsResolution:
+    def test_defaults_to_serial(self):
+        assert effective_jobs() == 1
+
+    def test_explicit_argument_wins(self):
+        configure(3)
+        assert effective_jobs(2) == 2
+
+    def test_configure_sets_default(self):
+        configure(4)
+        assert effective_jobs() == 4
+        configure(None)
+        assert effective_jobs() == 1
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert effective_jobs() == 5
+
+    def test_invalid_environment_variable_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            effective_jobs()
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            configure(0)
+        with pytest.raises(ValueError):
+            effective_jobs(-1)
+
+    def test_using_jobs_restores_previous_default(self):
+        configure(2)
+        with using_jobs(6):
+            assert effective_jobs() == 6
+        assert effective_jobs() == 2
+
+    def test_using_jobs_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with using_jobs(6):
+                raise RuntimeError("boom")
+        assert effective_jobs() == 1
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestParallelMap:
+    def test_serial_matches_builtin_map(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_preserves_input_order_across_workers(self):
+        items = list(range(40))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_accepts_any_iterable(self):
+        assert parallel_map(_square, iter(range(5))) == [0, 1, 4, 9, 16]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(17))
+        assert parallel_map(math.factorial, items, jobs=2) == parallel_map(
+            math.factorial, items, jobs=1
+        )
+
+    def test_configured_default_applies(self):
+        configure(2)
+        items = list(range(6))
+        assert parallel_map(_square, items) == [x * x for x in items]

@@ -1,0 +1,145 @@
+"""Tests for the cache-aware batch solvers and experiment fan-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import kazaa_defaults, reservation_defaults
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.runtime import (
+    global_cache,
+    run_experiments,
+    solve_multihop_batch,
+    solve_protocol_suite,
+    solve_singlehop_batch,
+)
+from repro.runtime.solvers import solve_singlehop_point
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    global_cache().clear()
+    yield
+    global_cache().clear()
+
+
+class TestSingleHopBatch:
+    def test_matches_direct_solve(self):
+        params = kazaa_defaults()
+        tasks = [(protocol, params) for protocol in Protocol]
+        solutions = solve_singlehop_batch(tasks)
+        for (protocol, _), solution in zip(tasks, solutions):
+            direct = SingleHopModel(protocol, params).solve()
+            assert solution.protocol is protocol
+            assert solution.inconsistency_ratio == direct.inconsistency_ratio
+            assert solution.normalized_message_rate == direct.normalized_message_rate
+
+    def test_duplicate_tasks_solved_once(self):
+        params = kazaa_defaults()
+        task = (Protocol.SS, params)
+        solutions = solve_singlehop_batch([task, task, task])
+        assert solutions[0] is solutions[1] is solutions[2]
+        assert len(global_cache()) == 1
+
+    def test_repeat_batch_served_from_cache(self):
+        params = kazaa_defaults()
+        tasks = [(Protocol.SS, params), (Protocol.HS, params)]
+        first = solve_singlehop_batch(tasks)
+        before = global_cache().stats()["misses"]
+        second = solve_singlehop_batch(tasks)
+        assert global_cache().stats()["misses"] == before
+        assert [s.inconsistency_ratio for s in first] == [
+            s.inconsistency_ratio for s in second
+        ]
+
+    def test_content_equal_parameters_share_cache_entries(self):
+        solve_singlehop_batch([(Protocol.SS, kazaa_defaults())])
+        solve_singlehop_batch([(Protocol.SS, kazaa_defaults())])
+        assert len(global_cache()) == 1
+
+    def test_parallel_matches_serial(self):
+        base = kazaa_defaults()
+        tasks = [
+            (protocol, base.replace(delay=delay))
+            for protocol in (Protocol.SS, Protocol.HS)
+            for delay in (0.01, 0.03, 0.05)
+        ]
+        serial = solve_singlehop_batch(tasks, jobs=1)
+        global_cache().clear()
+        parallel = solve_singlehop_batch(tasks, jobs=2)
+        assert [s.inconsistency_ratio for s in serial] == [
+            s.inconsistency_ratio for s in parallel
+        ]
+        assert [s.message_breakdown for s in serial] == [
+            s.message_breakdown for s in parallel
+        ]
+
+    def test_point_solver_memoizes(self):
+        task = (Protocol.SS, kazaa_defaults())
+        first = solve_singlehop_point(task)
+        second = solve_singlehop_point(task)
+        assert first is second
+
+
+class TestMultiHopBatch:
+    def test_matches_direct_solve(self):
+        params = reservation_defaults()
+        tasks = [(protocol, params) for protocol in Protocol.multihop_family()]
+        solutions = solve_multihop_batch(tasks)
+        assert [s.protocol for s in solutions] == list(Protocol.multihop_family())
+        assert all(0.0 <= s.inconsistency_ratio <= 1.0 for s in solutions)
+
+
+class TestHeterogeneousBatch:
+    def test_matches_direct_solve_and_keys_on_hop_vector(self):
+        from repro.core.multihop.heterogeneous import (
+            HeterogeneousHop,
+            HeterogeneousMultiHopModel,
+            hops_from_parameters,
+        )
+        from repro.runtime import solve_heterogeneous_batch
+
+        params = reservation_defaults().replace(hops=5)
+        uniform = hops_from_parameters(params)
+        lossy = (HeterogeneousHop(0.2, 0.05),) + uniform[1:]
+        tasks = [
+            (Protocol.SS, params, uniform),
+            (Protocol.SS, params, lossy),
+            (Protocol.SS, params, uniform),  # duplicate of the first
+        ]
+        solutions = solve_heterogeneous_batch(tasks)
+        direct = HeterogeneousMultiHopModel(Protocol.SS, params, uniform).solve()
+        assert solutions[0].inconsistency_ratio == direct.inconsistency_ratio
+        # Different hop vectors must not collide in the cache...
+        assert solutions[1].inconsistency_ratio != solutions[0].inconsistency_ratio
+        # ...while identical ones dedupe to a single solve.
+        assert solutions[2] is solutions[0]
+        assert len(global_cache()) == 2
+
+
+class TestProtocolSuite:
+    def test_covers_every_protocol(self):
+        suite = solve_protocol_suite(kazaa_defaults())
+        assert set(suite) == set(Protocol)
+
+    def test_is_picklable(self):
+        import pickle
+
+        suite = solve_protocol_suite(kazaa_defaults())
+        clone = pickle.loads(pickle.dumps(suite))
+        assert set(clone) == set(Protocol)
+
+
+class TestRunExperiments:
+    def test_serial_fanout_matches_run_experiment(self):
+        from repro.experiments import run_experiment
+
+        direct = run_experiment("fig17", fast=True)
+        (fanned,) = run_experiments(["fig17"], fast=True)
+        assert fanned.to_text() == direct.to_text()
+
+    def test_parallel_fanout_matches_serial(self):
+        serial = run_experiments(["fig17", "table1"], fast=True, jobs=1)
+        parallel = run_experiments(["fig17", "table1"], fast=True, jobs=2)
+        assert [r.to_text() for r in serial] == [r.to_text() for r in parallel]

@@ -347,6 +347,105 @@ class TestInterrupts:
         assert wakeups == ["interrupt"]
 
 
+class TestInterruptEdgeCases:
+    def test_stale_timeout_fire_does_not_resume_waiting_process(self):
+        """The pending Timeout of an interrupted wait fires later; the
+        process (by then waiting on a new event) must not be resumed by
+        the stale firing — it resumes exactly once, from the new wait."""
+        env = Environment()
+        resumes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+                resumes.append(("timeout", env.now))
+            except Interrupt:
+                resumes.append(("interrupt", env.now))
+            # A wait that straddles t=10, when the stale Timeout fires.
+            yield env.timeout(100.0)
+            resumes.append(("woke", env.now))
+
+        def waker(env, target):
+            yield env.timeout(5.0)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert resumes == [("interrupt", 5.0), ("woke", 105.0)]
+
+    def test_rewaiting_on_the_interrupted_timeout_still_works(self):
+        """After an interrupt, a process may deliberately re-yield the
+        Timeout it was waiting on; the pending event resumes it at the
+        originally scheduled time."""
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            wait = env.timeout(10.0)
+            try:
+                yield wait
+                log.append(("slept", env.now))
+            except Interrupt:
+                log.append(("interrupt", env.now))
+                yield wait
+                log.append(("slept-late", env.now))
+
+        def waker(env, target):
+            yield env.timeout(4.0)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert log == [("interrupt", 4.0), ("slept-late", 10.0)]
+
+    def test_queued_interrupts_delivered_in_order(self):
+        env = Environment()
+        causes = []
+
+        def sleeper(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(100.0)
+                except Interrupt as interrupt:
+                    causes.append((interrupt.cause, env.now))
+            yield env.timeout(1.0)
+            causes.append(("done", env.now))
+
+        def waker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt("first")
+            target.interrupt("second")
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert causes == [("first", 2.0), ("second", 2.0), ("done", 3.0)]
+
+    def test_pending_interrupt_dropped_when_generator_returns(self):
+        """A process that finishes while a second interrupt is queued
+        completes normally; the leftover interrupt is discarded."""
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                return "stopped"
+            return "slept"
+
+        def waker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt("a")
+            target.interrupt("b")
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert target.value == "stopped"
+
+
 class TestRunUntil:
     def test_run_until_event_returns_its_value(self):
         env = Environment()
