@@ -1,0 +1,23 @@
+# Developer entry points.  Everything assumes only numpy/scipy/pytest
+# (plus pytest-benchmark for `bench`) are installed; PYTHONPATH=src is
+# injected so no editable install is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
+BENCH_JSON ?= BENCH_$(BENCH_STAMP).json
+
+.PHONY: test bench lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Run the full benchmark suite and leave a timestamped JSON behind --
+# the artifact the nightly CI job uploads to build the perf trajectory.
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-json=$(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+lint:
+	ruff check src tests benchmarks examples

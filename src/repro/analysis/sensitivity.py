@@ -13,7 +13,7 @@ from collections.abc import Callable, Sequence
 
 from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
-from repro.runtime import parallel_map, solve_protocol_suite
+from repro.runtime import solve_singlehop_batch
 
 __all__ = ["ClaimCheck", "check_claims", "default_claims", "plausible_decodings"]
 
@@ -103,14 +103,24 @@ def check_claims(
 ) -> list[ClaimCheck]:
     """Evaluate every claim on every parameterization.
 
-    The decoding grid is embarrassingly parallel: each parameterization
-    is an independent five-protocol solve, fanned across workers via the
-    runtime.  The (cheap, unpicklable) claim predicates run in the
-    parent, in grid order, so the report is deterministic.
+    The whole grid is one flat batch of ``(protocol, params)`` points:
+    the runtime dedupes repeats through the memo cache and solves the
+    misses through the compiled-template fast path (fanned across
+    workers when ``jobs > 1``).  The (cheap, unpicklable) claim
+    predicates run in the parent, in grid order, so the report is
+    deterministic.
     """
     parameterizations = tuple(parameterizations or plausible_decodings())
     claims = claims or default_claims()
-    suites = parallel_map(solve_protocol_suite, parameterizations, jobs=jobs)
+    protocols = tuple(Protocol)
+    tasks = [
+        (protocol, params) for params in parameterizations for protocol in protocols
+    ]
+    solutions = solve_singlehop_batch(tasks, jobs=jobs)
+    suites = [
+        dict(zip(protocols, solutions[i * len(protocols) : (i + 1) * len(protocols)]))
+        for i in range(len(parameterizations))
+    ]
     checks: list[ClaimCheck] = []
     for params, solutions in zip(parameterizations, suites):
         for name, predicate in claims.items():

@@ -24,7 +24,7 @@ from repro.core.protocols import Protocol
 from repro.experiments import experiment_ids, run_experiment
 from repro.experiments.claims import render_report
 from repro.experiments.diagrams import render_multihop_chain, render_singlehop_chain
-from repro.runtime import effective_jobs, run_experiments, using_jobs
+from repro.runtime import effective_jobs, global_cache, run_experiments, using_jobs
 
 __all__ = ["build_parser", "main"]
 
@@ -46,6 +46,35 @@ def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="solve across N worker processes (default: serial, or $REPRO_JOBS)",
+    )
+
+
+def _add_verbose_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report solve-cache hit/miss counters on stderr when done",
+    )
+
+
+def _print_cache_stats() -> None:
+    """Solve-cache counters, so sweep dedup wins are observable.
+
+    The counters cover this (parent) process.  For ``run``/``claims``
+    the parent dedupes every sweep point, so with ``--jobs N`` the
+    misses are exactly the work fanned to the workers and the hits are
+    the solves the memo cache saved.  ``all --jobs N`` fans *whole
+    experiments* into workers (each with its own per-process cache), so
+    the parent counters only reflect parent-side solves — near zero
+    there by design.
+    """
+    stats = global_cache().stats()
+    lookups = stats["hits"] + stats["misses"]
+    rate = (100.0 * stats["hits"] / lookups) if lookups else 0.0
+    print(
+        f"solve cache: {stats['hits']} hits, {stats['misses']} misses "
+        f"({rate:.1f}% hit rate), {stats['size']} entries",
+        file=sys.stderr,
     )
 
 
@@ -74,16 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write one CSV per panel into this directory",
     )
     _add_jobs_flag(run_cmd)
+    _add_verbose_flag(run_cmd)
 
     all_cmd = commands.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--fast", action="store_true")
     all_cmd.add_argument("--output-dir", type=pathlib.Path)
     _add_jobs_flag(all_cmd)
+    _add_verbose_flag(all_cmd)
 
     claims_cmd = commands.add_parser(
         "claims", help="check the paper's qualitative claims across decodings"
     )
     _add_jobs_flag(claims_cmd)
+    _add_verbose_flag(claims_cmd)
 
     report_cmd = commands.add_parser(
         "report", help="evaluate every per-figure claim against regenerated figures"
@@ -142,6 +174,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 path = args.csv_dir / f"{args.experiment}_{slug}.csv"
                 path.write_text(csv_text)
                 print(f"wrote {path}")
+        if args.verbose:
+            _print_cache_stats()
         return 0
     if args.command == "all":
         ids = sorted(experiment_ids())
@@ -161,9 +195,13 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             _emit(result.to_text(), output)
             if output is None:
                 print()
+        if args.verbose:
+            _print_cache_stats()
         return 0
     if args.command == "claims":
         print(robustness_report(jobs=args.jobs))
+        if args.verbose:
+            _print_cache_stats()
         return 0
     if args.command == "report":
         print(render_report(fast=not args.full))

@@ -28,7 +28,12 @@ from collections.abc import Hashable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SPARSE_STATE_THRESHOLD", "ContinuousTimeMarkovChain"]
+__all__ = [
+    "SPARSE_STATE_THRESHOLD",
+    "ContinuousTimeMarkovChain",
+    "batched_absorption_times_dense",
+    "batched_stationary_dense",
+]
 
 State = Hashable
 
@@ -81,6 +86,9 @@ class ContinuousTimeMarkovChain:
         self._states: tuple[State, ...] = tuple(states)
         self._index: dict[State, int] = {s: i for i, s in enumerate(self._states)}
         self._rates: dict[tuple[State, State], float] = {}
+        # Per-state total exit rate, accumulated once here so holding
+        # times and generator assembly never rescan the transition map.
+        self._exit_rates: list[float] = [0.0] * len(self._states)
         for (origin, destination), rate in rates.items():
             if origin not in self._index or destination not in self._index:
                 raise ValueError(f"transition {origin!r}->{destination!r} uses unknown state")
@@ -90,6 +98,7 @@ class ContinuousTimeMarkovChain:
                 raise ValueError(f"invalid rate {rate!r} for {origin!r}->{destination!r}")
             if rate > 0:
                 self._rates[(origin, destination)] = self._rates.get((origin, destination), 0.0) + float(rate)
+                self._exit_rates[self._index[origin]] += float(rate)
 
     @property
     def states(self) -> tuple[State, ...]:
@@ -124,14 +133,11 @@ class ContinuousTimeMarkovChain:
         rows: list[int] = []
         cols: list[int] = []
         data: list[float] = []
-        exit_rates = [0.0] * len(self._states)
         for (origin, destination), rate in self._rates.items():
-            i, j = self._index[origin], self._index[destination]
-            rows.append(i)
-            cols.append(j)
+            rows.append(self._index[origin])
+            cols.append(self._index[destination])
             data.append(rate)
-            exit_rates[i] += rate
-        for i, total in enumerate(exit_rates):
+        for i, total in enumerate(self._exit_rates):
             if total:
                 rows.append(i)
                 cols.append(i)
@@ -335,7 +341,10 @@ class ContinuousTimeMarkovChain:
 
     def holding_time(self, state: State) -> float:
         """Mean sojourn time of ``state`` (inf when it has no exits)."""
-        total = sum(rate for (origin, _), rate in self._rates.items() if origin == state)
+        index = self._index.get(state)
+        if index is None:
+            return float("inf")
+        total = self._exit_rates[index]
         if total == 0.0:
             return float("inf")
         return 1.0 / total
@@ -348,3 +357,69 @@ class ContinuousTimeMarkovChain:
         ):
             lines.append(f"  {origin!r} -> {destination!r} @ {rate:.6g}")
         return "\n".join(lines)
+
+
+def batched_stationary_dense(generators: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stationary distributions of ``K`` stacked dense generators.
+
+    ``generators`` is a ``(K, n, n)`` array of generator matrices (rows
+    summing to zero).  Solves every point with one stacked LAPACK call —
+    the same ``dgesv`` the per-chain dense path uses, applied per
+    matrix, so results are bit-identical to K separate
+    :meth:`ContinuousTimeMarkovChain.stationary_distribution` calls.
+
+    Returns ``(pi, bad)``: ``pi`` is ``(K, n)`` with each row clipped to
+    non-negative and normalized to sum 1; ``bad`` is a ``(K,)`` boolean
+    mask marking points whose solve failed the same residual /
+    negativity acceptance test the per-chain path applies (callers
+    should re-solve those through the reference path so they raise the
+    reference's diagnostics).  Raises ``numpy.linalg.LinAlgError`` when
+    any stacked matrix is exactly singular.
+    """
+    if generators.ndim != 3 or generators.shape[1] != generators.shape[2]:
+        raise ValueError(f"expected (K, n, n) generators, got {generators.shape}")
+    k, n, _ = generators.shape
+    a = generators.transpose(0, 2, 1).copy()
+    a[:, -1, :] = 1.0
+    b = np.zeros((k, n, 1))
+    b[:, -1, 0] = 1.0
+    pi = np.linalg.solve(a, b)[..., 0]
+    residual = np.abs(generators.transpose(0, 2, 1) @ pi[..., None])[..., 0].max(axis=1)
+    scale = np.maximum(1.0, np.abs(generators).reshape(k, -1).max(axis=1))
+    bad = (residual > 1e-8 * scale) | np.any(pi < -1e-9, axis=1) | ~np.all(
+        np.isfinite(pi), axis=1
+    )
+    pi = np.clip(pi, 0.0, None)
+    totals = pi.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0.0, totals, 1.0)
+    pi /= safe
+    bad |= totals[:, 0] <= 0.0
+    return pi, bad
+
+
+def batched_absorption_times_dense(
+    transient_generators: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expected absorption times for ``K`` stacked transient blocks.
+
+    ``transient_generators`` is ``(K, m, m)``: the ``Q_TT`` block of
+    each point's generator (diagonals carry the *full* exit rates,
+    including flows into the absorbing states).  Solves
+    ``(-Q_TT) t = 1`` for every point in one stacked LAPACK call.
+
+    Returns ``(times, bad)`` where ``times`` is ``(K, m)`` and ``bad``
+    marks points with non-finite or negative entries (absorption not
+    certain); callers should re-solve those via the reference path.
+    """
+    if (
+        transient_generators.ndim != 3
+        or transient_generators.shape[1] != transient_generators.shape[2]
+    ):
+        raise ValueError(
+            f"expected (K, m, m) transient blocks, got {transient_generators.shape}"
+        )
+    k, m, _ = transient_generators.shape
+    ones = np.ones((k, m, 1))
+    times = np.linalg.solve(-transient_generators, ones)[..., 0]
+    bad = ~np.all(np.isfinite(times), axis=1) | np.any(times < 0.0, axis=1)
+    return times, bad

@@ -9,13 +9,22 @@ depend on homogeneity — only its rates do).
 
 The homogeneous model is recovered exactly when every hop is identical
 (tested), which also serves as a cross-check of both implementations.
+
+The per-hop rate math is factored into pure profile functions
+(:func:`reach_profile`, :func:`recovery_rate_profile`,
+:func:`first_timeout_profile`, :func:`heterogeneous_message_components`)
+shared with the compiled-template fast path in
+:mod:`repro.core.templates`; the model class is the reference
+implementation that the templates are parity-tested against.  All
+profiles are built on a single prefix-product pass over the hop vector,
+so rate construction is O(n) bookkeeping on top of the O(n²) edge set
+instead of the old O(n) ``math.prod`` per edge.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.markov import ContinuousTimeMarkovChain
 from repro.core.multihop.model import MultiHopSolution
@@ -23,7 +32,16 @@ from repro.core.multihop.states import RECOVERY, HopState, multihop_state_space
 from repro.core.parameters import MultiHopParameters
 from repro.core.protocols import Protocol
 
-__all__ = ["HeterogeneousHop", "HeterogeneousMultiHopModel", "hops_from_parameters"]
+__all__ = [
+    "HeterogeneousHop",
+    "HeterogeneousMultiHopModel",
+    "expected_link_crossings_heterogeneous",
+    "first_timeout_profile",
+    "heterogeneous_message_components",
+    "hops_from_parameters",
+    "reach_profile",
+    "recovery_rate_profile",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +65,123 @@ def hops_from_parameters(params: MultiHopParameters) -> tuple[HeterogeneousHop, 
     )
 
 
+def reach_profile(hops: Sequence[HeterogeneousHop]) -> tuple[float, ...]:
+    """Prefix products ``reach[k] = P(message survives the first k links)``.
+
+    ``reach[0] = 1`` and ``reach[n]`` is the end-to-end delivery
+    probability.  One O(n) pass replaces the per-call O(n)
+    ``math.prod`` the rate builders previously recomputed per edge.
+    """
+    profile = [1.0]
+    survive = 1.0
+    for hop in hops:
+        survive *= 1.0 - hop.loss_rate
+        profile.append(survive)
+    return tuple(profile)
+
+
+def recovery_rate_profile(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    hops: Sequence[HeterogeneousHop],
+    reach: Sequence[float],
+) -> tuple[float, ...]:
+    """Entry ``i``: the rate of ``(i,1) -> (i+1,0)`` (slow-path repair).
+
+    A refresh must survive hops ``1..i+1`` end to end; a hop-local
+    retransmission must survive only the broken hop ``i+1``.
+    """
+    rates = []
+    for i, hop in enumerate(hops):
+        refresh = reach[i + 1] / params.refresh_interval
+        retransmit = (1.0 - hop.loss_rate) / params.retransmission_interval
+        if protocol is Protocol.SS:
+            rates.append(refresh)
+        elif protocol is Protocol.SS_RT:
+            rates.append(refresh + retransmit)
+        else:  # HS
+            rates.append(retransmit)
+    return tuple(rates)
+
+
+def first_timeout_profile(
+    params: MultiHopParameters, reach: Sequence[float]
+) -> tuple[float, ...]:
+    """Entry ``j``: rate of the first state timeout leaving ``j`` hops.
+
+    Eq. 9 with per-hop reach probabilities: the first expiry happens at
+    hop ``j+1`` when every refresh of a timeout window misses hop
+    ``j+1`` but not hop ``j``.
+    """
+    exponent = params.timeout_interval / params.refresh_interval
+    rates = []
+    for j in range(len(reach) - 1):
+        probability = (1.0 - reach[j + 1]) ** exponent - (1.0 - reach[j]) ** exponent
+        rates.append(max(probability, 0.0) / params.timeout_interval)
+    return tuple(rates)
+
+
+def expected_link_crossings_heterogeneous(
+    hops: Sequence[HeterogeneousHop], reach: Sequence[float] | None = None
+) -> float:
+    """Mean links crossed by one end-to-end message (heterogeneous eq. 14)."""
+    if reach is None:
+        reach = reach_profile(hops)
+    return sum(reach[k] for k in range(len(hops)))
+
+
+def heterogeneous_message_components(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    hops: Sequence[HeterogeneousHop],
+    stationary: Mapping[object, float],
+    reach: Sequence[float] | None = None,
+) -> dict[str, float]:
+    """Per-kind per-link-transmission rates under per-hop loss/delay.
+
+    The heterogeneous counterpart of
+    :func:`repro.core.multihop.messages.multihop_message_components`,
+    shared between :class:`HeterogeneousMultiHopModel` and the
+    compiled-template fast path.
+    """
+    if reach is None:
+        reach = reach_profile(hops)
+    n = params.hops
+    retransmit = 1.0 / params.retransmission_interval
+    fast_rate = 0.0
+    slow_total = 0.0
+    ack_rate = 0.0
+    for state, probability in stationary.items():
+        if not isinstance(state, HopState):
+            continue
+        if not state.slow and state.consistent_hops < n:
+            hop = hops[state.consistent_hops]
+            fast_rate += probability / hop.delay
+            ack_rate += probability * (1.0 - hop.loss_rate) / hop.delay
+        elif state.slow:
+            slow_total += probability
+            hop = hops[min(state.consistent_hops, n - 1)]
+            ack_rate += probability * (1.0 - hop.loss_rate) * retransmit
+    breakdown = {
+        "trigger_hops": fast_rate,
+        "refresh_hops": 0.0,
+        "retransmissions": 0.0,
+        "acks": 0.0,
+        "recovery_traffic": 0.0,
+    }
+    if protocol.uses_refreshes:
+        breakdown["refresh_hops"] = (
+            expected_link_crossings_heterogeneous(hops, reach) / params.refresh_interval
+        )
+    if protocol.reliable_triggers:
+        breakdown["retransmissions"] = retransmit * slow_total
+        breakdown["acks"] = ack_rate
+    if protocol is Protocol.HS:
+        mean_delay = sum(h.delay for h in hops) / n
+        breakdown["recovery_traffic"] = stationary.get(RECOVERY, 0.0) / mean_delay
+    return breakdown
+
+
 class HeterogeneousMultiHopModel:
     """The §III-B chain with per-hop loss/delay (SS, SS+RT, HS)."""
 
@@ -66,6 +201,7 @@ class HeterogeneousMultiHopModel:
         self.protocol = protocol
         self.params = params
         self.hops = tuple(hops)
+        self._reach = reach_profile(self.hops)
         self._states = multihop_state_space(
             params.hops, with_recovery=protocol is Protocol.HS
         )
@@ -79,28 +215,7 @@ class HeterogeneousMultiHopModel:
         """Probability an end-to-end message survives the first ``hop_count`` links."""
         if not 0 <= hop_count <= len(self.hops):
             raise ValueError(f"hop_count out of range: {hop_count}")
-        return math.prod(1.0 - h.loss_rate for h in self.hops[:hop_count])
-
-    def _recovery_rate(self, target_hops: int) -> float:
-        """Rate of ``(i-1,1) -> (i,0)`` with ``i = target_hops``."""
-        refresh = self.reach_probability(target_hops) / self.params.refresh_interval
-        hop = self.hops[target_hops - 1]
-        retransmit = (1.0 - hop.loss_rate) / self.params.retransmission_interval
-        if self.protocol is Protocol.SS:
-            return refresh
-        if self.protocol is Protocol.SS_RT:
-            return refresh + retransmit
-        return retransmit  # HS
-
-    def _first_timeout_rate(self, surviving_hops: int) -> float:
-        """Eq. 9 with per-hop reach probabilities."""
-        exponent = self.params.timeout_interval / self.params.refresh_interval
-        miss_through = lambda k: 1.0 - self.reach_probability(k)  # noqa: E731
-        probability = (
-            miss_through(surviving_hops + 1) ** exponent
-            - miss_through(surviving_hops) ** exponent
-        )
-        return max(probability, 0.0) / self.params.timeout_interval
+        return self._reach[hop_count]
 
     def _build_rates(self) -> dict:
         params = self.params
@@ -116,20 +231,22 @@ class HeterogeneousMultiHopModel:
         for state in self._states:
             add(state, start, params.update_rate)
 
+        recovery = recovery_rate_profile(self.protocol, params, self.hops, self._reach)
         for i in range(n):
             hop = self.hops[i]
             fast = HopState(i, False)
             slow = HopState(i, True)
             add(fast, HopState(i + 1, False), (1.0 - hop.loss_rate) / hop.delay)
             add(fast, slow, hop.loss_rate / hop.delay)
-            add(slow, HopState(i + 1, False), self._recovery_rate(i + 1))
+            add(slow, HopState(i + 1, False), recovery[i])
 
         if self.protocol is not Protocol.HS:
+            timeout = first_timeout_profile(params, self._reach)
             for state in self._states:
                 if not isinstance(state, HopState):
                     continue
                 for j in range(state.consistent_hops):
-                    add(state, HopState(j, True), self._first_timeout_rate(j))
+                    add(state, HopState(j, True), timeout[j])
         else:
             lam_x = params.external_false_signal_rate
             mean_delay = sum(h.delay for h in self.hops) / n
@@ -147,45 +264,12 @@ class HeterogeneousMultiHopModel:
         """The heterogeneous multi-hop CTMC."""
         return ContinuousTimeMarkovChain(self._states, self._rates)
 
-    def _expected_link_crossings(self) -> float:
-        return sum(self.reach_probability(k) for k in range(len(self.hops)))
-
     def solve(self) -> MultiHopSolution:
         """Stationary distribution + message rates (per-link counting)."""
         stationary = self.chain().stationary_distribution()
-        n = self.params.hops
-        retransmit = 1.0 / self.params.retransmission_interval
-        fast_rate = 0.0
-        slow_total = 0.0
-        ack_rate = 0.0
-        for state, probability in stationary.items():
-            if not isinstance(state, HopState):
-                continue
-            if not state.slow and state.consistent_hops < n:
-                hop = self.hops[state.consistent_hops]
-                fast_rate += probability / hop.delay
-                ack_rate += probability * (1.0 - hop.loss_rate) / hop.delay
-            elif state.slow:
-                slow_total += probability
-                hop = self.hops[min(state.consistent_hops, n - 1)]
-                ack_rate += probability * (1.0 - hop.loss_rate) * retransmit
-        breakdown = {
-            "trigger_hops": fast_rate,
-            "refresh_hops": 0.0,
-            "retransmissions": 0.0,
-            "acks": 0.0,
-            "recovery_traffic": 0.0,
-        }
-        if self.protocol.uses_refreshes:
-            breakdown["refresh_hops"] = (
-                self._expected_link_crossings() / self.params.refresh_interval
-            )
-        if self.protocol.reliable_triggers:
-            breakdown["retransmissions"] = retransmit * slow_total
-            breakdown["acks"] = ack_rate
-        if self.protocol is Protocol.HS:
-            mean_delay = sum(h.delay for h in self.hops) / n
-            breakdown["recovery_traffic"] = stationary.get(RECOVERY, 0.0) / mean_delay
+        breakdown = heterogeneous_message_components(
+            self.protocol, self.params, self.hops, stationary, self._reach
+        )
         return MultiHopSolution(
             protocol=self.protocol,
             params=self.params,

@@ -12,7 +12,12 @@ from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop.states import SingleHopState as S
 
-__all__ = ["build_transition_rates", "effective_false_removal_rate", "state_space"]
+__all__ = [
+    "build_transition_rates",
+    "effective_false_removal_rate",
+    "slow_path_recovery_rate",
+    "state_space",
+]
 
 Rates = dict[tuple[S, S], float]
 
@@ -50,7 +55,7 @@ def state_space(protocol: Protocol) -> tuple[S, ...]:
     return tuple(states)
 
 
-def _slow_path_recovery_rate(protocol: Protocol, params: SignalingParameters) -> float:
+def slow_path_recovery_rate(protocol: Protocol, params: SignalingParameters) -> float:
     """Rate of ``(1,0)_2 -> C`` and ``IC_2 -> C`` (Table I row 3)."""
     success = 1.0 - params.loss_rate
     refresh = 1.0 / params.refresh_interval
@@ -94,7 +99,7 @@ def build_transition_rates(protocol: Protocol, params: SignalingParameters) -> R
     lam_u = params.update_rate
     mu_r = params.removal_rate
     lam_f = effective_false_removal_rate(protocol, params)
-    recovery = _slow_path_recovery_rate(protocol, params)
+    recovery = slow_path_recovery_rate(protocol, params)
 
     rates: Rates = {
         # Setup/update trigger in flight: delivered or lost after ~Delta.

@@ -1,0 +1,621 @@
+"""Compiled chain templates: structure-cached, batched CTMC solves.
+
+Every figure in the paper sweeps parameters over a chain whose
+*structure* — state space and transition graph — is fixed by
+``(protocol, hop count)`` while only the rates vary.  The per-point
+model classes (:class:`~repro.core.singlehop.model.SingleHopModel`,
+:class:`~repro.core.multihop.model.MultiHopModel`,
+:class:`~repro.core.multihop.heterogeneous.HeterogeneousMultiHopModel`)
+rebuild that structure from Python dicts of hashable states at every
+sweep point.  A template compiles it once:
+
+* integer COO index arrays (``rows``, ``cols``) over the fixed state
+  order, plus a per-edge *feature* index;
+* a rate evaluator mapping each parameter point to a derived-feature
+  vector, assembled into the ``(K, E)`` edge-rate matrix by numpy
+  fancy-indexing — no per-point dict churn.
+
+The derived features themselves are computed with the *reference
+modules' own helper functions* (``slow_path_recovery_rate``,
+``first_timeout_rate``, ``reach_profile``, …), so every edge rate is
+bit-identical to what the reference model builds; combined with stacked
+LAPACK solves (one ``numpy.linalg.solve`` call for all K points) the
+dense fast path reproduces the per-point dense results **bit for bit**,
+not merely within tolerance.
+
+Small chains (every single-hop figure, multi-hop below
+:data:`~repro.core.markov.SPARSE_STATE_THRESHOLD` states) solve all K
+points in one batched dense call.  Large chains keep the template's
+fixed sparsity pattern: the CSC symbolic structure (indices/indptr and
+the COO→CSC scatter) is computed once at compile time, each point only
+refreshes the ``.data`` vector and runs ``splu`` (scipy exposes no
+symbolic-only re-factorization, so the numeric factorization is the one
+per-point cost left).
+
+Any point the batched path cannot certify (singular matrix, residual
+check, non-finite result) falls back to the reference model for that
+point, so failure diagnostics are exactly the reference's.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core import markov as _markov
+from repro.core.markov import (
+    batched_absorption_times_dense,
+    batched_stationary_dense,
+)
+from repro.core.multihop.heterogeneous import (
+    HeterogeneousHop,
+    HeterogeneousMultiHopModel,
+    first_timeout_profile,
+    heterogeneous_message_components,
+    reach_profile,
+    recovery_rate_profile,
+)
+from repro.core.multihop.messages import multihop_message_components
+from repro.core.multihop.model import MultiHopModel, MultiHopSolution
+from repro.core.multihop.states import multihop_state_space
+from repro.core.multihop.transitions import (
+    first_timeout_rate,
+    slow_path_recovery_rate,
+)
+from repro.core.parameters import MultiHopParameters, SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop.messages import message_rate_components
+from repro.core.singlehop.model import SingleHopModel, SingleHopSolution
+from repro.core.singlehop.states import SingleHopState as S
+from repro.core.singlehop.transitions import (
+    effective_false_removal_rate,
+    slow_path_recovery_rate as singlehop_recovery_rate,
+    state_space,
+)
+
+__all__ = [
+    "MultiHopTemplate",
+    "SingleHopTemplate",
+    "multihop_template",
+    "singlehop_template",
+    "solve_heterogeneous_tasks",
+    "solve_multihop_tasks",
+    "solve_singlehop_tasks",
+]
+
+
+def _assemble_dense(
+    flat: np.ndarray, weights: np.ndarray, n: int
+) -> np.ndarray:
+    """Scatter ``(K, E)`` edge rates into ``(K, n, n)`` dense matrices.
+
+    ``flat`` holds the flattened ``row * n + col`` position of each
+    edge; duplicate positions accumulate (parallel edges merged exactly
+    as the reference dict accumulation does).
+    """
+    k = weights.shape[0]
+    out = np.zeros((k, n * n))
+    for point in range(k):
+        out[point] = np.bincount(flat, weights=weights[point], minlength=n * n)
+    return out.reshape(k, n, n)
+
+
+def _fill_generator_diagonal(q: np.ndarray) -> np.ndarray:
+    """Set each diagonal to minus the row sum (rows then sum to zero)."""
+    n = q.shape[1]
+    idx = np.arange(n)
+    q[:, idx, idx] = 0.0
+    q[:, idx, idx] = -q.sum(axis=2)
+    return q
+
+
+class _SparseStationaryPattern:
+    """Fixed CSC structure for the sparse stationary system of a template.
+
+    The linear system is the same one
+    :meth:`ContinuousTimeMarkovChain._stationary_sparse` builds —
+    ``A = Q^T`` with the last balance row replaced by the normalization
+    row — but the COO→CSC symbolic analysis (sort order, duplicate
+    merging, indices/indptr) happens once here; each sweep point only
+    refreshes the numeric ``data`` vector.
+    """
+
+    def __init__(self, edge_rows: np.ndarray, edge_cols: np.ndarray, n: int) -> None:
+        self.n = n
+        self.edge_rows = edge_rows
+        # Generator triplets: every edge plus one diagonal slot per state.
+        diag = np.arange(n)
+        self.gen_rows = np.concatenate([edge_rows, diag])
+        self.gen_cols = np.concatenate([edge_cols, diag])
+        # A = Q^T without Q's last column (it becomes A's replaced last
+        # row), plus the dense normalization row of ones.
+        keep = self.gen_cols != n - 1
+        a_rows = np.concatenate([self.gen_cols[keep], np.full(n, n - 1)])
+        a_cols = np.concatenate([self.gen_rows[keep], diag])
+        order = np.lexsort((a_rows, a_cols))
+        sorted_rows = a_rows[order]
+        sorted_cols = a_cols[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+            sorted_cols[1:] != sorted_cols[:-1]
+        )
+        self._keep = keep
+        self._order = order
+        self._slot = np.cumsum(first) - 1
+        self.nnz = int(self._slot[-1]) + 1
+        self.indices = sorted_rows[first]
+        counts = np.bincount(sorted_cols[first], minlength=n)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)])
+        self._rhs = np.zeros(n)
+        self._rhs[-1] = 1.0
+
+    def stationary(self, edge_rates: np.ndarray) -> np.ndarray | None:
+        """Solve one point; ``None`` when the reference path must decide."""
+        sparse_modules = _markov._sparse_modules()
+        if sparse_modules is None:  # pragma: no cover - guarded by caller
+            return None
+        sparse, sparse_linalg = sparse_modules
+        n = self.n
+        exit_rates = np.bincount(self.edge_rows, weights=edge_rates, minlength=n)
+        gen_data = np.concatenate([edge_rates, -exit_rates])
+        values = np.concatenate([gen_data[self._keep], np.ones(n)])
+        data = np.bincount(
+            self._slot, weights=values[self._order], minlength=self.nnz
+        )
+        matrix = sparse.csc_matrix(
+            (data, self.indices, self.indptr), shape=(n, n)
+        )
+        try:
+            pi = sparse_linalg.splu(matrix).solve(self._rhs)
+        except (RuntimeError, ValueError):
+            return None
+        if not np.all(np.isfinite(pi)):
+            return None
+        # The same acceptance test the reference applies: small residual
+        # against Q^T and no materially negative mass.
+        flow = np.bincount(
+            self.gen_cols, weights=gen_data * pi[self.gen_rows], minlength=n
+        )
+        scale = max(1.0, float(np.max(np.abs(gen_data))))
+        if float(np.max(np.abs(flow))) > 1e-8 * scale or np.any(pi < -1e-9):
+            return None
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0.0:
+            return None
+        return pi / total
+
+
+# ----------------------------------------------------------------------
+# Single-hop templates
+# ----------------------------------------------------------------------
+
+#: Derived-feature order of the single-hop rate evaluator.
+_SH_FEATURES = (
+    "fast_ok",
+    "fast_lost",
+    "update",
+    "removal",
+    "recovery",
+    "false_removal",
+    "timeout",
+    "timeout_retx",
+    "removal_retx",
+)
+_SH_INDEX = {name: i for i, name in enumerate(_SH_FEATURES)}
+
+
+def _singlehop_edge_specs(protocol: Protocol) -> list[tuple[S, S, str]]:
+    """The Fig. 3 edge list in the reference build order (Table I)."""
+    specs = [
+        (S.S10_FAST, S.CONSISTENT, "fast_ok"),
+        (S.S10_FAST, S.S10_SLOW, "fast_lost"),
+        (S.IC_FAST, S.CONSISTENT, "fast_ok"),
+        (S.IC_FAST, S.IC_SLOW, "fast_lost"),
+        (S.S10_SLOW, S.CONSISTENT, "recovery"),
+        (S.IC_SLOW, S.CONSISTENT, "recovery"),
+        (S.CONSISTENT, S.IC_FAST, "update"),
+        (S.S10_SLOW, S.S10_FAST, "update"),
+        (S.IC_SLOW, S.IC_FAST, "update"),
+        (S.S10_SLOW, S.ABSORBED, "removal"),
+        (S.CONSISTENT, S.S01_FAST, "removal"),
+        (S.IC_SLOW, S.S01_FAST, "removal"),
+        (S.CONSISTENT, S.S10_SLOW, "false_removal"),
+        (S.IC_SLOW, S.S10_SLOW, "false_removal"),
+    ]
+    if not protocol.explicit_removal:
+        specs.append((S.S01_FAST, S.ABSORBED, "timeout"))
+        return specs
+    specs.append((S.S01_FAST, S.ABSORBED, "fast_ok"))
+    specs.append((S.S01_FAST, S.S01_SLOW, "fast_lost"))
+    if protocol is Protocol.SS_ER:
+        specs.append((S.S01_SLOW, S.ABSORBED, "timeout"))
+    elif protocol is Protocol.SS_RTR:
+        specs.append((S.S01_SLOW, S.ABSORBED, "timeout_retx"))
+    else:  # HS
+        specs.append((S.S01_SLOW, S.ABSORBED, "removal_retx"))
+    return specs
+
+
+def _singlehop_derived_row(
+    protocol: Protocol, params: SignalingParameters
+) -> tuple[float, ...]:
+    """One point's derived features, via the reference expressions."""
+    p = params.loss_rate
+    success = 1.0 - p
+    delta = params.delay
+    timeout = 1.0 / params.timeout_interval
+    retransmit = 1.0 / params.retransmission_interval
+    return (
+        success / delta,
+        p / delta,
+        params.update_rate,
+        params.removal_rate,
+        singlehop_recovery_rate(protocol, params),
+        effective_false_removal_rate(protocol, params),
+        timeout,
+        timeout + success * retransmit,
+        success * retransmit,
+    )
+
+
+class SingleHopTemplate:
+    """Compiled structure of one protocol's Fig. 3 chain.
+
+    Use :func:`singlehop_template` to get the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = Protocol(protocol)
+        self.states: tuple[S, ...] = state_space(self.protocol)
+        index = {state: i for i, state in enumerate(self.states)}
+        specs = _singlehop_edge_specs(self.protocol)
+        self.edges: tuple[tuple[S, S], ...] = tuple((o, d) for o, d, _ in specs)
+        self.rows = np.array([index[o] for o, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([index[d] for _, d, _ in specs], dtype=np.intp)
+        self._features = np.array([_SH_INDEX[f] for _, _, f in specs], dtype=np.intp)
+        n = len(self.states)
+        self._n = n
+        self._absorbed = index[S.ABSORBED]
+        self._start = index[S.S10_FAST]
+        # Recurrent chain: the absorbing state (last) merged into the
+        # start state — redirect its incoming edges, drop its row/column.
+        merged_cols = np.where(self.cols == self._absorbed, self._start, self.cols)
+        self._recurrent_flat = self.rows * (n - 1) + merged_cols
+        self._transient_flat = self.rows * n + self.cols
+
+    def edge_rates(self, points: Sequence[SignalingParameters]) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        derived = np.array(
+            [_singlehop_derived_row(self.protocol, params) for params in points]
+        )
+        return derived[:, self._features]
+
+    def solve_batch(
+        self, points: Sequence[SignalingParameters]
+    ) -> list[SingleHopSolution]:
+        """Solve every point; bit-identical to the per-point dense path."""
+        points = list(points)
+        if not points:
+            return []
+        rates = self.edge_rates(points)
+        n = self._n
+        m = n - 1  # both the recurrent and the transient block size
+        try:
+            recurrent = _fill_generator_diagonal(
+                _assemble_dense(self._recurrent_flat, rates, m)
+            )
+            pi, bad_pi = batched_stationary_dense(recurrent)
+            transient = _fill_generator_diagonal(
+                _assemble_dense(self._transient_flat, rates, n)
+            )
+            times, bad_times = batched_absorption_times_dense(
+                transient[:, :m, :m]
+            )
+        except np.linalg.LinAlgError:
+            return [self._reference(params) for params in points]
+        bad = bad_pi | bad_times
+        solutions: list[SingleHopSolution] = []
+        recurrent_states = self.states[:-1]
+        for k, params in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(recurrent_states)
+            }
+            solutions.append(
+                SingleHopSolution(
+                    protocol=self.protocol,
+                    params=params,
+                    stationary=stationary,
+                    inconsistency_ratio=1.0 - stationary[S.CONSISTENT],
+                    expected_receiver_lifetime=float(times[k, self._start]),
+                    message_breakdown=message_rate_components(
+                        self.protocol, params, stationary
+                    ),
+                )
+            )
+        return solutions
+
+    def _reference(self, params: SignalingParameters) -> SingleHopSolution:
+        return SingleHopModel(self.protocol, params).solve()
+
+
+# ----------------------------------------------------------------------
+# Multi-hop templates (homogeneous and heterogeneous points)
+# ----------------------------------------------------------------------
+
+
+class MultiHopTemplate:
+    """Compiled structure of the Fig. 15/16 chain for ``(protocol, hops)``.
+
+    One template serves both homogeneous points (``hops=None`` in the
+    task, rates derived with the homogeneous reference helpers) and
+    heterogeneous points (per-hop vectors, rates derived with the
+    heterogeneous profile functions), because the chain structure is
+    identical — only the rate values differ.
+
+    Use :func:`multihop_template` to get the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol, hops: int) -> None:
+        self.protocol = Protocol(protocol)
+        if self.protocol not in Protocol.multihop_family():
+            raise ValueError(
+                f"{self.protocol.value} is not part of the multi-hop analysis"
+            )
+        if hops < 1:
+            raise ValueError(f"hops must be >= 1, got {hops}")
+        self.hops = hops
+        with_recovery = self.protocol is Protocol.HS
+        self.states = multihop_state_space(hops, with_recovery=with_recovery)
+        n = hops
+        ns = len(self.states)
+        self._n_states = ns
+        # State indexing mirrors multihop_state_space order:
+        # fast (i,0) -> i for i in 0..n; slow (i,1) -> n+1+i; RECOVERY last.
+        fast = lambda i: i  # noqa: E731 - tiny local alias
+        slow = lambda i: n + 1 + i  # noqa: E731
+        # Feature layout: [update, advance(n), lose(n), recover(n), extra].
+        self._f_update = 0
+        self._f_advance = 1
+        self._f_lose = 1 + n
+        self._f_recover = 1 + 2 * n
+        self._f_extra = 1 + 3 * n
+        self.n_features = self._f_extra + (2 if with_recovery else n)
+        specs: list[tuple[int, int, int]] = []
+        for si in range(1, ns):
+            specs.append((si, fast(0), self._f_update))
+        for i in range(n):
+            specs.append((fast(i), fast(i + 1), self._f_advance + i))
+            specs.append((fast(i), slow(i), self._f_lose + i))
+            specs.append((slow(i), fast(i + 1), self._f_recover + i))
+        if not with_recovery:
+            for si, state in enumerate(self.states):
+                for j in range(state.consistent_hops):
+                    specs.append((si, slow(j), self._f_extra + j))
+        else:
+            recovery_index = ns - 1
+            for si in range(ns - 1):
+                specs.append((si, recovery_index, self._f_extra))
+            specs.append((recovery_index, fast(0), self._f_extra + 1))
+        self.rows = np.array([r for r, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([c for _, c, _ in specs], dtype=np.intp)
+        self._features = np.array([f for _, _, f in specs], dtype=np.intp)
+        self._flat = self.rows * ns + self.cols
+        self._sparse_pattern: _SparseStationaryPattern | None = None
+
+    # -- rate evaluation ------------------------------------------------
+
+    def _derived_homogeneous(self, params: MultiHopParameters) -> np.ndarray:
+        n = self.hops
+        row = np.empty(self.n_features)
+        row[self._f_update] = params.update_rate
+        success = 1.0 - params.loss_rate
+        row[self._f_advance : self._f_advance + n] = success / params.delay
+        row[self._f_lose : self._f_lose + n] = params.loss_rate / params.delay
+        for i in range(n):
+            row[self._f_recover + i] = slow_path_recovery_rate(
+                self.protocol, params, i + 1
+            )
+        if self.protocol is Protocol.HS:
+            row[self._f_extra] = n * params.external_false_signal_rate
+            row[self._f_extra + 1] = 1.0 / (2.0 * n * params.delay)
+        else:
+            for j in range(n):
+                row[self._f_extra + j] = first_timeout_rate(params, j)
+        return row
+
+    def _derived_heterogeneous(
+        self, params: MultiHopParameters, hops: tuple[HeterogeneousHop, ...]
+    ) -> np.ndarray:
+        n = self.hops
+        reach = reach_profile(hops)
+        row = np.empty(self.n_features)
+        row[self._f_update] = params.update_rate
+        for i, hop in enumerate(hops):
+            row[self._f_advance + i] = (1.0 - hop.loss_rate) / hop.delay
+            row[self._f_lose + i] = hop.loss_rate / hop.delay
+        row[self._f_recover : self._f_recover + n] = recovery_rate_profile(
+            self.protocol, params, hops, reach
+        )
+        if self.protocol is Protocol.HS:
+            mean_delay = sum(h.delay for h in hops) / n
+            row[self._f_extra] = n * params.external_false_signal_rate
+            row[self._f_extra + 1] = 1.0 / (2.0 * n * mean_delay)
+        else:
+            row[self._f_extra : self._f_extra + n] = first_timeout_profile(
+                params, reach
+            )
+        return row
+
+    def edge_rates(
+        self,
+        points: Sequence[tuple[MultiHopParameters, tuple[HeterogeneousHop, ...] | None]],
+    ) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        derived = np.empty((len(points), self.n_features))
+        for k, (params, hops) in enumerate(points):
+            if hops is None:
+                derived[k] = self._derived_homogeneous(params)
+            else:
+                derived[k] = self._derived_heterogeneous(params, hops)
+        return derived[:, self._features]
+
+    # -- solving --------------------------------------------------------
+
+    def _use_sparse(self) -> bool:
+        return (
+            self._n_states >= _markov.SPARSE_STATE_THRESHOLD
+            and _markov._sparse_modules() is not None
+        )
+
+    def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(pi, bad)`` for all points, dense-batched or sparse-looped."""
+        k = rates.shape[0]
+        ns = self._n_states
+        if not self._use_sparse():
+            generators = _fill_generator_diagonal(
+                _assemble_dense(self._flat, rates, ns)
+            )
+            return batched_stationary_dense(generators)
+        if self._sparse_pattern is None:
+            self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
+        pi = np.zeros((k, ns))
+        bad = np.zeros(k, dtype=bool)
+        for point in range(k):
+            solved = self._sparse_pattern.stationary(rates[point])
+            if solved is None:
+                bad[point] = True
+            else:
+                pi[point] = solved
+        return pi, bad
+
+    def solve_batch(
+        self,
+        points: Sequence[tuple[MultiHopParameters, tuple[HeterogeneousHop, ...] | None]],
+    ) -> list[MultiHopSolution]:
+        """Solve every point (homogeneous or heterogeneous tasks)."""
+        points = list(points)
+        if not points:
+            return []
+        for params, hops in points:
+            if params.hops != self.hops:
+                raise ValueError(
+                    f"task has {params.hops} hops, template compiled for {self.hops}"
+                )
+            if hops is not None and len(hops) != self.hops:
+                raise ValueError(
+                    f"hop vector length {len(hops)} != template hops {self.hops}"
+                )
+        rates = self.edge_rates(points)
+        try:
+            pi, bad = self._stationary_batch(rates)
+        except np.linalg.LinAlgError:
+            return [self._reference(params, hops) for params, hops in points]
+        solutions: list[MultiHopSolution] = []
+        for k, (params, hops) in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params, hops))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(self.states)
+            }
+            if hops is None:
+                breakdown = multihop_message_components(
+                    self.protocol, params, stationary
+                )
+            else:
+                breakdown = heterogeneous_message_components(
+                    self.protocol, params, hops, stationary
+                )
+            solutions.append(
+                MultiHopSolution(
+                    protocol=self.protocol,
+                    params=params,
+                    stationary=stationary,
+                    message_breakdown=breakdown,
+                )
+            )
+        return solutions
+
+    def _reference(
+        self,
+        params: MultiHopParameters,
+        hops: tuple[HeterogeneousHop, ...] | None,
+    ) -> MultiHopSolution:
+        if hops is None:
+            return MultiHopModel(self.protocol, params).solve()
+        return HeterogeneousMultiHopModel(self.protocol, params, hops).solve()
+
+
+# ----------------------------------------------------------------------
+# Template registry and task-level entry points
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=64)
+def singlehop_template(protocol: Protocol) -> SingleHopTemplate:
+    """The memoized compiled template for ``protocol``."""
+    return SingleHopTemplate(protocol)
+
+
+@functools.lru_cache(maxsize=256)
+def multihop_template(protocol: Protocol, hops: int) -> MultiHopTemplate:
+    """The memoized compiled template for ``(protocol, hops)``."""
+    return MultiHopTemplate(protocol, hops)
+
+
+def _solve_grouped(tasks, group_key, solve_group):
+    """Group tasks, solve each group batched, scatter to task order."""
+    groups: dict[object, list[int]] = {}
+    for position, task in enumerate(tasks):
+        groups.setdefault(group_key(task), []).append(position)
+    results: list[object] = [None] * len(tasks)
+    for key, positions in groups.items():
+        solved = solve_group(key, [tasks[p] for p in positions])
+        for position, solution in zip(positions, solved):
+            results[position] = solution
+    return results
+
+
+def solve_singlehop_tasks(
+    tasks: Sequence[tuple[Protocol, SignalingParameters]],
+) -> list[SingleHopSolution]:
+    """Solve ``(protocol, params)`` tasks through compiled templates."""
+    return _solve_grouped(
+        list(tasks),
+        lambda task: Protocol(task[0]),
+        lambda protocol, group: singlehop_template(protocol).solve_batch(
+            [params for _, params in group]
+        ),
+    )
+
+
+def solve_multihop_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters]],
+) -> list[MultiHopSolution]:
+    """Solve homogeneous ``(protocol, params)`` tasks through templates."""
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[1].hops),
+        lambda key, group: multihop_template(*key).solve_batch(
+            [(params, None) for _, params in group]
+        ),
+    )
+
+
+def solve_heterogeneous_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]],
+) -> list[MultiHopSolution]:
+    """Solve ``(protocol, params, hop_vector)`` tasks through templates."""
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[1].hops),
+        lambda key, group: multihop_template(*key).solve_batch(
+            [(params, tuple(hops)) for _, params, hops in group]
+        ),
+    )

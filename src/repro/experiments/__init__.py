@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401 - imported to populate the registr
     fig17,
     fig18,
     fig19,
+    scaling,
     table01,
 )
 from repro.experiments.runner import (

@@ -13,15 +13,21 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.core.multihop import MultiHopSolution
+from repro.core.multihop.heterogeneous import HeterogeneousHop
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopSolution
 from repro.experiments.runner import Series
-from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+from repro.runtime import (
+    solve_heterogeneous_batch,
+    solve_multihop_batch,
+    solve_singlehop_batch,
+)
 
 __all__ = [
     "ALL_PROTOCOLS",
     "MULTIHOP_PROTOCOLS",
+    "heterogeneous_metric_series",
     "multihop_metric_series",
     "parametric_singlehop_series",
     "singlehop_metric_series",
@@ -82,6 +88,36 @@ def parametric_singlehop_series(
         points = sorted((x_metric(solution), y_metric(solution)) for solution in group)
         series.append(Series.from_points(protocol.value, points))
     return series
+
+
+def heterogeneous_metric_series(
+    xs: Sequence[float],
+    make_point: Callable[
+        [float], tuple[MultiHopParameters, tuple[HeterogeneousHop, ...]]
+    ],
+    metric: Callable[[MultiHopSolution], float],
+    protocols: Sequence[Protocol] = MULTIHOP_PROTOCOLS,
+    jobs: int | None = None,
+) -> list[Series]:
+    """Sweep ``xs`` through the heterogeneous multi-hop model.
+
+    ``make_point(x)`` returns ``(params, hop_vector)`` for one sweep
+    value — e.g. a hop count mapped to a per-hop loss/delay profile.
+    One series per protocol, solved through the compiled-template
+    batch path.
+    """
+    xs = tuple(xs)
+    if not xs:
+        return _empty_series(protocols)
+    points = [make_point(x) for x in xs]
+    tasks = [
+        (protocol, params, hops) for protocol in protocols for params, hops in points
+    ]
+    solutions = solve_heterogeneous_batch(tasks, jobs=jobs)
+    return [
+        Series(protocol.value, xs, tuple(metric(solution) for solution in group))
+        for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
+    ]
 
 
 def multihop_metric_series(

@@ -10,10 +10,15 @@ package turns those loops into data-parallel batches:
 * :mod:`repro.runtime.cache` — a content-keyed memo cache so repeated
   ``(model, parameters)`` solves are computed once across figures;
 * :mod:`repro.runtime.solvers` — picklable solve entry points used as
-  pool tasks, plus batch helpers that combine the cache and the pool.
+  pool tasks, plus batch helpers that combine the cache, the
+  compiled-template fast path (:mod:`repro.core.templates`) and the
+  pool.
 
-Serial execution (``jobs=1``, the default) takes exactly the same code
-path point-by-point, so parallel runs are bit-identical to serial ones.
+Batch cache misses solve through compiled chain templates —
+structure-cached, batched linear algebra that is bit-identical to the
+per-point dense reference path — and parallel runs chunk the same
+template path across workers, so serial, parallel and per-point results
+all agree.
 """
 
 from repro.runtime.cache import SolveCache, global_cache
@@ -30,6 +35,7 @@ from repro.runtime.solvers import (
     solve_multihop_batch,
     solve_protocol_suite,
     solve_singlehop_batch,
+    templates_enabled,
 )
 
 __all__ = [
@@ -44,5 +50,6 @@ __all__ = [
     "solve_multihop_batch",
     "solve_protocol_suite",
     "solve_singlehop_batch",
+    "templates_enabled",
     "using_jobs",
 ]

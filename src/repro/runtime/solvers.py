@@ -2,41 +2,72 @@
 
 Pool workers need module-level callables (closures don't pickle), so
 every model family gets a ``solve_*_point(task)`` function taking one
-plain-data task tuple.  The ``solve_*_batch`` helpers are what the
-sweep code calls: they dedupe tasks by content key, serve repeats from
-:func:`repro.runtime.cache.global_cache`, fan the misses across the
-pool, and return results in task order.
+plain-data task tuple — these run the reference per-point models and
+stay the ground truth the fast path is parity-tested against.
+
+The ``solve_*_batch`` helpers are what the sweep code calls: they
+dedupe tasks by content key, serve repeats from
+:func:`repro.runtime.cache.global_cache`, and push the misses through
+the compiled-template fast path (:mod:`repro.core.templates`) — grouped
+by chain structure and solved with batched/structure-cached linear
+algebra.  With ``jobs > 1`` the misses are split into contiguous chunks
+fanned across the process pool, each worker running the same template
+path, so parallel results are identical to serial ones.  Setting
+``REPRO_TEMPLATES=0`` in the environment falls back to the per-point
+reference solvers (an escape hatch for debugging the fast path).
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Sequence
 
+from repro.core import templates as _templates
 from repro.core.multihop import MultiHopModel, MultiHopSolution
 from repro.core.multihop.heterogeneous import HeterogeneousHop, HeterogeneousMultiHopModel
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel, SingleHopSolution
 from repro.runtime.cache import cache_key, global_cache
-from repro.runtime.executor import parallel_map, using_jobs
+from repro.runtime.executor import effective_jobs, parallel_map, using_jobs
 
 __all__ = [
     "run_experiment_task",
     "run_experiments",
     "solve_heterogeneous_batch",
     "solve_heterogeneous_point",
+    "solve_heterogeneous_template_chunk",
     "solve_multihop_batch",
     "solve_multihop_point",
+    "solve_multihop_template_chunk",
     "solve_protocol_suite",
     "solve_singlehop_batch",
     "solve_singlehop_point",
+    "solve_singlehop_template_chunk",
+    "templates_enabled",
 ]
 
 _MISSING = object()
 
+_TEMPLATES_ENV = "REPRO_TEMPLATES"
+
 SingleHopTask = tuple[Protocol, SignalingParameters]
 MultiHopTask = tuple[Protocol, MultiHopParameters]
 HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
+
+
+def templates_enabled() -> bool:
+    """Whether batch misses go through the compiled-template fast path.
+
+    On by default; ``REPRO_TEMPLATES=0`` (or ``off``/``false``/``no``)
+    reroutes batches through the per-point reference models.
+    """
+    return os.environ.get(_TEMPLATES_ENV, "").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
 
 
 def _singlehop_key(task: SingleHopTask) -> tuple:
@@ -105,10 +136,54 @@ def solve_protocol_suite(
     return {protocol: solve_singlehop_point((protocol, params)) for protocol in Protocol}
 
 
-def _solve_batch(compute_fn, key_fn, tasks, jobs):
-    # compute_fn is the raw (unmemoized) solve: memoization happens
-    # once here, so batch points are neither double-counted in the
-    # cache stats nor double-written to the cache.
+# ----------------------------------------------------------------------
+# Template chunk workers (module-level so they pickle into the pool)
+# ----------------------------------------------------------------------
+
+
+def solve_singlehop_template_chunk(
+    tasks: Sequence[SingleHopTask],
+) -> list[SingleHopSolution]:
+    """Solve a chunk of single-hop tasks through compiled templates."""
+    return _templates.solve_singlehop_tasks(list(tasks))
+
+
+def solve_multihop_template_chunk(
+    tasks: Sequence[MultiHopTask],
+) -> list[MultiHopSolution]:
+    """Solve a chunk of homogeneous multi-hop tasks through templates."""
+    return _templates.solve_multihop_tasks(list(tasks))
+
+
+def solve_heterogeneous_template_chunk(
+    tasks: Sequence[HeterogeneousTask],
+) -> list[MultiHopSolution]:
+    """Solve a chunk of heterogeneous multi-hop tasks through templates."""
+    return _templates.solve_heterogeneous_tasks(list(tasks))
+
+
+def _fan_chunks(chunk_fn, tasks: list, jobs: int | None) -> list:
+    """Run ``chunk_fn`` over contiguous task chunks, one per worker.
+
+    Serial execution (one worker) hands the whole list to one template
+    batch — maximal batching; parallel execution trades some batching
+    for process-level parallelism while keeping deterministic order.
+    """
+    workers = min(effective_jobs(jobs), len(tasks))
+    if workers <= 1:
+        return chunk_fn(tasks)
+    bounds = [round(i * len(tasks) / workers) for i in range(workers + 1)]
+    chunks = [tasks[bounds[i] : bounds[i + 1]] for i in range(workers)]
+    chunks = [chunk for chunk in chunks if chunk]
+    parts = parallel_map(chunk_fn, chunks, jobs=workers)
+    return [solution for part in parts for solution in part]
+
+
+def _solve_batch(compute_fn, chunk_fn, key_fn, tasks, jobs):
+    # compute_fn is the raw (unmemoized) reference solve; chunk_fn the
+    # compiled-template batch path.  Memoization happens once here, so
+    # batch points are neither double-counted in the cache stats nor
+    # double-written to the cache.
     tasks = list(tasks)
     keys = [key_fn(task) for task in tasks]
     cache = global_cache()
@@ -123,7 +198,11 @@ def _solve_batch(compute_fn, key_fn, tasks, jobs):
         else:
             resolved[key] = value
     if pending:
-        computed = parallel_map(compute_fn, list(pending.values()), jobs=jobs)
+        miss_tasks = list(pending.values())
+        if templates_enabled():
+            computed = _fan_chunks(chunk_fn, miss_tasks, jobs)
+        else:
+            computed = parallel_map(compute_fn, miss_tasks, jobs=jobs)
         for key, value in zip(pending, computed):
             cache.put(key, value)
             resolved[key] = value
@@ -134,21 +213,39 @@ def solve_singlehop_batch(
     tasks: Iterable[SingleHopTask], jobs: int | None = None
 ) -> list[SingleHopSolution]:
     """Solve many single-hop points; results in task order."""
-    return _solve_batch(_compute_singlehop, _singlehop_key, tasks, jobs)
+    return _solve_batch(
+        _compute_singlehop,
+        solve_singlehop_template_chunk,
+        _singlehop_key,
+        tasks,
+        jobs,
+    )
 
 
 def solve_multihop_batch(
     tasks: Iterable[MultiHopTask], jobs: int | None = None
 ) -> list[MultiHopSolution]:
     """Solve many multi-hop points; results in task order."""
-    return _solve_batch(_compute_multihop, _multihop_key, tasks, jobs)
+    return _solve_batch(
+        _compute_multihop,
+        solve_multihop_template_chunk,
+        _multihop_key,
+        tasks,
+        jobs,
+    )
 
 
 def solve_heterogeneous_batch(
     tasks: Iterable[HeterogeneousTask], jobs: int | None = None
 ) -> list[MultiHopSolution]:
     """Solve many heterogeneous multi-hop points; results in task order."""
-    return _solve_batch(_compute_heterogeneous, _heterogeneous_key, tasks, jobs)
+    return _solve_batch(
+        _compute_heterogeneous,
+        solve_heterogeneous_template_chunk,
+        _heterogeneous_key,
+        tasks,
+        jobs,
+    )
 
 
 def run_experiment_task(task: tuple[str, bool]):

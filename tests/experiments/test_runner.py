@@ -253,6 +253,7 @@ class TestRegistry:
         "fig17",
         "fig18",
         "fig19",
+        "scaling",  # beyond the paper: heterogeneous hop-count scaling
     }
 
     def test_every_paper_artifact_registered(self):
