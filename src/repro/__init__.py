@@ -12,9 +12,12 @@ The library has four layers:
 * :mod:`repro.protocols` and :mod:`repro.multihop` — executable
   implementations of the five protocols on that kernel, used to
   validate the model exactly as the paper does (Figs. 11-12).
-* :mod:`repro.experiments` — one runnable experiment per table/figure
-  of the paper's evaluation, plus :mod:`repro.analysis` extensions
-  (timer optimization, sensitivity, a Raman-McCanne style NACK variant).
+* :mod:`repro.experiments` — one declarative scenario spec per
+  table/figure of the paper's evaluation, run by a generic executor,
+  plus :mod:`repro.analysis` extensions (timer optimization,
+  sensitivity, a Raman-McCanne style NACK variant).
+* :mod:`repro.api` — the public facade: ``run_scenario``, ``sweep``,
+  ``solve_singlehop``, ``solve_multihop``, ``list_scenarios``.
 
 Quickstart::
 
@@ -22,6 +25,14 @@ Quickstart::
 
     solution = SingleHopModel(Protocol.SS_ER, kazaa_defaults()).solve()
     print(solution.inconsistency_ratio, solution.normalized_message_rate)
+
+or, at the scenario level::
+
+    import repro.api as api
+
+    result = api.run_scenario("fig4", fidelity="fast",
+                              overrides={"loss_rate": 0.05})
+    print(result.to_text())
 """
 
 from repro.core import (
@@ -38,7 +49,18 @@ from repro.core import (
 )
 from repro.core.multihop import MultiHopModel, MultiHopSolution, solve_all_multihop
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # Lazy: `repro.api` pulls in the experiment registry, which the
+    # core modelling layers above must stay importable without.
+    if name == "api":
+        import repro.api
+
+        return repro.api
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ContinuousTimeMarkovChain",
@@ -51,6 +73,7 @@ __all__ = [
     "SingleHopSolution",
     "SingleHopState",
     "__version__",
+    "api",
     "kazaa_defaults",
     "reservation_defaults",
     "solve_all",

@@ -11,8 +11,9 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable, Sequence
 
-from repro.core.parameters import SignalingParameters
+from repro.core.parameters import SignalingParameters, kazaa_defaults
 from repro.core.protocols import Protocol
+from repro.experiments.spec import apply_overrides
 from repro.runtime import solve_singlehop_batch
 
 __all__ = ["ClaimCheck", "check_claims", "default_claims", "plausible_decodings"]
@@ -39,11 +40,16 @@ def plausible_decodings() -> tuple[SignalingParameters, ...]:
     for update_interval in (20.0, 30.0, 60.0, 90.0):
         for retx_multiple in (4.0, 5.0):
             for delay in (0.03, 0.05):
+                # Routed through the scenario API's override validation
+                # so the decoding grid and CLI `--set` share one path.
                 candidates.append(
-                    SignalingParameters(
-                        update_rate=1.0 / update_interval,
-                        retransmission_interval=retx_multiple * delay,
-                        delay=delay,
+                    apply_overrides(
+                        kazaa_defaults(),
+                        {
+                            "update_rate": 1.0 / update_interval,
+                            "retransmission_interval": retx_multiple * delay,
+                            "delay": delay,
+                        },
                     )
                 )
     return tuple(candidates)

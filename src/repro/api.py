@@ -1,0 +1,127 @@
+"""Public library facade.
+
+The stable, importable surface for driving the reproduction as a
+library — scenario execution, ad-hoc parameter sweeps and single
+solves — without reaching into the experiment/runtime internals:
+
+>>> import repro.api as api
+>>> api.list_scenarios()[0].scenario_id
+'fig10'
+>>> result = api.run_scenario("fig4", fidelity="fast")
+>>> api.run_scenario("fig4", fidelity="smoke",
+...                  overrides={"loss_rate": 0.05}, protocols="ss,hs")
+... # doctest: +SKIP
+
+Everything routes through the :mod:`repro.runtime` batch path, so
+results are memo-cached, solved through compiled chain templates and
+(with ``jobs``) fanned across worker processes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.multihop import MultiHopSolution
+from repro.core.parameters import (
+    MultiHopParameters,
+    SignalingParameters,
+    kazaa_defaults,
+    reservation_defaults,
+)
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopSolution
+from repro.experiments import run_scenario
+from repro.experiments.common import (
+    ALL_PROTOCOLS,
+    MULTIHOP_PROTOCOLS,
+    multihop_metric_series,
+    singlehop_metric_series,
+)
+from repro.experiments.runner import ExperimentResult, Series  # noqa: F401 - re-export
+from repro.experiments.spec import (
+    ScenarioSpec,
+    apply_overrides,
+    metric as _metric,
+    parse_protocols,
+    scenario_ids,
+    scenarios,
+)
+from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+
+__all__ = [
+    "list_scenarios",
+    "run_scenario",
+    "solve_multihop",
+    "solve_singlehop",
+    "sweep",
+]
+
+
+def list_scenarios() -> tuple[ScenarioSpec, ...]:
+    """Every registered scenario spec, sorted by id."""
+    registry = scenarios()
+    return tuple(registry[scenario_id] for scenario_id in scenario_ids())
+
+
+def solve_singlehop(
+    protocol: Protocol | str,
+    params: SignalingParameters | None = None,
+    **overrides: float,
+) -> SingleHopSolution:
+    """Solve one single-hop point on the Kazaa defaults.
+
+    ``overrides`` replace preset fields (validated), e.g.
+    ``solve_singlehop("ss+er", loss_rate=0.05)``.
+    """
+    (protocol,) = parse_protocols([protocol])
+    base = params if params is not None else kazaa_defaults()
+    if overrides:
+        base = apply_overrides(base, overrides)
+    return solve_singlehop_batch([(protocol, base)])[0]
+
+
+def solve_multihop(
+    protocol: Protocol | str,
+    params: MultiHopParameters | None = None,
+    **overrides: float,
+) -> MultiHopSolution:
+    """Solve one multi-hop point on the reservation defaults.
+
+    ``overrides`` replace preset fields (validated), e.g.
+    ``solve_multihop("hs", hops=30)``.
+    """
+    (protocol,) = parse_protocols([protocol])
+    base = params if params is not None else reservation_defaults()
+    if overrides:
+        base = apply_overrides(base, overrides)
+    return solve_multihop_batch([(protocol, base)])[0]
+
+
+def sweep(
+    param: str,
+    values: Sequence[float],
+    *,
+    metric: str | Callable = "inconsistency_ratio",
+    protocols: Sequence[Protocol | str] | str | None = None,
+    base: SignalingParameters | MultiHopParameters | None = None,
+    multihop: bool = False,
+    jobs: int | None = None,
+) -> list[Series]:
+    """Sweep one parameter field; one series per protocol.
+
+    ``param`` names a field of the base preset (validated per point, so
+    typos and out-of-range values fail loudly); ``metric`` is a
+    registered metric name or a ``solution -> float`` callable.  Set
+    ``multihop=True`` to sweep the multi-hop model on the reservation
+    defaults instead of the single-hop Kazaa defaults.
+    """
+    if base is None:
+        base = reservation_defaults() if multihop else kazaa_defaults()
+    if protocols is None:
+        selected = MULTIHOP_PROTOCOLS if multihop else ALL_PROTOCOLS
+    else:
+        selected = parse_protocols(protocols)
+    metric_fn = _metric(metric) if isinstance(metric, str) else metric
+    make = lambda x: apply_overrides(base, {param: x})  # noqa: E731
+    series_fn = multihop_metric_series if multihop else singlehop_metric_series
+    return series_fn(tuple(values), make, metric_fn, protocols=selected, jobs=jobs)

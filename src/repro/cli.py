@@ -1,15 +1,32 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate any table or figure of the paper,
+or any parameterized variant of one.
 
 Usage::
 
     repro-signaling list
-    repro-signaling run fig4 [--fast] [--jobs N] [--output fig4.txt]
-    repro-signaling all [--fast] [--jobs N] [--output-dir results/]
+    repro-signaling run fig4 [--fidelity {full,fast,smoke}] [--jobs N]
+                             [--set key=value ...] [--protocols ss,hs]
+                             [--format {text,csv,json}]
+                             [--output fig4.txt] [--csv-dir results/]
+    repro-signaling all [--fidelity fast] [--format json] [--jobs N]
+                        [--output-dir results/] [--csv-dir results/]
     repro-signaling claims [--jobs N]
+    repro-signaling report [--full]
+    repro-signaling diagram ss [--multihop]
 
-(or ``python -m repro.cli ...``).  ``--jobs N`` fans sweep points (for
-``run``/``claims``) or whole experiments (for ``all``) across N worker
-processes; results are identical to the serial run, just faster.
+(or ``python -m repro.cli ...``).
+
+``--fidelity`` picks a named resolution profile (``full`` reproduces
+the paper's axes, ``fast`` thins sweeps, ``smoke`` is a seconds-scale
+sanity pass); the old ``--fast`` boolean remains as a deprecated alias
+for ``--fidelity fast``.  ``--set key=value`` overrides any field of
+the scenario's base parameter preset and ``--protocols`` narrows the
+protocol set, so arbitrary scenario variants run with no new code.
+``--format`` renders text tables (default), per-panel CSV, or a
+versioned JSON artifact with a provenance block.  ``--jobs N`` fans
+sweep points (for ``run``/``claims``) or whole experiments (for
+``all``) across N worker processes; results are identical to the
+serial run, just faster.
 """
 
 from __future__ import annotations
@@ -21,12 +38,16 @@ from collections.abc import Sequence
 
 from repro.analysis.sensitivity import robustness_report
 from repro.core.protocols import Protocol
-from repro.experiments import experiment_ids, run_experiment
+from repro.experiments import experiment_ids, run_scenario, scenario
 from repro.experiments.claims import render_report
 from repro.experiments.diagrams import render_multihop_chain, render_singlehop_chain
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import FAST, FIDELITIES, FULL, ScenarioError, parse_overrides
 from repro.runtime import effective_jobs, global_cache, run_experiments, using_jobs
 
 __all__ = ["build_parser", "main"]
+
+_FORMATS = ("text", "csv", "json")
 
 
 def _positive_int(text: str) -> int:
@@ -55,6 +76,41 @@ def _add_verbose_flag(command: argparse.ArgumentParser) -> None:
         action="store_true",
         help="report solve-cache hit/miss counters on stderr when done",
     )
+
+
+def _add_fidelity_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--fidelity",
+        choices=FIDELITIES,
+        default=None,
+        help="resolution profile (default: full)",
+    )
+    command.add_argument(
+        "--fast",
+        action="store_true",
+        help="(deprecated) alias for --fidelity fast",
+    )
+
+
+def _add_format_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--format",
+        choices=_FORMATS,
+        default="text",
+        help="output rendering: aligned text tables, per-panel CSV, "
+        "or a versioned JSON artifact with provenance",
+    )
+
+
+def _resolve_fidelity(args: argparse.Namespace) -> str:
+    if args.fast:
+        print(
+            "warning: --fast is deprecated; use --fidelity fast",
+            file=sys.stderr,
+        )
+        if args.fidelity is None:
+            return FAST
+    return args.fidelity or FULL
 
 
 def _print_cache_stats() -> None:
@@ -89,14 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list the available experiments")
+    commands.add_parser("list", help="list the available scenarios")
 
-    run_cmd = commands.add_parser("run", help="run one experiment")
+    run_cmd = commands.add_parser("run", help="run one scenario (or a variant of it)")
     run_cmd.add_argument("experiment", choices=sorted(experiment_ids()))
+    _add_fidelity_flags(run_cmd)
     run_cmd.add_argument(
-        "--fast", action="store_true", help="thin sweeps / fewer replications"
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a base-preset parameter (repeatable), "
+        "e.g. --set loss_rate=0.05",
     )
-    run_cmd.add_argument("--output", type=pathlib.Path, help="write the table here")
+    run_cmd.add_argument(
+        "--protocols",
+        default=None,
+        metavar="P1,P2",
+        help="narrow the protocol set, e.g. --protocols ss,hs",
+    )
+    _add_format_flag(run_cmd)
+    run_cmd.add_argument("--output", type=pathlib.Path, help="write the rendering here")
     run_cmd.add_argument(
         "--csv-dir",
         type=pathlib.Path,
@@ -105,9 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(run_cmd)
     _add_verbose_flag(run_cmd)
 
-    all_cmd = commands.add_parser("all", help="run every experiment")
-    all_cmd.add_argument("--fast", action="store_true")
-    all_cmd.add_argument("--output-dir", type=pathlib.Path)
+    all_cmd = commands.add_parser("all", help="run every scenario")
+    _add_fidelity_flags(all_cmd)
+    _add_format_flag(all_cmd)
+    all_cmd.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        help="write one rendering per scenario into this directory",
+    )
+    all_cmd.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        help="also write one CSV per panel per scenario into this directory",
+    )
     _add_jobs_flag(all_cmd)
     _add_verbose_flag(all_cmd)
 
@@ -134,6 +214,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render(result: ExperimentResult, fmt: str) -> str:
+    if fmt == "json":
+        return result.to_json()
+    if fmt == "csv":
+        blocks = []
+        for panel_name, csv_text in result.to_csv().items():
+            blocks.append(f"# panel: {panel_name}")
+            blocks.append(csv_text.rstrip("\n"))
+        return "\n".join(blocks)
+    return result.to_text()
+
+
+_EXTENSIONS = {"text": ".txt", "csv": ".csv", "json": ".json"}
+
+
 def _emit(text: str, output: pathlib.Path | None) -> None:
     if output is None:
         print(text)
@@ -143,10 +238,24 @@ def _emit(text: str, output: pathlib.Path | None) -> None:
         print(f"wrote {output}")
 
 
+def _emit_panel_csvs(
+    result: ExperimentResult, experiment_id: str, csv_dir: pathlib.Path
+) -> None:
+    csv_dir.mkdir(parents=True, exist_ok=True)
+    for panel_name, csv_text in result.to_csv().items():
+        slug = "".join(ch if ch.isalnum() else "_" for ch in panel_name).strip("_")
+        path = csv_dir / f"{experiment_id}_{slug}.csv"
+        path.write_text(csv_text)
+        print(f"wrote {path}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     try:
         return _dispatch(argv)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         import os
@@ -162,37 +271,43 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
+        fidelity = _resolve_fidelity(args)
+        overrides = parse_overrides(args.overrides)
         with using_jobs(args.jobs):
-            result = run_experiment(args.experiment, fast=args.fast)
-        _emit(result.to_text(), args.output)
+            result = run_scenario(
+                scenario(args.experiment),
+                fidelity,
+                overrides=overrides,
+                protocols=args.protocols,
+            )
+        _emit(_render(result, args.format), args.output)
         if args.csv_dir is not None:
-            args.csv_dir.mkdir(parents=True, exist_ok=True)
-            for panel_name, csv_text in result.to_csv().items():
-                slug = "".join(
-                    ch if ch.isalnum() else "_" for ch in panel_name
-                ).strip("_")
-                path = args.csv_dir / f"{args.experiment}_{slug}.csv"
-                path.write_text(csv_text)
-                print(f"wrote {path}")
+            _emit_panel_csvs(result, args.experiment, args.csv_dir)
         if args.verbose:
             _print_cache_stats()
         return 0
     if args.command == "all":
+        fidelity = _resolve_fidelity(args)
         ids = sorted(experiment_ids())
         if effective_jobs(args.jobs) <= 1:
             # Serial: stream each experiment's output as it completes,
             # so a long run shows progress and a late crash cannot
             # discard the artifacts already produced.
-            results = (run_experiments([experiment_id], fast=args.fast)[0] for experiment_id in ids)
+            results = (
+                run_experiments([experiment_id], fidelity=fidelity)[0]
+                for experiment_id in ids
+            )
         else:
-            results = run_experiments(ids, fast=args.fast, jobs=args.jobs)
+            results = run_experiments(ids, fidelity=fidelity, jobs=args.jobs)
         for experiment_id, result in zip(ids, results):
             output = (
-                args.output_dir / f"{experiment_id}.txt"
+                args.output_dir / f"{experiment_id}{_EXTENSIONS[args.format]}"
                 if args.output_dir is not None
                 else None
             )
-            _emit(result.to_text(), output)
+            _emit(_render(result, args.format), output)
+            if args.csv_dir is not None:
+                _emit_panel_csvs(result, experiment_id, args.csv_dir)
             if output is None:
                 print()
         if args.verbose:

@@ -211,23 +211,38 @@ def figure_claims() -> tuple[FigureClaim, ...]:
 def evaluate_claims(
     claims: Iterable[FigureClaim] | None = None,
     fast: bool = True,
+    fidelity: str | None = None,
 ) -> list[ClaimOutcome]:
-    """Regenerate each figure once and evaluate its claims."""
+    """Regenerate each figure once and evaluate its claims.
+
+    ``fidelity`` names a scenario fidelity profile and takes precedence
+    over the legacy ``fast`` boolean.
+    """
+    if fidelity is None:
+        fidelity = "fast" if fast else "full"
     claims = tuple(claims) if claims is not None else figure_claims()
     cache: dict[str, ExperimentResult] = {}
     outcomes = []
     for claim in claims:
         if claim.experiment_id not in cache:
-            cache[claim.experiment_id] = run_experiment(claim.experiment_id, fast=fast)
+            cache[claim.experiment_id] = run_experiment(
+                claim.experiment_id, fidelity=fidelity
+            )
         outcomes.append(
             ClaimOutcome(claim=claim, holds=claim.check(cache[claim.experiment_id]))
         )
     return outcomes
 
 
-def render_report(outcomes: Iterable[ClaimOutcome] | None = None, fast: bool = True) -> str:
+def render_report(
+    outcomes: Iterable[ClaimOutcome] | None = None,
+    fast: bool = True,
+    fidelity: str | None = None,
+) -> str:
     """Pass/fail table for every figure claim."""
-    outcomes = list(outcomes) if outcomes is not None else evaluate_claims(fast=fast)
+    if outcomes is None:
+        outcomes = evaluate_claims(fast=fast, fidelity=fidelity)
+    outcomes = list(outcomes)
     lines = ["Paper claims vs this reproduction:"]
     for outcome in outcomes:
         mark = "PASS" if outcome.holds else "FAIL"

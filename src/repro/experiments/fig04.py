@@ -17,41 +17,65 @@ Paper claims this figure supports (checked in EXPERIMENTS.md):
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import singlehop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Fig. 4: inconsistency and message rate vs session length 1/mu_r"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep the mean session length on the single-hop Kazaa defaults."""
-    base = kazaa_defaults()
-    xs = geometric_sweep(10.0, 10_000.0, 7 if fast else 16)
-    make = lambda session: base.replace(removal_rate=1.0 / session)  # noqa: E731
-    inconsistency = singlehop_metric_series(
-        xs, make, lambda sol: sol.inconsistency_ratio
-    )
-    message_rate = singlehop_metric_series(
-        xs, make, lambda sol: sol.normalized_message_rate
-    )
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="1/mu_r (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(inconsistency),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 4",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(
+            Axis("session_length", "geometric", low=10.0, high=10_000.0, points=16),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="1/mu_r (s)",
-            y_label="normalized message rate M",
-            series=tuple(message_rate),
-            log_x=True,
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="1/mu_r (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="1/mu_r (s)",
+                y_label="normalized message rate M",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="normalized_message_rate",
+                    ),
+                ),
+                log_x=True,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"session_length": 7}),
+            FidelityProfile("smoke", axis_points={"session_length": 3}),
         ),
     )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels)
+)

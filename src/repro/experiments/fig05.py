@@ -11,45 +11,65 @@ with a slightly steeper slope for the reliable-transmission protocols
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import singlehop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, linear_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig5"
 TITLE = "Fig. 5: inconsistency vs channel loss rate (a) and delay (b)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep loss rate and delay on the single-hop Kazaa defaults."""
-    base = kazaa_defaults()
-    loss_xs = linear_sweep(0.0, 0.3, 7 if fast else 13)
-    delay_xs = linear_sweep(0.02, 1.0, 7 if fast else 15)
-
-    loss_series = singlehop_metric_series(
-        loss_xs,
-        lambda p: base.replace(loss_rate=p),
-        lambda sol: sol.inconsistency_ratio,
-    )
-    # The retransmission timer tracks the channel delay (K = 4*Delta),
-    # exactly as in the paper's defaults.
-    delay_series = singlehop_metric_series(
-        delay_xs,
-        lambda d: base.replace(delay=d, retransmission_interval=4.0 * d),
-        lambda sol: sol.inconsistency_ratio,
-    )
-    panels = (
-        Panel(
-            name="a: vs loss rate",
-            x_label="loss rate p_l",
-            y_label="inconsistency ratio I",
-            series=tuple(loss_series),
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 5",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(
+            Axis("loss_rate", "linear", low=0.0, high=0.3, points=13),
+            # The retransmission timer tracks the channel delay
+            # (K = 4*Delta), exactly as in the paper's defaults.
+            Axis("delay", "linear", low=0.02, high=1.0, points=15),
         ),
-        Panel(
-            name="b: vs channel delay",
-            x_label="delay Delta (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(delay_series),
+        panels=(
+            PanelSpec(
+                name="a: vs loss rate",
+                x_label="loss rate p_l",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="loss_rate",
+                        binder="loss_rate",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+            ),
+            PanelSpec(
+                name="b: vs channel delay",
+                x_label="delay Delta (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="delay",
+                        binder="delay_coupled_retx",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"loss_rate": 7, "delay": 7}),
+            FidelityProfile("smoke", axis_points={"loss_rate": 3, "delay": 3}),
         ),
     )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels)
+)

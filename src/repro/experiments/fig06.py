@@ -11,43 +11,67 @@ signaling overhead — the fundamental soft-state tradeoff.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import singlehop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Fig. 6: inconsistency and message rate vs refresh timer R (T = 3R)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep the refresh timer on the single-hop Kazaa defaults."""
-    base = kazaa_defaults()
-    xs = geometric_sweep(0.1, 100.0, 7 if fast else 16)
-    make = lambda r: base.with_coupled_timers(r)  # noqa: E731
-    inconsistency = singlehop_metric_series(
-        xs, make, lambda sol: sol.inconsistency_ratio
-    )
-    message_rate = singlehop_metric_series(
-        xs, make, lambda sol: sol.normalized_message_rate
-    )
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="refresh timer R (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(inconsistency),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 6",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(Axis("refresh_interval", "geometric", low=0.1, high=100.0, points=16),),
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="refresh timer R (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="refresh timer R (s)",
+                y_label="normalized message rate M",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="normalized_message_rate",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="refresh timer R (s)",
-            y_label="normalized message rate M",
-            series=tuple(message_rate),
-            log_x=True,
-            log_y=True,
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"refresh_interval": 7}),
+            FidelityProfile("smoke", axis_points={"refresh_interval": 3}),
+        ),
+        notes=(
+            "HS does not use R; its series is constant (the paper draws it as 'x').",
         ),
     )
-    notes = ("HS does not use R; its series is constant (the paper draws it as 'x').",)
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

@@ -9,9 +9,16 @@ the HS level.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import singlehop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_notes_hook,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig7"
 TITLE = "Fig. 7: integrated cost C = 10*I + M vs refresh timer R"
@@ -19,29 +26,50 @@ TITLE = "Fig. 7: integrated cost C = 10*I + M vs refresh timer R"
 COST_WEIGHT = 10.0
 
 
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep the refresh timer and evaluate the integrated cost."""
-    base = kazaa_defaults()
-    xs = geometric_sweep(0.1, 100.0, 9 if fast else 25)
-    series = singlehop_metric_series(
-        xs,
-        lambda r: base.with_coupled_timers(r),
-        lambda sol: sol.integrated_cost(COST_WEIGHT),
-    )
-    panel = Panel(
-        name="integrated cost",
-        x_label="refresh timer R (s)",
-        y_label=f"C = {COST_WEIGHT:.0f}*I + M",
-        series=tuple(series),
-        log_x=True,
-        log_y=True,
-    )
+@register_notes_hook("fig7_optima")
+def _optima_notes(panels) -> tuple[str, ...]:
+    """Each protocol's optimal operating point along the cost curve."""
     notes = []
-    for curve in series:
+    for curve in panels[0].series:
         best_index = min(range(len(curve.y)), key=lambda i: curve.y[i])
         notes.append(
             f"{curve.label}: optimal R ~= {curve.x[best_index]:.3g}s "
             f"(C = {curve.y[best_index]:.4g})"
         )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, (panel,), tuple(notes))
+    return tuple(notes)
+
+
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 7",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(Axis("refresh_interval", "geometric", low=0.1, high=100.0, points=25),),
+        panels=(
+            PanelSpec(
+                name="integrated cost",
+                x_label="refresh timer R (s)",
+                y_label=f"C = {COST_WEIGHT:.0f}*I + M",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="integrated_cost_10",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"refresh_interval": 9}),
+            FidelityProfile("smoke", axis_points={"refresh_interval": 4}),
+        ),
+        notes_hook="fig7_optima",
+    )
+)

@@ -13,50 +13,77 @@ solely on retransmission, is the most sensitive.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import singlehop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Fig. 8: inconsistency vs state-timeout timer T (a) and retransmission timer K (b)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep T (with R = 5 s) and K on the single-hop Kazaa defaults."""
-    base = kazaa_defaults().replace(refresh_interval=5.0)
-    timeout_xs = geometric_sweep(0.5, 1000.0, 9 if fast else 20)
-    retx_xs = geometric_sweep(0.1, 10.0, 7 if fast else 15)
-
-    timeout_series = singlehop_metric_series(
-        timeout_xs,
-        lambda t: base.replace(timeout_interval=t),
-        lambda sol: sol.inconsistency_ratio,
-    )
-    retx_series = singlehop_metric_series(
-        retx_xs,
-        lambda k: base.replace(retransmission_interval=k),
-        lambda sol: sol.inconsistency_ratio,
-    )
-    panels = (
-        Panel(
-            name="a: vs state-timeout timer",
-            x_label="timeout timer T (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(timeout_series),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 8",
+        family="singlehop",
+        preset="kazaa",
+        base_overrides={"refresh_interval": 5.0},
+        protocols=tuple(Protocol),
+        axes=(
+            Axis("timeout_interval", "geometric", low=0.5, high=1000.0, points=20),
+            Axis("retransmission_interval", "geometric", low=0.1, high=10.0, points=15),
         ),
-        Panel(
-            name="b: vs retransmission timer",
-            x_label="retransmission timer K (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(retx_series),
-            log_x=True,
+        panels=(
+            PanelSpec(
+                name="a: vs state-timeout timer",
+                x_label="timeout timer T (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="timeout_interval",
+                        binder="timeout_interval",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: vs retransmission timer",
+                x_label="retransmission timer K (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="retransmission_interval",
+                        binder="retransmission_interval",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_x=True,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile(
+                "fast",
+                axis_points={"timeout_interval": 9, "retransmission_interval": 7},
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_points={"timeout_interval": 4, "retransmission_interval": 3},
+            ),
+        ),
+        notes=(
+            "panel a: HS has no state-timeout timer; its series is constant.",
+            "panel b: SS and SS+ER have no retransmission timer; their series are constant.",
         ),
     )
-    notes = (
-        "panel a: HS has no state-timeout timer; its series is constant.",
-        "panel b: SS and SS+ER have no retransmission timer; their series are constant.",
-    )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

@@ -9,48 +9,59 @@ trade consistency against overhead along their curves.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
-from repro.core.singlehop import SingleHopModel
-from repro.experiments.common import parametric_singlehop_series
-from repro.experiments.runner import (
-    ExperimentResult,
-    Panel,
-    Series,
-    geometric_sweep,
-    register,
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
 )
 
 EXPERIMENT_ID = "fig9"
 TITLE = "Fig. 9: tradeoff between inconsistency ratio and message rate (varying R)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Trace the I-vs-M frontier by sweeping R (T = 3R)."""
-    base = kazaa_defaults()
-    sweep = geometric_sweep(0.1, 100.0, 9 if fast else 22)
-    soft = parametric_singlehop_series(
-        sweep,
-        lambda r: base.with_coupled_timers(r),
-        x_metric=lambda sol: sol.inconsistency_ratio,
-        y_metric=lambda sol: sol.normalized_message_rate,
-        protocols=Protocol.soft_state_family(),
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 9",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(Axis("refresh_interval", "geometric", low=0.1, high=100.0, points=22),),
+        panels=(
+            PanelSpec(
+                name="tradeoff",
+                x_label="inconsistency ratio I",
+                y_label="message overhead M",
+                plans=(
+                    SeriesPlan(
+                        "parametric",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        x_metric="inconsistency_ratio",
+                        y_metric="normalized_message_rate",
+                        protocols=Protocol.soft_state_family(),
+                    ),
+                    SeriesPlan(
+                        "point",
+                        x_metric="inconsistency_ratio",
+                        y_metric="normalized_message_rate",
+                        protocols=(Protocol.HS,),
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+                shared_x=False,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"refresh_interval": 9}),
+            FidelityProfile("smoke", axis_points={"refresh_interval": 4}),
+        ),
+        notes=("HS does not vary with R and appears as a single point.",),
     )
-    hs_solution = SingleHopModel(Protocol.HS, base).solve()
-    hs_point = Series(
-        Protocol.HS.value,
-        (hs_solution.inconsistency_ratio,),
-        (hs_solution.normalized_message_rate,),
-    )
-    panel = Panel(
-        name="tradeoff",
-        x_label="inconsistency ratio I",
-        y_label="message overhead M",
-        series=tuple(soft) + (hs_point,),
-        log_x=True,
-        log_y=True,
-        shared_x=False,
-    )
-    notes = ("HS does not vary with R and appears as a single point.",)
-    return ExperimentResult(EXPERIMENT_ID, TITLE, (panel,), notes)
+)

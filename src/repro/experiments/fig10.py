@@ -12,51 +12,71 @@ insensitive to the delay itself.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
-from repro.experiments.common import parametric_singlehop_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig10"
 TITLE = "Fig. 10: I-vs-M tradeoffs, varying update rate (a) and delay (b)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Trace (I, M) curves by sweeping lambda_u and Delta."""
-    base = kazaa_defaults()
-    update_sweep = geometric_sweep(1.0 / 2000.0, 1.0, 7 if fast else 18)
-    delay_sweep = geometric_sweep(0.003, 1.0, 7 if fast else 16)
-
-    update_series = parametric_singlehop_series(
-        update_sweep,
-        lambda lam: base.replace(update_rate=lam),
-        x_metric=lambda sol: sol.inconsistency_ratio,
-        y_metric=lambda sol: sol.normalized_message_rate,
-    )
-    delay_series = parametric_singlehop_series(
-        delay_sweep,
-        lambda d: base.replace(delay=d, retransmission_interval=4.0 * d),
-        x_metric=lambda sol: sol.inconsistency_ratio,
-        y_metric=lambda sol: sol.normalized_message_rate,
-    )
-    panels = (
-        Panel(
-            name="a: varying update rate",
-            x_label="inconsistency ratio I",
-            y_label="message overhead M",
-            series=tuple(update_series),
-            log_x=True,
-            log_y=True,
-            shared_x=False,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 10",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(
+            Axis("update_rate", "geometric", low=1.0 / 2000.0, high=1.0, points=18),
+            Axis("delay", "geometric", low=0.003, high=1.0, points=16),
         ),
-        Panel(
-            name="b: varying channel delay",
-            x_label="inconsistency ratio I",
-            y_label="message overhead M",
-            series=tuple(delay_series),
-            log_x=True,
-            log_y=True,
-            shared_x=False,
+        panels=(
+            PanelSpec(
+                name="a: varying update rate",
+                x_label="inconsistency ratio I",
+                y_label="message overhead M",
+                plans=(
+                    SeriesPlan(
+                        "parametric",
+                        axis="update_rate",
+                        binder="update_rate",
+                        x_metric="inconsistency_ratio",
+                        y_metric="normalized_message_rate",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+                shared_x=False,
+            ),
+            PanelSpec(
+                name="b: varying channel delay",
+                x_label="inconsistency ratio I",
+                y_label="message overhead M",
+                plans=(
+                    SeriesPlan(
+                        "parametric",
+                        axis="delay",
+                        binder="delay_coupled_retx",
+                        x_metric="inconsistency_ratio",
+                        y_metric="normalized_message_rate",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+                shared_x=False,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"update_rate": 7, "delay": 7}),
+            FidelityProfile("smoke", axis_points={"update_rate": 3, "delay": 3}),
         ),
     )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels)
+)

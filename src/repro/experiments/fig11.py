@@ -13,85 +13,92 @@ by 5-15%, leaving every qualitative conclusion intact.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
-from repro.experiments.runner import ExperimentResult, Panel, Series, geometric_sweep, register
-from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_batch
-from repro.runtime import solve_singlehop_batch
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    SimPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Fig. 11: deterministic-timer simulation vs model, sweeping 1/mu_r"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False, seed: int = 11) -> ExperimentResult:
-    """Model curves plus replicated deterministic-timer simulations."""
-    base = kazaa_defaults()
-    if fast:
-        xs = (30.0, 300.0, 3000.0)
-        replications = 3
-        budget = 30_000.0
-    else:
-        xs = tuple(geometric_sweep(10.0, 100_000.0, 6))
-        replications = 5
-        budget = 120_000.0
-
-    protocols = tuple(Protocol)
-    grid = [
-        (protocol, base.replace(removal_rate=1.0 / session_length), session_length)
-        for protocol in protocols
-        for session_length in xs
-    ]
-    solutions = solve_singlehop_batch([(p, params) for p, params, _ in grid])
-    points = simulate_singlehop_batch(
-        (p, params, sessions_for_length(length, budget), replications, seed)
-        for p, params, length in grid
-    )
-
-    model_i: list[Series] = []
-    model_m: list[Series] = []
-    sim_i: list[Series] = []
-    sim_m: list[Series] = []
-    for k, protocol in enumerate(protocols):
-        chunk = slice(k * len(xs), (k + 1) * len(xs))
-        model, sim = solutions[chunk], points[chunk]
-        model_i.append(Series(protocol.value, xs, tuple(s.inconsistency_ratio for s in model)))
-        model_m.append(
-            Series(protocol.value, xs, tuple(s.normalized_message_rate for s in model))
-        )
-        sim_i.append(
-            Series(
-                f"{protocol.value} sim",
-                xs,
-                tuple(p.inconsistency for p in sim),
-                tuple(p.inconsistency_err for p in sim),
-            )
-        )
-        sim_m.append(
-            Series(
-                f"{protocol.value} sim",
-                xs,
-                tuple(p.message_rate for p in sim),
-                tuple(p.message_rate_err for p in sim),
-            )
-        )
-
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="1/mu_r (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(model_i) + tuple(sim_i),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 11",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(
+            Axis("session_length", "geometric", low=10.0, high=100_000.0, points=6),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="1/mu_r (s)",
-            y_label="normalized message rate M",
-            series=tuple(model_m) + tuple(sim_m),
-            log_x=True,
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="1/mu_r (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="inconsistency_ratio",
+                    ),
+                    SeriesPlan(
+                        "sim",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="inconsistency",
+                        label_suffix=" sim",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="1/mu_r (s)",
+                y_label="normalized message rate M",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="normalized_message_rate",
+                    ),
+                    SeriesPlan(
+                        "sim",
+                        axis="session_length",
+                        binder="session_length",
+                        metric="message_rate",
+                        label_suffix=" sim",
+                    ),
+                ),
+                log_x=True,
+            ),
         ),
+        fidelities=(
+            FidelityProfile("full", replications=5, sim_budget=120_000.0),
+            FidelityProfile(
+                "fast",
+                axis_values={"session_length": (30.0, 300.0, 3000.0)},
+                replications=3,
+                sim_budget=30_000.0,
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_values={"session_length": (300.0,)},
+                replications=2,
+                sim_budget=3_000.0,
+            ),
+        ),
+        sim=SimPlan(seed=11, sessions_mode="budget"),
+        notes=("simulated series use deterministic R/T/K timers; ± is a 95% CI.",),
     )
-    notes = ("simulated series use deterministic R/T/K timers; ± is a 95% CI.",)
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

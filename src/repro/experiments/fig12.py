@@ -7,85 +7,97 @@ simulation and the exponential-timer model across the sweep.
 
 from __future__ import annotations
 
-from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
-from repro.experiments.runner import ExperimentResult, Panel, Series, register
-from repro.experiments.simsupport import simulate_singlehop_batch
-from repro.runtime import solve_singlehop_batch
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    SimPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Fig. 12: deterministic-timer simulation vs model, sweeping R (T = 3R)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False, seed: int = 12) -> ExperimentResult:
-    """Model curves plus replicated simulations over the refresh timer."""
-    base = kazaa_defaults()
-    if fast:
-        xs = (1.0, 5.0, 25.0)
-        replications = 3
-        sessions = 25
-    else:
-        xs = (0.3, 1.0, 3.0, 10.0, 30.0, 100.0)
-        replications = 5
-        sessions = 80
-
-    protocols = tuple(Protocol)
-    grid = [
-        (protocol, base.with_coupled_timers(refresh))
-        for protocol in protocols
-        for refresh in xs
-    ]
-    solutions = solve_singlehop_batch(grid)
-    points = simulate_singlehop_batch(
-        (protocol, params, sessions, replications, seed) for protocol, params in grid
-    )
-
-    model_i: list[Series] = []
-    model_m: list[Series] = []
-    sim_i: list[Series] = []
-    sim_m: list[Series] = []
-    for k, protocol in enumerate(protocols):
-        chunk = slice(k * len(xs), (k + 1) * len(xs))
-        model, sim = solutions[chunk], points[chunk]
-        model_i.append(Series(protocol.value, xs, tuple(s.inconsistency_ratio for s in model)))
-        model_m.append(
-            Series(protocol.value, xs, tuple(s.normalized_message_rate for s in model))
-        )
-        sim_i.append(
-            Series(
-                f"{protocol.value} sim",
-                xs,
-                tuple(p.inconsistency for p in sim),
-                tuple(p.inconsistency_err for p in sim),
-            )
-        )
-        sim_m.append(
-            Series(
-                f"{protocol.value} sim",
-                xs,
-                tuple(p.message_rate for p in sim),
-                tuple(p.message_rate_err for p in sim),
-            )
-        )
-
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="refresh timer R (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(model_i) + tuple(sim_i),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 12",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        axes=(
+            Axis(
+                "refresh_interval",
+                "explicit",
+                values=(0.3, 1.0, 3.0, 10.0, 30.0, 100.0),
+            ),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="refresh timer R (s)",
-            y_label="normalized message rate M",
-            series=tuple(model_m) + tuple(sim_m),
-            log_x=True,
-            log_y=True,
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="refresh timer R (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="inconsistency_ratio",
+                    ),
+                    SeriesPlan(
+                        "sim",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="inconsistency",
+                        label_suffix=" sim",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="refresh timer R (s)",
+                y_label="normalized message rate M",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="normalized_message_rate",
+                    ),
+                    SeriesPlan(
+                        "sim",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="message_rate",
+                        label_suffix=" sim",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
         ),
+        fidelities=(
+            FidelityProfile("full", replications=5, sessions=80),
+            FidelityProfile(
+                "fast",
+                axis_values={"refresh_interval": (1.0, 5.0, 25.0)},
+                replications=3,
+                sessions=25,
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_values={"refresh_interval": (5.0,)},
+                replications=2,
+                sessions=10,
+            ),
+        ),
+        sim=SimPlan(seed=12, sessions_mode="fixed"),
+        notes=("simulated series use deterministic R/T/K timers; ± is a 95% CI.",),
     )
-    notes = ("simulated series use deterministic R/T/K timers; ± is a 95% CI.",)
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

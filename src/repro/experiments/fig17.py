@@ -11,30 +11,32 @@ refresh-starvation timeouts at distant hops).
 
 from __future__ import annotations
 
-from repro.core.parameters import reservation_defaults
 from repro.core.protocols import Protocol
-from repro.experiments.runner import ExperimentResult, Panel, Series, register
-from repro.runtime import solve_multihop_batch
+from repro.experiments.spec import (
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig17"
 TITLE = "Fig. 17: fraction of time the i-th hop is inconsistent (N = 20)"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Per-hop inconsistency profile on the 20-hop reservation defaults."""
-    params = reservation_defaults()
-    hops = tuple(float(h) for h in range(1, params.hops + 1))
-    protocols = Protocol.multihop_family()
-    solutions = solve_multihop_batch([(protocol, params) for protocol in protocols])
-    series = [
-        Series(protocol.value, hops, tuple(solution.hop_profile()))
-        for protocol, solution in zip(protocols, solutions)
-    ]
-    panel = Panel(
-        name="per-hop inconsistency",
-        x_label="hop index i",
-        y_label="fraction of time hop i is inconsistent",
-        series=tuple(series),
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 17",
+        family="multihop",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        panels=(
+            PanelSpec(
+                name="per-hop inconsistency",
+                x_label="hop index i",
+                y_label="fraction of time hop i is inconsistent",
+                plans=(SeriesPlan("hop_profile"),),
+            ),
+        ),
     )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, (panel,))
+)

@@ -12,37 +12,59 @@ grows with path length.
 
 from __future__ import annotations
 
-from repro.core.parameters import reservation_defaults
-from repro.experiments.common import multihop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig18"
 TITLE = "Fig. 18: inconsistency (a) and message rate (b) vs number of hops"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep the path length on the multi-hop reservation defaults."""
-    base = reservation_defaults()
-    hop_counts = (2, 5, 10, 20) if fast else tuple(range(1, 21))
-    xs = tuple(float(n) for n in hop_counts)
-    make = lambda n: base.replace(hops=int(n))  # noqa: E731
-    inconsistency = multihop_metric_series(
-        xs, make, lambda sol: sol.inconsistency_ratio
-    )
-    message_rate = multihop_metric_series(xs, make, lambda sol: sol.message_rate)
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="total number of hops",
-            y_label="inconsistency ratio I",
-            series=tuple(inconsistency),
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 18",
+        family="multihop",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis("hops", "explicit", values=tuple(float(n) for n in range(1, 21))),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="total number of hops",
-            y_label="per-link transmissions per second",
-            series=tuple(message_rate),
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="total number of hops",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="hops",
+                        binder="hops",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="total number of hops",
+                y_label="per-link transmissions per second",
+                plans=(
+                    SeriesPlan(
+                        "sweep", axis="hops", binder="hops", metric="message_rate"
+                    ),
+                ),
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_values={"hops": (2.0, 5.0, 10.0, 20.0)}),
+            FidelityProfile("smoke", axis_values={"hops": (2.0, 10.0, 20.0)}),
         ),
     )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels)
+)

@@ -12,41 +12,65 @@ keeps improving until an optimum near ``R ~ 10 s``; overhead falls with
 
 from __future__ import annotations
 
-from repro.core.parameters import reservation_defaults
-from repro.experiments.common import multihop_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, geometric_sweep, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "fig19"
 TITLE = "Fig. 19: multi-hop inconsistency (a) and message rate (b) vs refresh timer R"
 
-
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep the refresh timer on the 20-hop reservation defaults."""
-    base = reservation_defaults()
-    xs = geometric_sweep(0.1, 1000.0, 9 if fast else 21)
-    make = lambda r: base.with_coupled_timers(r)  # noqa: E731
-    inconsistency = multihop_metric_series(
-        xs, make, lambda sol: sol.inconsistency_ratio
-    )
-    message_rate = multihop_metric_series(xs, make, lambda sol: sol.message_rate)
-    panels = (
-        Panel(
-            name="a: inconsistency ratio",
-            x_label="refresh timer R (s)",
-            y_label="inconsistency ratio I",
-            series=tuple(inconsistency),
-            log_x=True,
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Fig. 19",
+        family="multihop",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(Axis("refresh_interval", "geometric", low=0.1, high=1000.0, points=21),),
+        panels=(
+            PanelSpec(
+                name="a: inconsistency ratio",
+                x_label="refresh timer R (s)",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: signaling message rate",
+                x_label="refresh timer R (s)",
+                y_label="per-link transmissions per second",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="refresh_interval",
+                        binder="coupled_timers",
+                        metric="message_rate",
+                    ),
+                ),
+                log_x=True,
+                log_y=True,
+            ),
         ),
-        Panel(
-            name="b: signaling message rate",
-            x_label="refresh timer R (s)",
-            y_label="per-link transmissions per second",
-            series=tuple(message_rate),
-            log_x=True,
-            log_y=True,
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile("fast", axis_points={"refresh_interval": 9}),
+            FidelityProfile("smoke", axis_points={"refresh_interval": 4}),
         ),
+        notes=("HS does not use R; its series are constant.",),
     )
-    notes = ("HS does not use R; its series are constant.",)
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

@@ -1,30 +1,37 @@
-"""Experiment framework: sweep results, text rendering, registry.
+"""Experiment result structures, rendering and structured artifacts.
 
-Every paper artifact (Table I, Figs. 4-12, 17-19) has a module exposing
+Every scenario (Table I, Figs. 4-12, 17-19, and any variant run through
+the declarative API) produces an :class:`ExperimentResult`: plain data
+(series of x/y points per panel) plus renderers — aligned text tables
+(``to_text``), per-panel CSV documents (``to_csv``) and a versioned
+JSON artifact (``to_json``/``from_json``) carrying a provenance block
+(scenario id, fidelity, overrides, package version).
 
-``run(fast: bool = False) -> ExperimentResult``
-
-``fast=True`` thins sweeps and simulation effort so the benchmark suite
-can regenerate every figure quickly; ``fast=False`` reproduces the
-paper's full axes.  Results are plain data (series of x/y points per
-panel) plus a text renderer that prints the same rows the paper plots.
+Scenario registration lives in :mod:`repro.experiments.spec`; this
+module holds only the result data model and the sweep helpers.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "ExperimentResult",
     "Panel",
+    "Provenance",
+    "SCHEMA_VERSION",
     "Series",
     "geometric_sweep",
     "linear_sweep",
-    "register",
-    "registry",
 ]
+
+#: Version of the JSON artifact layout produced by
+#: :meth:`ExperimentResult.to_json`.  Bump on incompatible changes;
+#: :meth:`ExperimentResult.from_json` refuses other versions.
+SCHEMA_VERSION = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,10 +63,19 @@ class Series:
         ys = tuple(p[1] for p in points)
         return cls(label, xs, ys, tuple(errors) if errors is not None else None)
 
-    def value_at(self, x: float, tolerance: float = 1e-9) -> float:
-        """The y value at a swept x (exact match within tolerance)."""
+    def value_at(
+        self, x: float, rel_tol: float = 1e-9, abs_tol: float = 1e-12
+    ) -> float:
+        """The y value at a swept x (exact match within tolerance).
+
+        ``rel_tol`` and ``abs_tol`` are passed straight to
+        :func:`math.isclose`.  The absolute tolerance is deliberately
+        tight: a loose one (a single shared ``tolerance``, as this
+        method once took) makes every lookup near x=0 match a swept
+        0.0 spuriously.
+        """
         for xi, yi in zip(self.x, self.y):
-            if math.isclose(xi, x, rel_tol=tolerance, abs_tol=tolerance):
+            if math.isclose(xi, x, rel_tol=rel_tol, abs_tol=abs_tol):
                 return yi
         raise KeyError(f"x={x!r} not in series {self.label!r}")
 
@@ -111,6 +127,17 @@ class Panel:
 
 
 @dataclasses.dataclass(frozen=True)
+class Provenance:
+    """How a result was produced, recorded into the JSON artifact."""
+
+    scenario_id: str
+    fidelity: str
+    overrides: tuple[tuple[str, float], ...] = ()
+    protocols: tuple[str, ...] = ()
+    package_version: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class ExperimentResult:
     """The full output of one experiment (one paper artifact)."""
 
@@ -118,6 +145,7 @@ class ExperimentResult:
     title: str
     panels: tuple[Panel, ...]
     notes: tuple[str, ...] = ()
+    provenance: Provenance | None = None
 
     def panel(self, name: str) -> Panel:
         """Find a panel by name."""
@@ -162,6 +190,107 @@ class ExperimentResult:
                 _shared_panel_csv(panel) if panel.shared_x else _parametric_panel_csv(panel)
             )
         return documents
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The result as a versioned JSON artifact.
+
+        The document carries ``schema_version`` (see
+        :data:`SCHEMA_VERSION`), the full panel/series data and, when
+        the result came from the scenario executor, a provenance block
+        recording the scenario id, fidelity, parameter overrides,
+        protocol set and package version.  Floats round-trip exactly
+        (:meth:`from_json` restores an equal result).
+        """
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "provenance": None
+            if self.provenance is None
+            else {
+                "scenario_id": self.provenance.scenario_id,
+                "fidelity": self.provenance.fidelity,
+                "overrides": dict(self.provenance.overrides),
+                "protocols": list(self.provenance.protocols),
+                "package_version": self.provenance.package_version,
+            },
+            "panels": [
+                {
+                    "name": panel.name,
+                    "x_label": panel.x_label,
+                    "y_label": panel.y_label,
+                    "log_x": panel.log_x,
+                    "log_y": panel.log_y,
+                    "shared_x": panel.shared_x,
+                    "series": [
+                        {
+                            "label": series.label,
+                            "x": list(series.x),
+                            "y": list(series.y),
+                            "y_err": None
+                            if series.y_err is None
+                            else list(series.y_err),
+                        }
+                        for series in panel.series
+                    ],
+                }
+                for panel in self.panels
+            ],
+            "notes": list(self.notes),
+        }
+        return json.dumps(document, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from a :meth:`to_json` artifact.
+
+        Raises :class:`ValueError` on a missing or unsupported
+        ``schema_version``.
+        """
+        document = json.loads(text)
+        version = document.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported artifact schema_version {version!r}; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        raw = document.get("provenance")
+        provenance = None
+        if raw is not None:
+            provenance = Provenance(
+                scenario_id=raw["scenario_id"],
+                fidelity=raw["fidelity"],
+                overrides=tuple(sorted(raw.get("overrides", {}).items())),
+                protocols=tuple(raw.get("protocols", ())),
+                package_version=raw.get("package_version", ""),
+            )
+        panels = tuple(
+            Panel(
+                name=panel["name"],
+                x_label=panel["x_label"],
+                y_label=panel["y_label"],
+                series=tuple(
+                    Series(
+                        series["label"],
+                        tuple(series["x"]),
+                        tuple(series["y"]),
+                        None if series["y_err"] is None else tuple(series["y_err"]),
+                    )
+                    for series in panel["series"]
+                ),
+                log_x=panel["log_x"],
+                log_y=panel["log_y"],
+                shared_x=panel["shared_x"],
+            )
+            for panel in document["panels"]
+        )
+        return cls(
+            experiment_id=document["experiment_id"],
+            title=document["title"],
+            panels=panels,
+            notes=tuple(document.get("notes", ())),
+            provenance=provenance,
+        )
 
 
 def _shared_panel_rows(panel: Panel, max_width: int) -> list[str]:
@@ -261,24 +390,3 @@ def linear_sweep(low: float, high: float, points: int) -> tuple[float, ...]:
         raise ValueError(f"need at least 2 points, got {points}")
     step = (high - low) / (points - 1)
     return tuple(low + step * i for i in range(points - 1)) + (high,)
-
-
-_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
-
-
-def register(experiment_id: str):
-    """Class/function decorator adding a ``run`` callable to the registry."""
-
-    def wrap(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
-        if experiment_id in _REGISTRY:
-            raise ValueError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = run
-        return run
-
-    return wrap
-
-
-def registry() -> dict[str, Callable[..., ExperimentResult]]:
-    """All registered experiments (importing :mod:`repro.experiments`
-    populates this)."""
-    return dict(_REGISTRY)

@@ -22,9 +22,16 @@ versus hop count, for the three multi-hop protocols.
 from __future__ import annotations
 
 from repro.core.multihop.heterogeneous import HeterogeneousHop
-from repro.core.parameters import MultiHopParameters, reservation_defaults
-from repro.experiments.common import heterogeneous_metric_series
-from repro.experiments.runner import ExperimentResult, Panel, register
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_binder,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "scaling"
 TITLE = "Hop-count scaling: heterogeneous paths up to N = 128 (beyond the paper)"
@@ -33,6 +40,7 @@ TITLE = "Hop-count scaling: heterogeneous paths up to N = 128 (beyond the paper)
 #: threshold (2*128+1 = 257 states).
 HOP_COUNTS = (2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
 FAST_HOP_COUNTS = (2, 4, 8, 16, 32, 128)
+SMOKE_HOP_COUNTS = (2, 8, 16)
 
 #: The congested-link period/offset and the two link profiles.
 CONGESTED_EVERY = 8
@@ -58,41 +66,69 @@ def heterogeneous_path(hops: int) -> tuple[HeterogeneousHop, ...]:
     )
 
 
-def _point(hops: float) -> tuple[MultiHopParameters, tuple[HeterogeneousHop, ...]]:
+@register_binder("scaling_path")
+def _bind_scaling_point(base, hops: float):
+    """Map a swept hop count to ``(params, hop_profile)``."""
     n = int(hops)
-    return reservation_defaults().replace(hops=n), heterogeneous_path(n)
+    return base.replace(hops=n), heterogeneous_path(n)
 
 
-@register(EXPERIMENT_ID)
-def run(fast: bool = False) -> ExperimentResult:
-    """Inconsistency and message overhead vs hop count (heterogeneous)."""
-    hop_counts = tuple(float(n) for n in (FAST_HOP_COUNTS if fast else HOP_COUNTS))
-    inconsistency = heterogeneous_metric_series(
-        hop_counts, _point, lambda solution: solution.inconsistency_ratio
-    )
-    overhead = heterogeneous_metric_series(
-        hop_counts, _point, lambda solution: solution.message_rate
-    )
-    panels = (
-        Panel(
-            name="end-to-end inconsistency",
-            x_label="hops N",
-            y_label="inconsistency ratio I",
-            series=tuple(inconsistency),
-            log_y=True,
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="beyond the paper",
+        family="heterogeneous",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis("hops", "explicit", values=tuple(float(n) for n in HOP_COUNTS)),
         ),
-        Panel(
-            name="per-link message overhead",
-            x_label="hops N",
-            y_label="transmissions/s per link",
-            series=tuple(overhead),
+        panels=(
+            PanelSpec(
+                name="end-to-end inconsistency",
+                x_label="hops N",
+                y_label="inconsistency ratio I",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="hops",
+                        binder="scaling_path",
+                        metric="inconsistency_ratio",
+                    ),
+                ),
+                log_y=True,
+            ),
+            PanelSpec(
+                name="per-link message overhead",
+                x_label="hops N",
+                y_label="transmissions/s per link",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="hops",
+                        binder="scaling_path",
+                        metric="message_rate",
+                    ),
+                ),
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile(
+                "fast", axis_values={"hops": tuple(float(n) for n in FAST_HOP_COUNTS)}
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_values={"hops": tuple(float(n) for n in SMOKE_HOP_COUNTS)},
+            ),
+        ),
+        notes=(
+            f"every {CONGESTED_EVERY}th link congested "
+            f"(p={CONGESTED_HOP.loss_rate}, {CONGESTED_HOP.delay * 1000:.0f} ms); "
+            f"clean links p={CLEAN_HOP.loss_rate}, {CLEAN_HOP.delay * 1000:.0f} ms",
+            "N = 128 solves a 257-258 state chain via the structure-cached "
+            "sparse template path",
         ),
     )
-    notes = (
-        f"every {CONGESTED_EVERY}th link congested "
-        f"(p={CONGESTED_HOP.loss_rate}, {CONGESTED_HOP.delay * 1000:.0f} ms); "
-        f"clean links p={CLEAN_HOP.loss_rate}, {CLEAN_HOP.delay * 1000:.0f} ms",
-        "N = 128 solves a 257-258 state chain via the structure-cached "
-        "sparse template path",
-    )
-    return ExperimentResult(EXPERIMENT_ID, TITLE, panels, notes)
+)

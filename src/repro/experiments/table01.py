@@ -12,7 +12,12 @@ from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop.states import SingleHopState as S
 from repro.core.singlehop.transitions import build_transition_rates
-from repro.experiments.runner import ExperimentResult, Panel, Series, register
+from repro.experiments.spec import (
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_scenario,
+)
 
 EXPERIMENT_ID = "table1"
 TITLE = "Table I: model transitions for the five signaling approaches"
@@ -51,21 +56,22 @@ def transition_table(params: SignalingParameters) -> dict[Protocol, dict[str, fl
     return table
 
 
-@register(EXPERIMENT_ID)
-def run(fast: bool = False, params: SignalingParameters | None = None) -> ExperimentResult:
-    """Materialize Table I at the default (Kazaa) parameter point."""
-    params = params or SignalingParameters()
-    table = transition_table(params)
-    series = []
-    xs = tuple(float(i) for i in range(len(ROW_LABELS)))
-    for protocol in Protocol:
-        ys = tuple(table[protocol][label] for label in ROW_LABELS)
-        series.append(Series(protocol.value, xs, ys))
-    panel = Panel(
-        name="transition rates",
-        x_label="row index",
-        y_label="rate (1/s)",
-        series=tuple(series),
+SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifact="Table I",
+        family="singlehop",
+        preset="kazaa",
+        protocols=tuple(Protocol),
+        panels=(
+            PanelSpec(
+                name="transition rates",
+                x_label="row index",
+                y_label="rate (1/s)",
+                plans=(SeriesPlan("table"),),
+            ),
+        ),
+        notes=tuple(f"row {i}: {label}" for i, label in enumerate(ROW_LABELS)),
     )
-    notes = tuple(f"row {i}: {label}" for i, label in enumerate(ROW_LABELS))
-    return ExperimentResult(EXPERIMENT_ID, TITLE, (panel,), notes)
+)

@@ -248,22 +248,31 @@ def solve_heterogeneous_batch(
     )
 
 
-def run_experiment_task(task: tuple[str, bool]):
+def run_experiment_task(task: tuple[str, bool | str]):
     """Run one whole experiment (pool task for ``repro-signaling all``).
 
-    The experiment's internal sweeps run serially inside the worker so
-    cross-experiment parallelism never nests process pools.
+    The task's second element is a fidelity name (``"full"``/``"fast"``/
+    ``"smoke"``), or a legacy ``fast`` boolean.  The experiment's
+    internal sweeps run serially inside the worker so cross-experiment
+    parallelism never nests process pools.
     """
     from repro.experiments import run_experiment
 
-    experiment_id, fast = task
+    experiment_id, fidelity = task
+    if isinstance(fidelity, bool):
+        fidelity = "fast" if fidelity else "full"
     with using_jobs(1):
-        return run_experiment(experiment_id, fast=fast)
+        return run_experiment(experiment_id, fidelity=fidelity)
 
 
 def run_experiments(
-    experiment_ids: Sequence[str], fast: bool = False, jobs: int | None = None
+    experiment_ids: Sequence[str],
+    fast: bool = False,
+    jobs: int | None = None,
+    fidelity: str | None = None,
 ):
     """Run several experiments, fanned across workers, in input order."""
-    tasks = [(experiment_id, bool(fast)) for experiment_id in experiment_ids]
+    if fidelity is None:
+        fidelity = "fast" if fast else "full"
+    tasks = [(experiment_id, fidelity) for experiment_id in experiment_ids]
     return parallel_map(run_experiment_task, tasks, jobs=jobs)

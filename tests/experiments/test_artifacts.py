@@ -1,0 +1,100 @@
+"""Tests for the versioned JSON artifact (to_json/from_json)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    Panel,
+    Provenance,
+    Series,
+)
+
+
+def shared_result() -> ExperimentResult:
+    panel = Panel(
+        name="main",
+        x_label="x",
+        y_label="y",
+        series=(
+            Series("a", (1.0, 2.0), (0.5, 0.25)),
+            Series("b", (1.0, 2.0), (0.1, 0.2), (0.01, 0.02)),
+        ),
+        log_x=True,
+    )
+    return ExperimentResult("e", "a title", (panel,), ("a note",))
+
+
+def parametric_result() -> ExperimentResult:
+    panel = Panel(
+        name="tradeoff",
+        x_label="I",
+        y_label="M",
+        series=(
+            Series("a", (0.1, 0.2), (1.0, 2.0)),
+            Series("b", (0.5,), (9.0,)),
+        ),
+        shared_x=False,
+        log_y=True,
+    )
+    provenance = Provenance(
+        scenario_id="e",
+        fidelity="fast",
+        overrides=(("loss_rate", 0.05),),
+        protocols=("SS", "HS"),
+        package_version="1.1.0",
+    )
+    return ExperimentResult("e", "t", (panel,), provenance=provenance)
+
+
+class TestRoundTrip:
+    def test_shared_panel_round_trip(self):
+        result = shared_result()
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_parametric_panel_with_provenance_round_trip(self):
+        result = parametric_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.provenance.overrides == (("loss_rate", 0.05),)
+
+    def test_missing_provenance_round_trips_as_none(self):
+        restored = ExperimentResult.from_json(shared_result().to_json())
+        assert restored.provenance is None
+
+    def test_floats_round_trip_exactly(self):
+        # repr-based JSON floats restore bit-identical values, so the
+        # artifact is as exact as the in-memory result.
+        value = 0.1 + 0.2  # not representable prettily
+        panel = Panel("p", "x", "y", (Series("s", (value,), (value / 3.0,)),))
+        result = ExperimentResult("e", "t", (panel,))
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.panels[0].series[0].x[0] == value
+        assert restored.panels[0].series[0].y[0] == value / 3.0
+
+
+class TestSchema:
+    def test_document_carries_schema_version(self):
+        document = json.loads(shared_result().to_json())
+        assert document["schema_version"] == SCHEMA_VERSION
+
+    def test_unsupported_version_rejected(self):
+        document = json.loads(shared_result().to_json())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            ExperimentResult.from_json(json.dumps(document))
+
+    def test_missing_version_rejected(self):
+        document = json.loads(shared_result().to_json())
+        del document["schema_version"]
+        with pytest.raises(ValueError, match="schema_version"):
+            ExperimentResult.from_json(json.dumps(document))
+
+    def test_compact_rendering_supported(self):
+        text = shared_result().to_json(indent=None)
+        assert "\n" not in text
+        assert ExperimentResult.from_json(text) == shared_result()

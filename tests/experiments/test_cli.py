@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments import experiment_ids
+from repro.experiments.runner import ExperimentResult
 
 
 class TestParser:
@@ -63,3 +66,127 @@ class TestCommands:
         assert main(["run", "fig17", "--fast", "--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestFidelity:
+    def test_fidelity_flag_parsed(self):
+        args = build_parser().parse_args(["run", "fig4", "--fidelity", "smoke"])
+        assert args.fidelity == "smoke"
+
+    def test_fast_is_deprecated_alias(self, capsys):
+        assert main(["run", "table1", "--fast"]) == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_explicit_fidelity_wins_over_fast(self, capsys):
+        assert main(["run", "fig5", "--fast", "--fidelity", "smoke"]) == 0
+        smoke_rows = capsys.readouterr().out.count("\n")
+        assert main(["run", "fig5", "--fast"]) == 0
+        fast_rows = capsys.readouterr().out.count("\n")
+        assert smoke_rows < fast_rows
+
+    def test_smoke_thins_sweeps(self, capsys):
+        assert main(["run", "fig4", "--fidelity", "smoke"]) == 0
+        smoke = capsys.readouterr().out
+        assert main(["run", "fig4", "--fidelity", "fast"]) == 0
+        fast = capsys.readouterr().out
+        assert smoke.count("\n") < fast.count("\n")
+
+
+class TestExitCodes:
+    def test_unknown_scenario_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig99"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_override_key_exits_2(self, capsys):
+        assert main(["run", "fig4", "--fidelity", "smoke", "--set", "bogus=1"]) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+    def test_malformed_override_exits_2(self, capsys):
+        assert main(["run", "fig4", "--set", "loss_rate"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_non_numeric_override_exits_2(self, capsys):
+        assert main(["run", "fig4", "--set", "loss_rate=abc"]) == 2
+        assert "not a number" in capsys.readouterr().err
+
+    def test_out_of_range_override_exits_2(self, capsys):
+        assert main(["run", "fig4", "--fidelity", "smoke", "--set", "loss_rate=1.5"]) == 2
+        assert "loss_rate" in capsys.readouterr().err
+
+    def test_unsupported_protocol_exits_2(self, capsys):
+        assert main(["run", "fig17", "--protocols", "ss+er"]) == 2
+        assert "does not model" in capsys.readouterr().err
+
+
+class TestStructuredOutput:
+    def test_format_json_round_trips_with_provenance(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig4",
+                    "--fidelity",
+                    "smoke",
+                    "--set",
+                    "loss_rate=0.05",
+                    "--protocols",
+                    "ss,hs",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        result = ExperimentResult.from_json(out)
+        assert result.experiment_id == "fig4"
+        assert result.provenance.fidelity == "smoke"
+        assert result.provenance.overrides == (("loss_rate", 0.05),)
+        assert result.provenance.protocols == ("SS", "HS")
+        assert result.panels[0].labels() == ("SS", "HS")
+
+    def test_format_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "fig4.json"
+        assert (
+            main(
+                ["run", "fig4", "--fidelity", "smoke", "--format", "json", "--output", str(target)]
+            )
+            == 0
+        )
+        document = json.loads(target.read_text())
+        assert document["schema_version"] == 1
+
+    def test_format_csv_prints_panel_blocks(self, capsys):
+        assert main(["run", "table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "# panel: transition rates" in out
+        assert "row index" in out
+
+
+class TestAllCommand:
+    def test_all_smoke_writes_json_and_csvs(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        csv_dir = tmp_path / "csv"
+        assert (
+            main(
+                [
+                    "all",
+                    "--fidelity",
+                    "smoke",
+                    "--format",
+                    "json",
+                    "--output-dir",
+                    str(out_dir),
+                    "--csv-dir",
+                    str(csv_dir),
+                ]
+            )
+            == 0
+        )
+        for experiment_id in experiment_ids():
+            artifact = out_dir / f"{experiment_id}.json"
+            assert artifact.exists()
+            result = ExperimentResult.from_json(artifact.read_text())
+            assert result.provenance.fidelity == "smoke"
+            assert list(csv_dir.glob(f"{experiment_id}_*.csv")), experiment_id

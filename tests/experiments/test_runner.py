@@ -34,6 +34,21 @@ class TestSeries:
         with pytest.raises(KeyError):
             series.value_at(3.0)
 
+    def test_value_at_near_zero_has_no_spurious_match(self):
+        # A single shared tolerance used as abs_tol made any tiny x
+        # match a swept 0.0; the split rel_tol/abs_tol defaults must
+        # keep exact-zero lookups working without that false positive.
+        series = Series("x", (0.0, 1.0), (5.0, 6.0))
+        assert series.value_at(0.0) == 5.0
+        with pytest.raises(KeyError):
+            series.value_at(1e-10)
+
+    def test_value_at_explicit_tolerances(self):
+        series = Series("x", (100.0,), (1.0,))
+        assert series.value_at(100.0 + 1e-7, rel_tol=1e-6) == 1.0
+        with pytest.raises(KeyError):
+            series.value_at(100.0 + 1e-7, rel_tol=1e-12, abs_tol=0.0)
+
 
 class TestPanel:
     def make_panel(self):

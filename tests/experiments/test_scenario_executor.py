@@ -1,0 +1,129 @@
+"""Tests for the generic scenario executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import Protocol
+from repro.experiments import run_experiment, run_scenario, scenario
+from repro.experiments.spec import SMOKE, ScenarioError
+
+
+class TestSpecPathParity:
+    @pytest.mark.parametrize("experiment_id", ["fig4", "fig9", "fig17", "table1"])
+    def test_fast_fidelity_matches_legacy_shim(self, experiment_id):
+        via_shim = run_experiment(experiment_id, fast=True)
+        via_spec = run_scenario(experiment_id, "fast")
+        assert via_spec.to_text() == via_shim.to_text()
+
+    def test_provenance_only_difference(self):
+        # The shim routes through the executor, so results are fully
+        # equal including the provenance block.
+        assert run_experiment("fig17", fast=True) == run_scenario("fig17", "fast")
+
+
+class TestFidelity:
+    def test_smoke_thins_sweeps(self):
+        fast = run_scenario("fig4", "fast")
+        smoke = run_scenario("fig4", SMOKE)
+        assert len(smoke.panels[0].series[0].x) < len(fast.panels[0].series[0].x)
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fidelity"):
+            run_scenario("fig4", "turbo")
+
+    def test_every_scenario_runs_at_smoke(self):
+        # The smoke profile must stay runnable for every registered
+        # scenario — it backs the CI console-script smoke job.
+        from repro.experiments import scenario_ids
+
+        for scenario_id in scenario_ids():
+            result = run_scenario(scenario_id, SMOKE)
+            assert result.panels, scenario_id
+
+
+class TestOverrides:
+    def test_override_changes_values(self):
+        base = run_scenario("fig4", SMOKE)
+        lossy = run_scenario("fig4", SMOKE, overrides={"loss_rate": 0.2})
+        assert base.panels[0].series[0].y != lossy.panels[0].series[0].y
+
+    def test_override_recorded_in_provenance(self):
+        result = run_scenario("fig4", SMOKE, overrides={"loss_rate": 0.05})
+        assert result.provenance.overrides == (("loss_rate", 0.05),)
+        assert result.provenance.fidelity == SMOKE
+        assert result.provenance.scenario_id == "fig4"
+        assert result.provenance.package_version
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown parameter"):
+            run_scenario("fig4", SMOKE, overrides={"bogus": 1.0})
+
+    def test_hops_override_reshapes_hop_profile(self):
+        result = run_scenario("fig17", "full", overrides={"hops": 5})
+        assert len(result.panels[0].series[0].x) == 5
+
+
+class TestProtocolSelection:
+    def test_subset_selected_in_spec_order(self):
+        result = run_scenario("fig4", SMOKE, protocols="hs,ss")
+        labels = result.panels[0].labels()
+        assert labels == (Protocol.SS.value, Protocol.HS.value)
+
+    def test_selection_recorded_in_provenance(self):
+        result = run_scenario("fig4", SMOKE, protocols="ss,hs")
+        assert result.provenance.protocols == ("SS", "HS")
+
+    def test_unsupported_protocol_rejected(self):
+        with pytest.raises(ScenarioError, match="does not model"):
+            run_scenario("fig17", "full", protocols="ss+er")
+
+    def test_pinned_plan_intersection(self):
+        # Fig. 9 pins its parametric plan to the soft-state family and
+        # its point plan to HS; selecting only HS leaves the point.
+        result = run_scenario("fig9", SMOKE, protocols="hs")
+        assert result.panels[0].labels() == (Protocol.HS.value,)
+        assert len(result.panels[0].series[0].x) == 1
+
+    def test_unknown_scenario_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            run_scenario("fig99", "fast")
+
+
+class TestLegacyShimKwargs:
+    def test_seed_kwarg_still_accepted(self):
+        # The pre-spec fig12 module exposed run(fast, seed=12); the
+        # shim must keep honoring it (different seed, different sims).
+        default = run_experiment("fig12", fidelity=SMOKE)
+        reseeded = run_experiment("fig12", fidelity=SMOKE, seed=99)
+        sim_default = default.panels[0].series_by_label("SS sim")
+        sim_reseeded = reseeded.panels[0].series_by_label("SS sim")
+        assert sim_default.y != sim_reseeded.y
+        assert run_experiment("fig12", fidelity=SMOKE, seed=12) == default
+
+    def test_params_kwarg_still_accepted(self):
+        # The pre-spec table01 module exposed run(fast, params=...).
+        from repro.core.parameters import SignalingParameters
+        from repro.experiments.table01 import ROW_LABELS, transition_table
+
+        params = SignalingParameters(loss_rate=0.05, delay=0.04)
+        result = run_experiment("table1", params=params)
+        table = transition_table(params)
+        series = result.panels[0].series_by_label(Protocol.SS.value)
+        assert series.y == tuple(table[Protocol.SS][label] for label in ROW_LABELS)
+
+
+class TestVariantScenario:
+    def test_acceptance_variant_runs_end_to_end(self):
+        # The ISSUE's acceptance example: a fig4 variant with a lossier
+        # channel and a two-protocol set, as JSON with provenance.
+        result = run_scenario(
+            scenario("fig4"),
+            "smoke",
+            overrides={"loss_rate": 0.05},
+            protocols="ss,hs",
+        )
+        restored = type(result).from_json(result.to_json())
+        assert restored == result
+        assert restored.provenance.overrides == (("loss_rate", 0.05),)
+        assert restored.provenance.protocols == ("SS", "HS")

@@ -1,0 +1,86 @@
+"""Tests for the public library facade (repro.api)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.core.parameters import kazaa_defaults, reservation_defaults
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.experiments.spec import ScenarioError
+
+
+class TestListScenarios:
+    def test_returns_specs_sorted_by_id(self):
+        specs = api.list_scenarios()
+        ids = [spec.scenario_id for spec in specs]
+        assert ids == sorted(ids)
+        assert "fig4" in ids and "table1" in ids
+
+    def test_lazy_module_attribute(self):
+        assert repro.api is api
+        with pytest.raises(AttributeError):
+            repro.nonexistent  # noqa: B018
+
+
+class TestSolveFacades:
+    def test_solve_singlehop_matches_reference_model(self):
+        solution = api.solve_singlehop(Protocol.SS_ER)
+        reference = SingleHopModel(Protocol.SS_ER, kazaa_defaults()).solve()
+        assert solution.inconsistency_ratio == reference.inconsistency_ratio
+
+    def test_solve_singlehop_accepts_names_and_overrides(self):
+        lossy = api.solve_singlehop("ss+er", loss_rate=0.1)
+        clean = api.solve_singlehop("ss+er")
+        assert lossy.inconsistency_ratio > clean.inconsistency_ratio
+
+    def test_solve_multihop_overrides(self):
+        short = api.solve_multihop("hs", hops=2)
+        long = api.solve_multihop("hs", hops=20)
+        assert long.inconsistency_ratio > short.inconsistency_ratio
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown parameter"):
+            api.solve_singlehop("ss", bogus=1.0)
+
+
+class TestSweep:
+    def test_sweep_matches_point_solves(self):
+        series = api.sweep("loss_rate", (0.01, 0.05), protocols="ss")
+        (ss,) = series
+        assert ss.label == "SS"
+        expected = tuple(
+            api.solve_singlehop("ss", loss_rate=p).inconsistency_ratio
+            for p in (0.01, 0.05)
+        )
+        assert ss.y == expected
+
+    def test_multihop_sweep(self):
+        series = api.sweep("hops", (2.0, 5.0), multihop=True, metric="message_rate")
+        assert [s.label for s in series] == [p.value for p in Protocol.multihop_family()]
+        base = reservation_defaults()
+        assert series[0].y[0] == api.solve_multihop(
+            "ss", base.replace(hops=2)
+        ).message_rate
+
+    def test_callable_metric(self):
+        series = api.sweep(
+            "loss_rate",
+            (0.01,),
+            protocols="hs",
+            metric=lambda solution: solution.normalized_message_rate,
+        )
+        assert len(series[0].y) == 1
+
+    def test_invalid_param_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown parameter"):
+            api.sweep("bogus", (1.0,))
+
+
+class TestRunScenarioExport:
+    def test_run_scenario_reexported(self):
+        result = api.run_scenario("table1", "full")
+        assert result.experiment_id == "table1"
+        assert result.provenance.scenario_id == "table1"
