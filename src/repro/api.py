@@ -47,6 +47,8 @@ from repro.experiments.spec import (
     scenarios,
 )
 from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+from repro.validation import ValidationReport  # noqa: F401 - re-export
+from repro.validation import validate_scenario as _validate_scenario
 
 __all__ = [
     "list_scenarios",
@@ -54,6 +56,7 @@ __all__ = [
     "solve_multihop",
     "solve_singlehop",
     "sweep",
+    "validate_scenario",
 ]
 
 
@@ -61,6 +64,27 @@ def list_scenarios() -> tuple[ScenarioSpec, ...]:
     """Every registered scenario spec, sorted by id."""
     registry = scenarios()
     return tuple(registry[scenario_id] for scenario_id in scenario_ids())
+
+
+def validate_scenario(
+    scenario: str | ScenarioSpec,
+    fidelity: str = "smoke",
+    *,
+    jobs: int | None = None,
+    seed: int | None = None,
+) -> ValidationReport:
+    """Run one scenario's validation plan and return the report.
+
+    The plan is derived from the scenario spec (see
+    :mod:`repro.validation`): artifact round-trip and finiteness
+    checks, base-point invariants, the backend parity matrix for the
+    scenario's model family, and — for scenarios with a
+    :class:`~repro.experiments.spec.SimPlan` — Student-t equivalence of
+    the replicated simulations against the analytic predictions.
+    ``report.passed`` aggregates every check;
+    ``report.to_json()``/``to_text()`` render the artifact.
+    """
+    return _validate_scenario(scenario, fidelity, jobs=jobs, seed=seed)
 
 
 def solve_singlehop(

@@ -10,6 +10,9 @@ Usage::
                              [--output fig4.txt] [--csv-dir results/]
     repro-signaling all [--fidelity fast] [--format json] [--jobs N]
                         [--output-dir results/] [--csv-dir results/]
+    repro-signaling validate [fig11|all] [--fidelity smoke] [--jobs N]
+                             [--format {text,json}] [--seed S]
+                             [--output report.json] [--output-dir reports/]
     repro-signaling claims [--jobs N]
     repro-signaling report [--full]
     repro-signaling diagram ss [--multihop]
@@ -27,11 +30,19 @@ versioned JSON artifact with a provenance block.  ``--jobs N`` fans
 sweep points (for ``run``/``claims``) or whole experiments (for
 ``all``) across N worker processes; results are identical to the
 serial run, just faster.
+
+``validate`` turns every scenario spec into an executable validation
+plan (see :mod:`repro.validation`): artifact round-trips, base-point
+invariants, the dense/template/batched/sparse backend parity matrix,
+and — for the simulation scenarios — Student-t equivalence between the
+replicated simulations and the analytic curves.  It exits 1 when any
+check fails, so CI can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from collections.abc import Sequence
@@ -42,7 +53,14 @@ from repro.experiments import experiment_ids, run_scenario, scenario
 from repro.experiments.claims import render_report
 from repro.experiments.diagrams import render_multihop_chain, render_singlehop_chain
 from repro.experiments.runner import ExperimentResult
-from repro.experiments.spec import FAST, FIDELITIES, FULL, ScenarioError, parse_overrides
+from repro.experiments.spec import (
+    FAST,
+    FIDELITIES,
+    FULL,
+    SMOKE,
+    ScenarioError,
+    parse_overrides,
+)
 from repro.runtime import effective_jobs, global_cache, run_experiments, using_jobs
 
 __all__ = ["build_parser", "main"]
@@ -57,6 +75,18 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
     return value
 
 
@@ -78,12 +108,12 @@ def _add_verbose_flag(command: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_fidelity_flags(command: argparse.ArgumentParser) -> None:
+def _add_fidelity_flags(command: argparse.ArgumentParser, default: str = FULL) -> None:
     command.add_argument(
         "--fidelity",
         choices=FIDELITIES,
         default=None,
-        help="resolution profile (default: full)",
+        help=f"resolution profile (default: {default})",
     )
     command.add_argument(
         "--fast",
@@ -191,6 +221,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(all_cmd)
     _add_verbose_flag(all_cmd)
 
+    validate_cmd = commands.add_parser(
+        "validate",
+        help="run the scenario validation plans (parity matrix, sim-vs-model "
+        "equivalence, artifact and invariant checks)",
+    )
+    validate_cmd.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        choices=sorted(experiment_ids()) + ["all"],
+        help="one scenario id, or 'all' (default) for every registered scenario",
+    )
+    _add_fidelity_flags(validate_cmd, default=SMOKE)
+    validate_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="per-scenario text tables (default) or the versioned JSON "
+        "validation artifact",
+    )
+    validate_cmd.add_argument(
+        "--seed",
+        type=_non_negative_int,
+        default=None,
+        metavar="S",
+        help="override the simulation seed of validation scenarios",
+    )
+    validate_destination = validate_cmd.add_mutually_exclusive_group()
+    validate_destination.add_argument(
+        "--output", type=pathlib.Path, help="write the rendering here"
+    )
+    validate_destination.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        help="write one report per scenario into this directory",
+    )
+    _add_jobs_flag(validate_cmd)
+    _add_verbose_flag(validate_cmd)
+
     claims_cmd = commands.add_parser(
         "claims", help="check the paper's qualitative claims across decodings"
     )
@@ -264,6 +333,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
 
+def _dispatch_validate(args: argparse.Namespace) -> int:
+    """Run the ``validate`` verb; exit 1 when any check fails.
+
+    Validation defaults to ``smoke`` fidelity (unlike ``run``/``all``,
+    whose default is ``full``): the parity matrix and invariants are
+    fidelity-thinned parameter grids, and full-fidelity simulation
+    equivalence is a minutes-scale job best requested explicitly.
+    """
+    from repro.validation import validate_scenario
+
+    if args.fast:
+        print("warning: --fast is deprecated; use --fidelity fast", file=sys.stderr)
+    fidelity = args.fidelity or (FAST if args.fast else SMOKE)
+    ids = sorted(experiment_ids()) if args.target == "all" else [args.target]
+    reports = []
+    with using_jobs(args.jobs):
+        for scenario_id in ids:
+            reports.append(
+                validate_scenario(scenario_id, fidelity, seed=args.seed)
+            )
+    failed = [report.scenario_id for report in reports if not report.passed]
+    summary = (
+        f"validated {len(reports)} scenario(s) at {fidelity} fidelity: "
+        + ("all passed" if not failed else f"FAILED: {', '.join(failed)}")
+    )
+    if args.output_dir is not None:
+        extension = ".json" if args.format == "json" else ".txt"
+        for report in reports:
+            path = args.output_dir / f"validate_{report.scenario_id}{extension}"
+            _emit(
+                report.to_json() if args.format == "json" else report.to_text(),
+                path,
+            )
+        print(summary)
+    elif args.format == "json":
+        if len(reports) == 1:
+            _emit(reports[0].to_json(), args.output)
+        else:
+            # One parseable document for the multi-scenario run.
+            documents = [json.loads(report.to_json()) for report in reports]
+            _emit(json.dumps(documents, indent=2), args.output)
+    else:
+        blocks = "\n\n".join(report.to_text() for report in reports)
+        _emit(blocks + "\n\n" + summary, args.output)
+    if args.verbose:
+        _print_cache_stats()
+    return 0 if all(report.passed for report in reports) else 1
+
+
 def _dispatch(argv: Sequence[str] | None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -313,6 +431,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
         if args.verbose:
             _print_cache_stats()
         return 0
+    if args.command == "validate":
+        return _dispatch_validate(args)
     if args.command == "claims":
         print(robustness_report(jobs=args.jobs))
         if args.verbose:

@@ -37,13 +37,33 @@ class TimerDiscipline(str, enum.Enum):
     JITTERED = "jittered"
 
 
+#: Leading ``spawn_key`` word for named substreams vs. replication
+#: children.  Named streams append the key's UTF-8 bytes (each < 256),
+#: so any domain word >= 256 keeps the two derivation paths disjoint.
+_STREAM_DOMAIN = 0x5EED
+_REPLICATION_DOMAIN = 0x5EED + 1
+
+
 class RandomStreams:
     """A family of independent, reproducible random substreams.
 
-    Substreams are derived from a root seed and a stable string key using
-    numpy's ``SeedSequence.spawn`` semantics, so ``stream("channel")`` is
-    identical across runs with the same root seed regardless of how many
-    other streams exist or in what order they are created.
+    Substreams are derived from a root seed and a stable string key
+    through :class:`numpy.random.SeedSequence` ``spawn_key`` paths
+    (``SeedSequence.spawn`` semantics), so ``stream("channel")`` is
+    identical across runs with the same root seed regardless of how
+    many other streams exist or in what order they are created, and two
+    distinct keys can never yield the same substream.
+
+    .. note:: **Compatibility.** Earlier releases built the stream
+       entropy as ``[seed, *map(ord, key)]`` (which can collide across
+       keys — the list for one multi-character key can equal the list
+       for another seed/key combination) and derived replication
+       children with an ad-hoc affine map ``seed * 1_000_003 + r + 1``.
+       Both now route through ``SeedSequence(entropy=seed,
+       spawn_key=...)`` with domain-separated spawn keys, so every
+       stream and every replication family changed in this version.
+       Replicated experiment *estimates* are unaffected beyond their
+       reported confidence intervals; only the exact draws moved.
     """
 
     def __init__(self, seed: int) -> None:
@@ -60,15 +80,34 @@ class RandomStreams:
     def stream(self, key: str) -> np.random.Generator:
         """Return the generator for ``key``, creating it on first use."""
         if key not in self._cache:
-            material = [self._seed] + [ord(ch) for ch in key]
-            self._cache[key] = np.random.default_rng(np.random.SeedSequence(material))
+            sequence = np.random.SeedSequence(
+                entropy=self._seed,
+                spawn_key=(_STREAM_DOMAIN, *key.encode("utf-8")),
+            )
+            self._cache[key] = np.random.default_rng(sequence)
         return self._cache[key]
 
     def spawn(self, replication: int) -> "RandomStreams":
-        """Derive an independent family for one replication of an experiment."""
+        """Derive an independent family for one replication of an experiment.
+
+        The child's root seed is drawn from
+        ``SeedSequence(entropy=seed, spawn_key=(domain, replication))``,
+        so children are independent of each other and of every named
+        stream of this family, for any combination of root seeds and
+        replication indices.  The child is a plain :class:`RandomStreams`
+        whose integer :attr:`seed` fully encodes the derivation (it can
+        travel through a config object to a worker process).
+        """
         if replication < 0:
             raise ValueError(f"replication index must be non-negative, got {replication}")
-        return RandomStreams(self._seed * 1_000_003 + replication + 1)
+        sequence = np.random.SeedSequence(
+            entropy=self._seed,
+            spawn_key=(_REPLICATION_DOMAIN, int(replication)),
+        )
+        derived = int.from_bytes(
+            sequence.generate_state(4, np.uint32).tobytes(), "little"
+        )
+        return RandomStreams(derived)
 
 
 class Timer:

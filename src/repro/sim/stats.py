@@ -77,19 +77,32 @@ class ReplicationSet:
         """Names of all recorded metrics."""
         return sorted(self._samples)
 
+    def _recorded(self, metric: str) -> list[float]:
+        try:
+            return self._samples[metric]
+        except KeyError:
+            known = ", ".join(sorted(self._samples)) or "<none recorded>"
+            raise KeyError(
+                f"unknown metric {metric!r}; known metrics: {known}"
+            ) from None
+
     def samples(self, metric: str) -> list[float]:
-        """All samples recorded for ``metric``."""
-        return list(self._samples[metric])
+        """All samples recorded for ``metric``.
+
+        Raises :class:`KeyError` naming the known metrics when
+        ``metric`` was never recorded.
+        """
+        return list(self._recorded(metric))
 
     def count(self, metric: str) -> int:
         """Number of replications recorded for ``metric``."""
         return len(self._samples.get(metric, ()))
 
     def mean(self, metric: str) -> float:
-        """Sample mean of ``metric``."""
-        values = self._samples[metric]
+        """Sample mean of ``metric`` (KeyError lists known metrics)."""
+        values = self._recorded(metric)
         return sum(values) / len(values)
 
     def interval(self, metric: str, confidence: float = 0.95) -> ConfidenceInterval:
-        """Student-t interval for ``metric``."""
-        return student_t_interval(self._samples[metric], confidence)
+        """Student-t interval for ``metric`` (KeyError lists known metrics)."""
+        return student_t_interval(self._recorded(metric), confidence)

@@ -1,0 +1,75 @@
+"""Scenario-driven validation: sim↔model cross-checks, backend parity,
+property fuzzing.
+
+The paper's central evidence is *agreement*: CTMC predictions vs
+discrete-event simulations with 95% confidence intervals (§III-A.3),
+and — in this codebase — four solver backends that must reproduce one
+another.  This package turns every registered
+:class:`~repro.experiments.spec.ScenarioSpec` into an executable
+validation plan:
+
+* :mod:`repro.validation.plan` — derive and execute
+  :class:`ValidationPlan` objects (artifact, invariant, parity and
+  sim-vs-model checks per scenario);
+* :mod:`repro.validation.equivalence` — Student-t equivalence margins
+  for the differential simulation checks;
+* :mod:`repro.validation.parity` — the dense/template/batched/sparse
+  backend parity matrix (exact where the repo guarantees bit parity,
+  tolerance-bounded for splu);
+* :mod:`repro.validation.report` — the versioned
+  :class:`ValidationReport` artifact (JSON + text table);
+* :mod:`repro.validation.strategies` — Hypothesis strategies for the
+  property-fuzzing test suite (requires the ``hypothesis`` dev extra;
+  not imported here so the package stays dependency-light).
+
+Entry points: ``repro-signaling validate [scenario|all]`` on the CLI,
+:func:`repro.api.validate_scenario` as a library call.
+"""
+
+from repro.validation.equivalence import (
+    SIM_EQUIVALENCE_CRITERIA,
+    EquivalenceCriterion,
+    equivalence_point,
+)
+from repro.validation.parity import (
+    BACKENDS,
+    heterogeneous_parity_check,
+    multihop_parity_checks,
+    parity_parameter_points,
+    singlehop_parity_checks,
+)
+from repro.validation.plan import (
+    ValidationPlan,
+    build_plan,
+    execute_plan,
+    validate_all,
+    validate_scenario,
+)
+from repro.validation.report import (
+    VALIDATION_SCHEMA_VERSION,
+    CheckResult,
+    Coverage,
+    PointCheck,
+    ValidationReport,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CheckResult",
+    "Coverage",
+    "EquivalenceCriterion",
+    "PointCheck",
+    "SIM_EQUIVALENCE_CRITERIA",
+    "VALIDATION_SCHEMA_VERSION",
+    "ValidationPlan",
+    "ValidationReport",
+    "build_plan",
+    "equivalence_point",
+    "execute_plan",
+    "heterogeneous_parity_check",
+    "multihop_parity_checks",
+    "parity_parameter_points",
+    "singlehop_parity_checks",
+    "validate_all",
+    "validate_scenario",
+]

@@ -1,0 +1,374 @@
+"""Backend parity matrix: one chain, every solver path, asserted agreement.
+
+The repo ships four ways to solve the same CTMC point:
+
+``dense``
+    the per-point reference models (:class:`SingleHopModel`,
+    :class:`MultiHopModel`, :class:`HeterogeneousMultiHopModel`) on the
+    per-chain dense LAPACK path — the ground truth;
+``template``
+    the compiled chain templates (:mod:`repro.core.templates`), which
+    batch points sharing a chain structure into stacked LAPACK solves;
+``batched``
+    the raw batched kernels
+    (:func:`~repro.core.markov.batched_stationary_dense`,
+    :func:`~repro.core.markov.batched_absorption_times_dense`) applied
+    to the reference chain's own generator matrices;
+``sparse``
+    the per-chain ``scipy.sparse`` splu path (what ``solver="auto"``
+    switches to above the crossover state count).
+
+The parity policy matches the repo's fast-path guarantees: the dense,
+template and batched paths must agree **exactly** (``==``, bit parity —
+they run the same ``dgesv`` on the same matrices), while the sparse
+path must agree within a tight tolerance (a different factorization
+cannot promise the same last bits).  The matrix spans protocols × hop
+counts × parameter points (the point list grows with fidelity).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core import templates as _templates
+from repro.core.markov import (
+    ContinuousTimeMarkovChain,
+    batched_absorption_times_dense,
+    batched_stationary_dense,
+)
+from repro.core.multihop.heterogeneous import (
+    HeterogeneousHop,
+    HeterogeneousMultiHopModel,
+    hops_from_parameters,
+)
+from repro.core.multihop.model import MultiHopModel
+from repro.core.parameters import MultiHopParameters, SignalingParameters
+from repro.core.protocols import Protocol
+from repro.core.singlehop.model import SingleHopModel
+from repro.core.singlehop.states import SingleHopState as S
+from repro.validation.report import CheckResult, PointCheck
+
+__all__ = [
+    "BACKENDS",
+    "SPARSE_REL_TOL",
+    "SPARSE_ABS_TOL",
+    "heterogeneous_parity_check",
+    "multihop_parity_checks",
+    "parity_parameter_points",
+    "singlehop_parity_checks",
+]
+
+#: The solver paths the matrix covers, reference first.
+BACKENDS = ("dense", "template", "batched", "sparse")
+
+#: Agreement bound for the sparse (splu) backend against the dense
+#: reference: ``|a - b| <= SPARSE_ABS_TOL + SPARSE_REL_TOL * |a|``.
+SPARSE_REL_TOL = 1e-8
+SPARSE_ABS_TOL = 1e-12
+
+
+def parity_parameter_points(base, fidelity: str) -> list[tuple[str, object]]:
+    """Labelled parameter points for one fidelity.
+
+    ``smoke`` checks the base preset only; ``fast`` adds lossy-channel
+    variants; ``full`` additionally stresses the timer couplings.  All
+    variants stay in the regime where ``solver="auto"`` is dense, so
+    the exact-parity assertions compare like with like.
+    """
+    points: list[tuple[str, object]] = [("base", base)]
+    if fidelity == "smoke":
+        return points
+    points += [
+        ("loss=0.05", base.replace(loss_rate=0.05)),
+        ("loss=0.2", base.replace(loss_rate=0.2)),
+    ]
+    if fidelity == "fast":
+        return points
+    points += [
+        ("lossless", base.replace(loss_rate=0.0)),
+        ("R=1", base.with_coupled_timers(1.0)),
+        ("R=30", base.with_coupled_timers(30.0)),
+        ("delay=0.3", base.replace(delay=0.3, retransmission_interval=1.2)),
+    ]
+    return points
+
+
+def _state_label(state) -> str:
+    """Compact state name for point labels (enum values over reprs)."""
+    return str(getattr(state, "value", state))
+
+
+def _exact_point(label: str, expected: float, observed: float) -> PointCheck:
+    return PointCheck(
+        label=label,
+        expected=expected,
+        observed=observed,
+        tolerance=0.0,
+        passed=expected == observed,
+    )
+
+
+def _close_point(label: str, expected: float, observed: float) -> PointCheck:
+    tolerance = SPARSE_ABS_TOL + SPARSE_REL_TOL * abs(expected)
+    return PointCheck(
+        label=label,
+        expected=expected,
+        observed=observed,
+        tolerance=tolerance,
+        passed=math.isclose(
+            expected, observed, rel_tol=SPARSE_REL_TOL, abs_tol=SPARSE_ABS_TOL
+        ),
+    )
+
+
+def _check(name: str, points: list[PointCheck], detail: str = "") -> CheckResult:
+    return CheckResult(
+        name=name,
+        kind="parity",
+        passed=all(point.passed for point in points),
+        detail=detail,
+        points=tuple(points),
+    )
+
+
+def _sparse_stationary_points(
+    chain: ContinuousTimeMarkovChain, reference: dict, label: str
+) -> list[PointCheck]:
+    """Re-solve ``chain`` through splu and compare the distribution."""
+    sparse_chain = ContinuousTimeMarkovChain(
+        chain.states, chain.rates, solver="sparse"
+    )
+    sparse_pi = sparse_chain.stationary_distribution()
+    return [
+        _close_point(
+            f"{label} pi[{_state_label(state)}]", reference[state], sparse_pi[state]
+        )
+        for state in chain.states
+    ]
+
+
+def _batched_stationary_points(
+    chain: ContinuousTimeMarkovChain, reference: dict, label: str
+) -> list[PointCheck]:
+    """Push the chain's own generator through the batched kernel."""
+    q = chain.generator_matrix()
+    pi, bad = batched_stationary_dense(q[None])
+    if bad[0]:
+        return [
+            PointCheck(
+                label=f"{label} batched solve rejected",
+                expected=1.0,
+                observed=0.0,
+                tolerance=0.0,
+                passed=False,
+            )
+        ]
+    return [
+        _exact_point(
+            f"{label} pi[{_state_label(state)}]", reference[state], float(pi[0, i])
+        )
+        for i, state in enumerate(chain.states)
+    ]
+
+
+def singlehop_parity_checks(
+    params: SignalingParameters,
+    protocols: Sequence[Protocol] = tuple(Protocol),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The single-hop slice of the parity matrix."""
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        template_points: list[PointCheck] = []
+        batched_points: list[PointCheck] = []
+        sparse_points: list[PointCheck] = []
+        for label, point_params in parity_parameter_points(params, fidelity):
+            model = SingleHopModel(protocol, point_params)
+            reference = model.solve()
+            template = _templates.solve_singlehop_tasks(
+                [(protocol, point_params)]
+            )[0]
+            for metric in (
+                "inconsistency_ratio",
+                "expected_receiver_lifetime",
+                "message_rate",
+                "normalized_message_rate",
+            ):
+                template_points.append(
+                    _exact_point(
+                        f"{label} {metric}",
+                        getattr(reference, metric),
+                        getattr(template, metric),
+                    )
+                )
+            recurrent = model.recurrent_chain()
+            batched_points.extend(
+                _batched_stationary_points(recurrent, reference.stationary, label)
+            )
+            batched_points.append(
+                _batched_lifetime_point(model, reference, label)
+            )
+            sparse_points.extend(
+                _sparse_stationary_points(recurrent, reference.stationary, label)
+            )
+        checks.append(
+            _check(
+                f"singlehop {protocol.value}: dense==template",
+                template_points,
+                detail="compiled-template metrics, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"singlehop {protocol.value}: dense==batched",
+                batched_points,
+                detail="stacked-LAPACK kernels, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"singlehop {protocol.value}: dense~sparse",
+                sparse_points,
+                detail=f"splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+def _batched_lifetime_point(
+    model: SingleHopModel, reference, label: str
+) -> PointCheck:
+    """Batched absorption kernel vs the reference receiver lifetime."""
+    transient_chain = model.transient_chain()
+    states = transient_chain.states
+    q = transient_chain.generator_matrix()
+    transient = [i for i, state in enumerate(states) if state is not S.ABSORBED]
+    q_tt = q[np.ix_(transient, transient)]
+    times, bad = batched_absorption_times_dense(q_tt[None])
+    if bad[0]:
+        return PointCheck(
+            label=f"{label} batched absorption rejected",
+            expected=1.0,
+            observed=0.0,
+            tolerance=0.0,
+            passed=False,
+        )
+    start = transient.index(list(states).index(S.S10_FAST))
+    return _exact_point(
+        f"{label} expected_receiver_lifetime",
+        reference.expected_receiver_lifetime,
+        float(times[0, start]),
+    )
+
+
+def multihop_parity_checks(
+    params: MultiHopParameters,
+    hop_counts: Sequence[int],
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The homogeneous multi-hop slice of the parity matrix."""
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        template_points: list[PointCheck] = []
+        batched_points: list[PointCheck] = []
+        sparse_points: list[PointCheck] = []
+        for hops in hop_counts:
+            hop_base = params.replace(hops=int(hops))
+            for label, point_params in parity_parameter_points(hop_base, fidelity):
+                label = f"N={hops} {label}"
+                model = MultiHopModel(protocol, point_params)
+                reference = model.solve()
+                template = _templates.solve_multihop_tasks(
+                    [(protocol, point_params)]
+                )[0]
+                for metric in ("inconsistency_ratio", "message_rate"):
+                    template_points.append(
+                        _exact_point(
+                            f"{label} {metric}",
+                            getattr(reference, metric),
+                            getattr(template, metric),
+                        )
+                    )
+                chain = model.chain()
+                batched_points.extend(
+                    _batched_stationary_points(chain, reference.stationary, label)
+                )
+                sparse_points.extend(
+                    _sparse_stationary_points(chain, reference.stationary, label)
+                )
+        hop_list = ",".join(str(h) for h in hop_counts)
+        checks.append(
+            _check(
+                f"multihop {protocol.value}: dense==template",
+                template_points,
+                detail=f"hops {hop_list}, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"multihop {protocol.value}: dense==batched",
+                batched_points,
+                detail=f"hops {hop_list}, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"multihop {protocol.value}: dense~sparse",
+                sparse_points,
+                detail=f"hops {hop_list}, splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+def _congested_profile(
+    params: MultiHopParameters,
+) -> tuple[HeterogeneousHop, ...]:
+    """A deterministic non-uniform hop vector: every 4th link is lossy."""
+    uniform = hops_from_parameters(params)
+    return tuple(
+        HeterogeneousHop(
+            loss_rate=min(0.5, hop.loss_rate * 5) if i % 4 == 3 else hop.loss_rate,
+            delay=hop.delay,
+        )
+        for i, hop in enumerate(uniform)
+    )
+
+
+def heterogeneous_parity_check(
+    params: MultiHopParameters,
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+) -> CheckResult:
+    """Heterogeneous template path vs the per-point reference model.
+
+    Covers both the uniform hop vector (which must reproduce the
+    homogeneous numbers) and a congested non-uniform profile, exactly.
+    """
+    points: list[PointCheck] = []
+    profiles = (
+        ("uniform", hops_from_parameters(params)),
+        ("congested", _congested_profile(params)),
+    )
+    for protocol in protocols:
+        for label, hops in profiles:
+            reference = HeterogeneousMultiHopModel(protocol, params, hops).solve()
+            template = _templates.solve_heterogeneous_tasks(
+                [(protocol, params, hops)]
+            )[0]
+            for metric in ("inconsistency_ratio", "message_rate"):
+                points.append(
+                    _exact_point(
+                        f"{protocol.value} {label} {metric}",
+                        getattr(reference, metric),
+                        getattr(template, metric),
+                    )
+                )
+    return _check(
+        "heterogeneous: dense==template",
+        points,
+        detail=f"N={params.hops}, uniform + congested profiles, exact",
+    )

@@ -1,0 +1,265 @@
+"""Validation report artifacts: per-point records, coverage, rendering.
+
+A :class:`ValidationReport` is the durable output of one validation
+run: a scenario id, the fidelity it ran at, a list of
+:class:`CheckResult` records (each carrying per-point
+:class:`PointCheck` evidence) and aggregate :class:`Coverage` numbers.
+Like :class:`~repro.experiments.runner.ExperimentResult`, the report is
+plain frozen data plus renderers — an aligned text table
+(:meth:`ValidationReport.to_text`) and a versioned JSON artifact
+(:meth:`ValidationReport.to_json` / :meth:`ValidationReport.from_json`)
+so CI jobs and dashboards can diff validation outcomes across commits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro import __version__
+
+__all__ = [
+    "Coverage",
+    "CheckResult",
+    "PointCheck",
+    "VALIDATION_SCHEMA_VERSION",
+    "ValidationReport",
+]
+
+#: Version of the JSON artifact layout produced by
+#: :meth:`ValidationReport.to_json`.  Bump on incompatible changes;
+#: :meth:`ValidationReport.from_json` refuses other versions.
+VALIDATION_SCHEMA_VERSION = 1
+
+#: The check kinds a report may carry.
+CHECK_KINDS = ("sim_model", "parity", "artifact", "invariant")
+
+
+@dataclasses.dataclass(frozen=True)
+class PointCheck:
+    """One compared point: expected vs observed within a tolerance.
+
+    ``tolerance`` is the allowed ``|observed - expected|``; exact
+    (bit-parity) comparisons record ``tolerance=0.0``.
+    """
+
+    label: str
+    expected: float
+    observed: float
+    tolerance: float
+    passed: bool
+
+    @property
+    def error(self) -> float:
+        """The absolute deviation ``|observed - expected|``."""
+        return abs(self.observed - self.expected)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """One named validation check and its per-point evidence."""
+
+    name: str
+    kind: str
+    passed: bool
+    detail: str = ""
+    points: tuple[PointCheck, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHECK_KINDS:
+            raise ValueError(
+                f"unknown check kind {self.kind!r}; expected one of {CHECK_KINDS}"
+            )
+
+    def failures(self) -> tuple[PointCheck, ...]:
+        """The failing points of this check."""
+        return tuple(point for point in self.points if not point.passed)
+
+
+@dataclasses.dataclass(frozen=True)
+class Coverage:
+    """What one validation run exercised, in countable terms."""
+
+    checks: int
+    checks_passed: int
+    points: int
+    points_passed: int
+    protocols: tuple[str, ...] = ()
+    backends: tuple[str, ...] = ()
+    hop_counts: tuple[int, ...] = ()
+
+    @property
+    def checks_failed(self) -> int:
+        return self.checks - self.checks_passed
+
+    @property
+    def points_failed(self) -> int:
+        return self.points - self.points_passed
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """The full outcome of validating one scenario at one fidelity."""
+
+    scenario_id: str
+    title: str
+    fidelity: str
+    checks: tuple[CheckResult, ...]
+    protocols: tuple[str, ...] = ()
+    backends: tuple[str, ...] = ()
+    hop_counts: tuple[int, ...] = ()
+    package_version: str = __version__
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def coverage(self) -> Coverage:
+        """Aggregate pass/fail and coverage counters."""
+        points = [point for check in self.checks for point in check.points]
+        return Coverage(
+            checks=len(self.checks),
+            checks_passed=sum(1 for check in self.checks if check.passed),
+            points=len(points),
+            points_passed=sum(1 for point in points if point.passed),
+            protocols=self.protocols,
+            backends=self.backends,
+            hop_counts=self.hop_counts,
+        )
+
+    def check(self, name: str) -> CheckResult:
+        """Find a check by name."""
+        for candidate in self.checks:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no check named {name!r} in {self.scenario_id}")
+
+    def to_text(self, max_points: int = 4) -> str:
+        """Render the report as an aligned text table.
+
+        Passing checks print one summary line; failing checks also list
+        up to ``max_points`` failing points with their deviations.
+        """
+        coverage = self.coverage()
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"== validation {self.scenario_id} [{self.fidelity}]: {verdict} ==",
+            f"   {self.title}",
+            f"   checks {coverage.checks_passed}/{coverage.checks} passed, "
+            f"points {coverage.points_passed}/{coverage.points} passed",
+        ]
+        if self.protocols:
+            lines.append(f"   protocols: {', '.join(self.protocols)}")
+        if self.backends:
+            lines.append(f"   backends: {', '.join(self.backends)}")
+        if self.hop_counts:
+            lines.append(
+                "   hop counts: " + ", ".join(str(h) for h in self.hop_counts)
+            )
+        lines.append("")
+        width = max((len(check.name) for check in self.checks), default=0)
+        for check in self.checks:
+            status = "ok  " if check.passed else "FAIL"
+            summary = f"{status} {check.name:<{width}}  [{check.kind}]"
+            if check.points:
+                summary += f"  ({len(check.points)} points)"
+            if check.detail:
+                summary += f"  {check.detail}"
+            lines.append(summary)
+            if not check.passed:
+                for point in check.failures()[:max_points]:
+                    lines.append(
+                        f"       {point.label}: expected {point.expected:.6g}, "
+                        f"observed {point.observed:.6g} "
+                        f"(|err| {point.error:.3g} > tol {point.tolerance:.3g})"
+                    )
+                hidden = len(check.failures()) - max_points
+                if hidden > 0:
+                    lines.append(f"       ... and {hidden} more failing points")
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The report as a versioned JSON artifact."""
+        coverage = self.coverage()
+        document = {
+            "schema_version": VALIDATION_SCHEMA_VERSION,
+            "scenario_id": self.scenario_id,
+            "title": self.title,
+            "fidelity": self.fidelity,
+            "passed": self.passed,
+            "package_version": self.package_version,
+            "coverage": {
+                "checks": coverage.checks,
+                "checks_passed": coverage.checks_passed,
+                "points": coverage.points,
+                "points_passed": coverage.points_passed,
+                "protocols": list(coverage.protocols),
+                "backends": list(coverage.backends),
+                "hop_counts": list(coverage.hop_counts),
+            },
+            "checks": [
+                {
+                    "name": check.name,
+                    "kind": check.kind,
+                    "passed": check.passed,
+                    "detail": check.detail,
+                    "points": [
+                        {
+                            "label": point.label,
+                            "expected": point.expected,
+                            "observed": point.observed,
+                            "tolerance": point.tolerance,
+                            "passed": point.passed,
+                        }
+                        for point in check.points
+                    ],
+                }
+                for check in self.checks
+            ],
+        }
+        return json.dumps(document, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ValidationReport":
+        """Rebuild a report from a :meth:`to_json` artifact.
+
+        Raises :class:`ValueError` on a missing or unsupported
+        ``schema_version``.
+        """
+        document = json.loads(text)
+        version = document.get("schema_version")
+        if version != VALIDATION_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported validation schema_version {version!r}; "
+                f"this build reads version {VALIDATION_SCHEMA_VERSION}"
+            )
+        coverage = document.get("coverage", {})
+        return cls(
+            scenario_id=document["scenario_id"],
+            title=document["title"],
+            fidelity=document["fidelity"],
+            checks=tuple(
+                CheckResult(
+                    name=check["name"],
+                    kind=check["kind"],
+                    passed=check["passed"],
+                    detail=check.get("detail", ""),
+                    points=tuple(
+                        PointCheck(
+                            label=point["label"],
+                            expected=point["expected"],
+                            observed=point["observed"],
+                            tolerance=point["tolerance"],
+                            passed=point["passed"],
+                        )
+                        for point in check.get("points", ())
+                    ),
+                )
+                for check in document["checks"]
+            ),
+            protocols=tuple(coverage.get("protocols", ())),
+            backends=tuple(coverage.get("backends", ())),
+            hop_counts=tuple(coverage.get("hop_counts", ())),
+            package_version=document.get("package_version", ""),
+        )

@@ -1,0 +1,124 @@
+"""Hypothesis strategies for property-based fuzzing through ``repro.api``.
+
+Importing this module requires `hypothesis <https://hypothesis.works>`_
+(a dev-only dependency; the rest of :mod:`repro.validation` stays
+importable without it).  The strategies generate *valid* parameter
+overrides — dictionaries that :func:`repro.experiments.spec.apply_overrides`
+accepts against the paper's presets — so property tests explore the
+model's legal input space rather than its validation errors, plus raw
+protocol/series generators for artifact round-trip fuzzing.
+
+The ranges are deliberately wider than the paper's operating points
+(loss up to 50%, timers from tens of milliseconds to minutes) but stay
+inside the regime where the chains remain well-conditioned, so every
+generated point must solve cleanly; a solver failure under these
+strategies is a bug, not an out-of-range input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.protocols import Protocol
+from repro.experiments.runner import ExperimentResult, Panel, Series
+
+__all__ = [
+    "multihop_overrides",
+    "protocols",
+    "series",
+    "singlehop_overrides",
+]
+
+
+def _rate(low: float, high: float) -> st.SearchStrategy[float]:
+    return st.floats(
+        min_value=low, max_value=high, allow_nan=False, allow_infinity=False
+    )
+
+
+def protocols() -> st.SearchStrategy[Protocol]:
+    """Any of the five protocol variants."""
+    return st.sampled_from(list(Protocol))
+
+
+def multihop_protocols() -> st.SearchStrategy[Protocol]:
+    """The protocols modeled in the multi-hop analysis."""
+    return st.sampled_from(list(Protocol.multihop_family()))
+
+
+def singlehop_overrides() -> st.SearchStrategy[dict[str, float]]:
+    """Valid field overrides for the single-hop (Kazaa) preset."""
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "loss_rate": _rate(0.0, 0.5),
+            "delay": _rate(1e-3, 0.5),
+            "update_rate": _rate(1e-4, 1.0),
+            "removal_rate": _rate(1e-5, 0.05),
+            "refresh_interval": _rate(0.5, 60.0),
+            "timeout_interval": _rate(1.0, 300.0),
+            "retransmission_interval": _rate(0.02, 2.0),
+            "external_false_signal_rate": _rate(0.0, 1e-2),
+        },
+    )
+
+
+def multihop_overrides(max_hops: int = 10) -> st.SearchStrategy[dict[str, float]]:
+    """Valid field overrides for the multi-hop (reservation) preset.
+
+    ``max_hops`` bounds the chain size so each fuzzed point solves in
+    milliseconds (states grow linearly with hops).
+    """
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "hops": st.integers(min_value=1, max_value=max_hops),
+            "loss_rate": _rate(0.0, 0.5),
+            "delay": _rate(1e-3, 0.5),
+            "update_rate": _rate(1e-3, 1.0),
+            "refresh_interval": _rate(0.5, 60.0),
+            "timeout_interval": _rate(1.0, 300.0),
+            "retransmission_interval": _rate(0.02, 2.0),
+        },
+    )
+
+
+def _finite_floats() -> st.SearchStrategy[float]:
+    return st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def series(max_points: int = 6) -> st.SearchStrategy[Series]:
+    """Arbitrary finite-valued series (for artifact round-trip fuzzing)."""
+
+    def build(label: str, xs: list[float], ys: list[float], with_err: bool):
+        n = min(len(xs), len(ys))
+        y_err = tuple(abs(y) for y in ys[:n]) if with_err else None
+        return Series(label, tuple(xs[:n]), tuple(ys[:n]), y_err)
+
+    return st.builds(
+        build,
+        label=st.text(min_size=1, max_size=12),
+        xs=st.lists(_finite_floats(), min_size=1, max_size=max_points),
+        ys=st.lists(_finite_floats(), min_size=1, max_size=max_points),
+        with_err=st.booleans(),
+    )
+
+
+def experiment_results(max_series: int = 3) -> st.SearchStrategy[ExperimentResult]:
+    """Arbitrary one-panel results whose JSON artifact must round-trip."""
+
+    def build(name: str, all_series: list[Series]) -> ExperimentResult:
+        panel = Panel(
+            name=name or "p",
+            x_label="x",
+            y_label="y",
+            series=tuple(all_series),
+            shared_x=False,
+        )
+        return ExperimentResult("fuzz", "fuzzed result", (panel,))
+
+    return st.builds(
+        build,
+        name=st.text(max_size=12),
+        all_series=st.lists(series(), min_size=1, max_size=max_series),
+    )

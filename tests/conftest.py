@@ -11,6 +11,20 @@ from repro.core.parameters import (
     reservation_defaults,
 )
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+else:
+    # One fixed fuzzing profile everywhere: no wall-clock deadline
+    # (CTMC solves vary too much across CI runners for per-example
+    # deadlines) and derandomized generation, so a CI failure replays
+    # locally with the same examples.
+    _hypothesis_settings.register_profile(
+        "repro", deadline=None, derandomize=True
+    )
+    _hypothesis_settings.load_profile("repro")
+
 
 @pytest.fixture
 def params() -> SignalingParameters:

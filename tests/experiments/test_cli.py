@@ -190,3 +190,84 @@ class TestAllCommand:
             result = ExperimentResult.from_json(artifact.read_text())
             assert result.provenance.fidelity == "smoke"
             assert list(csv_dir.glob(f"{experiment_id}_*.csv")), experiment_id
+
+
+class TestValidateCommand:
+    def test_parser_defaults_to_all(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.target == "all"
+        assert args.format == "text"
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "fig99"])
+
+    def test_validate_one_scenario_text(self, capsys):
+        assert main(["validate", "fig4", "--fidelity", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "validation fig4 [smoke]: PASS" in out
+        assert "dense==template" in out
+        assert "all passed" in out
+
+    def test_validate_json_artifact_round_trips(self, capsys):
+        from repro.validation import ValidationReport
+
+        assert main(["validate", "fig11", "--fidelity", "smoke", "--format", "json"]) == 0
+        report = ValidationReport.from_json(capsys.readouterr().out)
+        assert report.scenario_id == "fig11"
+        assert report.passed
+        assert any(check.kind == "sim_model" for check in report.checks)
+
+    def test_validate_writes_output_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        assert (
+            main(
+                [
+                    "validate",
+                    "fig4",
+                    "--fidelity",
+                    "smoke",
+                    "--format",
+                    "json",
+                    "--output-dir",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "validate_fig4.json").exists()
+
+    def test_validate_seed_override(self, capsys):
+        # A different simulation seed still passes the equivalence
+        # checks (the margins absorb replication noise).
+        assert main(["validate", "fig11", "--fidelity", "smoke", "--seed", "23"]) == 0
+
+    def test_validate_seed_zero_accepted(self, capsys):
+        # Seed 0 is valid everywhere in the library; the CLI must not
+        # reject it.
+        assert main(["validate", "fig11", "--fidelity", "smoke", "--seed", "0"]) == 0
+
+    def test_validate_output_and_output_dir_conflict(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["validate", "fig4", "--output", "a.txt", "--output-dir", "d"]
+            )
+        assert excinfo.value.code == 2
+
+    def test_validate_output_dir_prints_summary(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "validate",
+                    "fig4",
+                    "--fidelity",
+                    "smoke",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "all passed" in out
+        assert (tmp_path / "validate_fig4.txt").exists()

@@ -1,0 +1,73 @@
+"""Determinism tests for the replicated-simulation batch path.
+
+The validation scenarios lean on one guarantee: a simulation point is
+fully determined by its ``(protocol, params, sessions, replications,
+seed)`` task tuple — never by how the batch is chunked, ordered or
+fanned across workers.  These tests pin that guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import kazaa_defaults
+from repro.core.protocols import Protocol
+from repro.experiments.simsupport import (
+    sessions_for_length,
+    simulate_singlehop_batch,
+    simulate_singlehop_point,
+)
+
+
+def make_tasks(seed: int = 17):
+    params = kazaa_defaults().replace(removal_rate=1.0 / 120.0)
+    lossy = params.replace(loss_rate=0.1)
+    return [
+        (Protocol.SS, params, 15, 2, seed),
+        (Protocol.HS, params, 15, 2, seed),
+        (Protocol.SS_ER, lossy, 10, 2, seed),
+        (Protocol.SS, lossy, 10, 2, seed + 1),
+    ]
+
+
+class TestBatchDeterminism:
+    def test_same_seed_same_metrics_regardless_of_jobs(self):
+        tasks = make_tasks()
+        serial = simulate_singlehop_batch(tasks, jobs=1)
+        fanned = simulate_singlehop_batch(tasks, jobs=2)
+        wide = simulate_singlehop_batch(tasks, jobs=4)
+        assert serial == fanned == wide
+
+    def test_task_order_does_not_perturb_points(self):
+        tasks = make_tasks()
+        forward = simulate_singlehop_batch(tasks)
+        backward = simulate_singlehop_batch(list(reversed(tasks)))
+        assert forward == list(reversed(backward))
+
+    def test_batch_matches_single_point_calls(self):
+        tasks = make_tasks()
+        batch = simulate_singlehop_batch(tasks)
+        for task, point in zip(tasks, batch):
+            protocol, params, sessions, replications, seed = task
+            assert point == simulate_singlehop_point(
+                protocol, params, sessions=sessions,
+                replications=replications, seed=seed,
+            )
+
+    def test_different_seeds_differ(self):
+        protocol, params, sessions, replications, seed = make_tasks()[0]
+        a = simulate_singlehop_point(protocol, params, sessions, replications, seed)
+        b = simulate_singlehop_point(protocol, params, sessions, replications, seed + 1)
+        assert a != b
+
+
+class TestSessionsForLength:
+    def test_budget_scaling_and_clamps(self):
+        assert sessions_for_length(100.0, 30_000.0) == 300
+        assert sessions_for_length(10_000.0, 30_000.0) == 20  # floor
+        assert sessions_for_length(1.0, 30_000.0) == 600  # ceiling
+
+    @pytest.mark.parametrize("length,budget", [(0.0, 10.0), (10.0, 0.0), (-1.0, 5.0)])
+    def test_invalid_inputs_rejected(self, length, budget):
+        with pytest.raises(ValueError):
+            sessions_for_length(length, budget)

@@ -66,17 +66,26 @@ class TestMechanics:
 class TestModelAgreement:
     @pytest.mark.parametrize("protocol", Protocol.multihop_family())
     def test_inconsistency_matches_model(self, protocol, multihop_params):
+        # Average a few replications rather than trusting one run: the
+        # deterministic-timer bias is systematic (~-25% on I for soft
+        # state) while single-run noise is comparable to the margin.
         model = MultiHopModel(protocol, multihop_params).solve()
-        result = run_chain(protocol, multihop_params, horizon=8000.0)
-        assert result.inconsistency_ratio == pytest.approx(
-            model.inconsistency_ratio, rel=0.4, abs=1e-3
+        config = MultiHopSimConfig(
+            protocol=protocol, params=multihop_params,
+            horizon=8000.0, warmup=200.0, seed=101,
         )
+        mean = simulate_multihop_replications(config, 4).mean("inconsistency_ratio")
+        assert mean == pytest.approx(model.inconsistency_ratio, rel=0.4, abs=1e-3)
 
     @pytest.mark.parametrize("protocol", Protocol.multihop_family())
     def test_message_rate_matches_model(self, protocol, multihop_params):
         model = MultiHopModel(protocol, multihop_params).solve()
-        result = run_chain(protocol, multihop_params, horizon=8000.0)
-        assert result.message_rate == pytest.approx(model.message_rate, rel=0.35)
+        config = MultiHopSimConfig(
+            protocol=protocol, params=multihop_params,
+            horizon=8000.0, warmup=200.0, seed=101,
+        )
+        mean = simulate_multihop_replications(config, 4).mean("message_rate")
+        assert mean == pytest.approx(model.message_rate, rel=0.35)
 
     def test_hop_profile_monotone_in_simulation(self, multihop_params):
         result = run_chain(Protocol.SS, multihop_params, horizon=8000.0)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -56,6 +57,44 @@ class TestRandomStreams:
         with pytest.raises(ValueError):
             RandomStreams(0).spawn(-2)
 
+    def test_spawn_affine_collision_regression(self):
+        # The old derivation (seed * 1_000_003 + r + 1) mapped
+        # (seed=1, r=1_000_003) and (seed=2, r=0) to the same child
+        # seed; the SeedSequence spawn_key derivation must not.
+        a = RandomStreams(1).spawn(1_000_003)
+        b = RandomStreams(2).spawn(0)
+        assert a.seed != b.seed
+        assert list(a.stream("x").random(4)) != list(b.stream("x").random(4))
+
+    def test_stream_matches_seedsequence_spawn_key(self):
+        # stream() must follow SeedSequence spawn_key semantics so keys
+        # can never collide (distinct byte sequences, distinct streams).
+        from repro.sim.randomness import _STREAM_DOMAIN
+
+        expected = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=7, spawn_key=(_STREAM_DOMAIN, *b"channel")
+            )
+        ).random(5)
+        observed = RandomStreams(7).stream("channel").random(5)
+        assert list(observed) == list(expected)
+
+    def test_spawned_families_independent_of_named_streams(self):
+        # A replication child must not replay any named stream of the
+        # parent (the domains are separated in the spawn_key).
+        parent = RandomStreams(7)
+        child = parent.spawn(0)
+        for key in ("workload", "forward-channel", "x"):
+            assert list(parent.stream(key).random(4)) != list(
+                child.stream(key).random(4)
+            )
+
+    def test_spawn_seed_travels_through_int(self):
+        # Workers rebuild the family from the integer seed alone.
+        child = RandomStreams(11).spawn(3)
+        rebuilt = RandomStreams(child.seed)
+        assert list(child.stream("t").random(4)) == list(rebuilt.stream("t").random(4))
+
 
 class TestTimer:
     def test_deterministic_draw_is_mean(self):
@@ -87,3 +126,49 @@ class TestTimer:
     def test_draws_always_positive(self, mean, seed):
         timer = Timer(mean, TimerDiscipline.EXPONENTIAL, RandomStreams(seed).stream("t"))
         assert all(timer.draw() >= 0.0 for _ in range(5))
+
+
+class TestTimerDrawCountStability:
+    """Each discipline consumes a fixed number of variates per draw().
+
+    This is what keeps replication streams aligned: switching a timer's
+    discipline (or drawing from it) must never desynchronize *other*
+    components, and within a discipline every draw must cost the same
+    so draw sequences are position-stable.
+    """
+
+    #: Underlying generator variates consumed by one draw().
+    EXPECTED_CONSUMPTION = {
+        TimerDiscipline.DETERMINISTIC: 0,
+        TimerDiscipline.EXPONENTIAL: 1,
+        TimerDiscipline.JITTERED: 1,
+    }
+
+    @staticmethod
+    def _advance(discipline: TimerDiscipline, rng, count: int) -> None:
+        for _ in range(count):
+            if discipline is TimerDiscipline.EXPONENTIAL:
+                rng.exponential(1.0)
+            elif discipline is TimerDiscipline.JITTERED:
+                rng.uniform(0.0, 1.0)
+
+    @pytest.mark.parametrize("discipline", list(TimerDiscipline))
+    @pytest.mark.parametrize("draws", [0, 1, 7])
+    def test_draw_consumes_fixed_variate_count(self, discipline, draws):
+        rng = RandomStreams(5).stream("t")
+        timer = Timer(2.0, discipline, rng)
+        for _ in range(draws):
+            timer.draw()
+        probe = rng.random()
+        reference = RandomStreams(5).stream("t")
+        self._advance(
+            discipline, reference, draws * self.EXPECTED_CONSUMPTION[discipline]
+        )
+        assert probe == reference.random()
+
+    def test_deterministic_timer_leaves_stream_untouched(self):
+        rng = RandomStreams(9).stream("t")
+        before = rng.bit_generator.state
+        timer = Timer(3.0, TimerDiscipline.DETERMINISTIC, rng)
+        assert [timer.draw() for _ in range(10)] == [3.0] * 10
+        assert rng.bit_generator.state == before

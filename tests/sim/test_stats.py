@@ -24,6 +24,18 @@ class TestStudentTInterval:
         assert interval.mean == 5.0
         assert interval.half_width == pytest.approx(0.0)
 
+    @pytest.mark.parametrize("n", [2, 3, 7])
+    def test_zero_variance_interval_is_degenerate_not_nan(self, n):
+        # Regression: all-identical samples must yield an exactly-zero,
+        # finite half-width (no sqrt/ppf NaN leakage) whose interval
+        # still contains the common value.
+        interval = student_t_interval([2.5] * n)
+        assert interval.half_width == 0.0
+        assert math.isfinite(interval.half_width)
+        assert interval.low == interval.high == interval.mean == 2.5
+        assert interval.contains(2.5)
+        assert not interval.contains(2.5 + 1e-12)
+
     def test_single_sample_infinite_width(self):
         interval = student_t_interval([3.0])
         assert interval.mean == 3.0
@@ -102,3 +114,20 @@ class TestReplicationSet:
     def test_unknown_metric_raises(self):
         with pytest.raises(KeyError):
             ReplicationSet().mean("missing")
+
+    @pytest.mark.parametrize("accessor", ["samples", "mean", "interval"])
+    def test_unknown_metric_error_lists_known_metrics(self, accessor):
+        replications = ReplicationSet()
+        replications.add("inconsistency_ratio", 0.1)
+        replications.add("normalized_message_rate", 2.0)
+        with pytest.raises(KeyError) as excinfo:
+            getattr(replications, accessor)("missing")
+        message = str(excinfo.value)
+        assert "missing" in message
+        assert "inconsistency_ratio" in message
+        assert "normalized_message_rate" in message
+
+    def test_unknown_metric_error_on_empty_set(self):
+        with pytest.raises(KeyError) as excinfo:
+            ReplicationSet().samples("anything")
+        assert "none recorded" in str(excinfo.value)

@@ -1,0 +1,71 @@
+"""Tests for the Student-t sim-vs-model equivalence margins."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.validation.equivalence import (
+    SIM_EQUIVALENCE_CRITERIA,
+    EquivalenceCriterion,
+    equivalence_point,
+)
+
+
+class TestCriterion:
+    def test_allowance_takes_the_widest_margin(self):
+        criterion = EquivalenceCriterion(ci_multiplier=2.0, rel_tol=0.1, abs_floor=0.5)
+        assert criterion.allowance(model=10.0, half_width=0.1) == 1.0  # rel term
+        assert criterion.allowance(model=10.0, half_width=3.0) == 6.0  # CI term
+        assert criterion.allowance(model=0.0, half_width=0.0) == 0.5  # floor
+
+    def test_negative_margins_rejected(self):
+        with pytest.raises(ValueError):
+            EquivalenceCriterion(rel_tol=-0.1)
+
+    def test_builtin_criteria_cover_sim_metrics(self):
+        # Every simulated metric the spec layer exposes has margins.
+        from repro.experiments.spec import SIM_METRICS
+
+        assert set(SIM_METRICS) <= set(SIM_EQUIVALENCE_CRITERIA)
+
+
+class TestEquivalencePoint:
+    CRITERION = EquivalenceCriterion(ci_multiplier=2.0, rel_tol=0.1, abs_floor=0.0)
+
+    def test_inside_ci_passes(self):
+        point = equivalence_point("p", model=1.0, sim_mean=1.5, half_width=0.3,
+                                  criterion=self.CRITERION)
+        assert point.passed
+        assert point.tolerance == pytest.approx(0.6)
+
+    def test_outside_all_margins_fails(self):
+        point = equivalence_point("p", model=1.0, sim_mean=2.0, half_width=0.1,
+                                  criterion=self.CRITERION)
+        assert not point.passed
+        assert point.error == pytest.approx(1.0)
+
+    def test_tight_ci_relies_on_relative_band(self):
+        # Many replications shrink the CI; the documented model bias
+        # band keeps a systematically-offset-but-close sim point green.
+        point = equivalence_point("p", model=1.0, sim_mean=1.08, half_width=1e-6,
+                                  criterion=self.CRITERION)
+        assert point.passed
+
+    @pytest.mark.parametrize("broken", [float("nan"), float("inf")])
+    def test_non_finite_values_fail_instead_of_raising(self, broken):
+        point = equivalence_point("p", model=broken, sim_mean=1.0, half_width=0.1,
+                                  criterion=self.CRITERION)
+        assert not point.passed
+        point = equivalence_point("p", model=1.0, sim_mean=broken, half_width=0.1,
+                                  criterion=self.CRITERION)
+        assert not point.passed
+
+    def test_zero_half_width_uses_other_margins(self):
+        # Zero-variance replications (all-identical samples) must not
+        # collapse the margin to zero.
+        point = equivalence_point("p", model=1.0, sim_mean=1.05, half_width=0.0,
+                                  criterion=self.CRITERION)
+        assert point.passed
+        assert math.isfinite(point.tolerance)

@@ -1,0 +1,124 @@
+"""Property-based fuzzing of the public API's model invariants.
+
+Random valid parameter presets/overrides are generated through the
+:mod:`repro.validation.strategies` Hypothesis strategies and pushed
+through :mod:`repro.api`; every generated point must uphold the model's
+structural invariants — these are properties of the *mathematics*, so
+any counterexample is a solver bug, not a bad input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+import repro.api as api  # noqa: E402
+from repro.core.parameters import reservation_defaults  # noqa: E402
+from repro.core.multihop.heterogeneous import (  # noqa: E402
+    hops_from_parameters,
+    reach_profile,
+)
+from repro.experiments.runner import ExperimentResult, Panel  # noqa: E402
+from repro.experiments.spec import ScenarioError, apply_overrides  # noqa: E402
+from repro.validation import strategies as vst  # noqa: E402
+
+_MULTIHOP_FIELDS = {field.name for field in dataclasses.fields(reservation_defaults())}
+
+# The solve-backed properties run fewer examples than pure-data ones:
+# each example is a full CTMC solve.
+SOLVES = settings(max_examples=25, deadline=None)
+DATA = settings(max_examples=100, deadline=None)
+
+
+class TestSingleHopInvariants:
+    @SOLVES
+    @given(protocol=vst.protocols(), overrides=vst.singlehop_overrides())
+    def test_stationary_distribution_sums_to_one(self, protocol, overrides):
+        solution = api.solve_singlehop(protocol, **overrides)
+        total = sum(solution.stationary.values())
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert all(p >= 0.0 for p in solution.stationary.values())
+
+    @SOLVES
+    @given(protocol=vst.protocols(), overrides=vst.singlehop_overrides())
+    def test_absorption_time_positive_and_metrics_sane(self, protocol, overrides):
+        solution = api.solve_singlehop(protocol, **overrides)
+        assert solution.expected_receiver_lifetime > 0.0
+        assert 0.0 <= solution.inconsistency_ratio <= 1.0
+        assert solution.message_rate >= 0.0
+
+    @SOLVES
+    @given(overrides=vst.multihop_overrides())
+    def test_multihop_stationary_sums_to_one(self, overrides):
+        solution = api.solve_multihop("ss", **overrides)
+        assert sum(solution.stationary.values()) == pytest.approx(1.0, abs=1e-9)
+        assert 0.0 <= solution.inconsistency_ratio <= 1.0
+
+
+class TestReachMonotonicity:
+    @DATA
+    @given(
+        hops=st.integers(min_value=1, max_value=12),
+        loss_low=st.floats(min_value=0.0, max_value=0.5),
+        bump=st.floats(min_value=0.0, max_value=0.4),
+    )
+    def test_reach_probability_monotone_in_loss(self, hops, loss_low, bump):
+        lossier = min(0.9, loss_low + bump)
+        low = reservation_defaults().replace(hops=hops, loss_rate=loss_low)
+        high = reservation_defaults().replace(hops=hops, loss_rate=lossier)
+        for hop in range(hops + 1):
+            assert (
+                high.refresh_reach_probability(hop)
+                <= low.refresh_reach_probability(hop)
+            )
+
+    @DATA
+    @given(
+        hops=st.integers(min_value=1, max_value=12),
+        loss=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_reach_profile_non_increasing_along_the_path(self, hops, loss):
+        params = reservation_defaults().replace(hops=hops, loss_rate=loss)
+        profile = reach_profile(hops_from_parameters(params))
+        # reach[0] = 1 plus one survival probability per link.
+        assert len(profile) == hops + 1
+        assert profile[0] == 1.0
+        assert all(0.0 <= p <= 1.0 for p in profile)
+        for nearer, farther in zip(profile, profile[1:]):
+            assert farther <= nearer
+
+
+class TestOverrideValidation:
+    @DATA
+    @given(
+        key=st.text(min_size=1, max_size=12).filter(
+            lambda k: k not in _MULTIHOP_FIELDS
+        ),
+        value=st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_unknown_override_always_raises_scenario_error(self, key, value):
+        with pytest.raises(ScenarioError):
+            apply_overrides(reservation_defaults(), {key: value})
+
+
+class TestArtifactRoundTrip:
+    @DATA
+    @given(result=vst.experiment_results())
+    def test_json_round_trip_lossless(self, result):
+        rebuilt = ExperimentResult.from_json(result.to_json())
+        assert rebuilt == result
+
+    @DATA
+    @given(one_series=vst.series())
+    def test_series_survive_rendering(self, one_series):
+        # to_text/to_csv must never crash on any finite-valued series.
+        panel = Panel("p", "x", "y", (one_series,), shared_x=False)
+        result = ExperimentResult("fuzz", "t", (panel,))
+        assert result.to_text()
+        assert result.to_csv()

@@ -1,0 +1,91 @@
+"""Tests for the backend parity matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import kazaa_defaults, reservation_defaults
+from repro.core.protocols import Protocol
+from repro.validation.parity import (
+    BACKENDS,
+    heterogeneous_parity_check,
+    multihop_parity_checks,
+    parity_parameter_points,
+    singlehop_parity_checks,
+)
+
+
+class TestParameterPoints:
+    def test_fidelity_grows_the_grid(self):
+        base = kazaa_defaults()
+        smoke = parity_parameter_points(base, "smoke")
+        fast = parity_parameter_points(base, "fast")
+        full = parity_parameter_points(base, "full")
+        assert len(smoke) == 1
+        assert len(smoke) < len(fast) < len(full)
+
+    def test_labels_unique(self):
+        labels = [label for label, _ in parity_parameter_points(kazaa_defaults(), "full")]
+        assert len(labels) == len(set(labels))
+
+    def test_points_validate_against_preset(self):
+        # Every generated point must be a legal parameterization.
+        for _, params in parity_parameter_points(reservation_defaults(), "full"):
+            assert 0.0 <= params.loss_rate < 1.0
+
+
+class TestSingleHopParity:
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_all_backends_agree_at_base(self, protocol):
+        checks = singlehop_parity_checks(
+            kazaa_defaults(), (protocol,), fidelity="smoke"
+        )
+        assert len(checks) == 3  # template, batched, sparse
+        for check in checks:
+            assert check.passed, check.name
+            assert check.points
+
+    def test_exact_checks_record_zero_tolerance(self):
+        checks = singlehop_parity_checks(
+            kazaa_defaults(), (Protocol.SS,), fidelity="smoke"
+        )
+        exact = [c for c in checks if "==" in c.name]
+        assert exact
+        for check in exact:
+            assert all(point.tolerance == 0.0 for point in check.points)
+
+    def test_fast_fidelity_covers_lossy_variants(self):
+        checks = singlehop_parity_checks(
+            kazaa_defaults(), (Protocol.SS,), fidelity="fast"
+        )
+        labels = {p.label for c in checks for p in c.points}
+        assert any("loss=0.2" in label for label in labels)
+
+
+class TestMultiHopParity:
+    def test_two_hop_counts_all_protocols(self):
+        checks = multihop_parity_checks(
+            reservation_defaults(), (5, 20), fidelity="smoke"
+        )
+        # 3 backend pairs per multihop protocol.
+        assert len(checks) == 3 * len(Protocol.multihop_family())
+        for check in checks:
+            assert check.passed, check.name
+        labels = {p.label for c in checks for p in c.points}
+        assert any(label.startswith("N=5 ") for label in labels)
+        assert any(label.startswith("N=20 ") for label in labels)
+
+
+class TestHeterogeneousParity:
+    def test_uniform_and_congested_profiles_exact(self):
+        check = heterogeneous_parity_check(reservation_defaults().replace(hops=6))
+        assert check.passed, check.detail
+        labels = {p.label for p in check.points}
+        assert any("uniform" in label for label in labels)
+        assert any("congested" in label for label in labels)
+        assert all(p.tolerance == 0.0 for p in check.points)
+
+
+class TestBackendListing:
+    def test_matrix_names_all_four_paths(self):
+        assert BACKENDS == ("dense", "template", "batched", "sparse")

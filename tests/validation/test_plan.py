@@ -1,0 +1,139 @@
+"""Tests for validation-plan derivation and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.experiments.spec import ScenarioError, scenario
+from repro.validation import (
+    ValidationReport,
+    build_plan,
+    execute_plan,
+    validate_scenario,
+)
+
+
+class TestBuildPlan:
+    def test_singlehop_plan(self):
+        plan = build_plan("fig4", "smoke")
+        assert plan.parity_families == ("singlehop",)
+        assert plan.hop_counts == ()
+        assert not plan.has_simulation
+        assert len(plan.protocols) == 5
+
+    def test_sim_scenario_plan(self):
+        plan = build_plan("fig11", "smoke")
+        assert plan.has_simulation
+        assert len(plan.sim_panels) == 2
+
+    def test_multihop_plan_has_two_hop_counts(self):
+        plan = build_plan("fig17", "smoke")
+        assert plan.parity_families == ("multihop",)
+        assert len(plan.hop_counts) == 2
+        # Protocols narrowed to the multi-hop family.
+        assert all(p in plan.spec.protocols for p in plan.protocols)
+
+    def test_heterogeneous_plan(self):
+        plan = build_plan("scaling", "smoke")
+        assert plan.parity_families == ("multihop", "heterogeneous")
+
+    def test_hop_counts_clamped_below_sparse_crossover(self):
+        # Exact dense==template==batched parity is only guaranteed in
+        # the dense regime; a huge-chain scenario must validate parity
+        # on a clamped chain, not through the splu reference.
+        from repro.core.markov import SPARSE_STATE_THRESHOLD
+        from repro.experiments.spec import (
+            Axis,
+            PanelSpec,
+            ScenarioSpec,
+            SeriesPlan,
+        )
+        from repro.core.protocols import Protocol
+
+        spec = ScenarioSpec(
+            scenario_id="huge-chain",
+            title="t",
+            artifact="test",
+            family="multihop",
+            preset="reservation",
+            protocols=Protocol.multihop_family(),
+            base_overrides=(("hops", 128),),
+            axes=(Axis("hops", "explicit", values=(2.0,)),),
+            panels=(
+                PanelSpec(
+                    "p", "x", "y",
+                    (SeriesPlan("sweep", axis="hops", binder="hops",
+                                metric="inconsistency_ratio"),),
+                ),
+            ),
+        )
+        plan = build_plan(spec, "smoke")
+        dense_limit = (SPARSE_STATE_THRESHOLD - 2) // 2 - 1
+        assert all(h <= dense_limit for h in plan.hop_counts)
+        assert len(plan.hop_counts) == 2
+
+    def test_parity_slices_memoized_across_reports(self):
+        # Nine single-hop scenarios share the Kazaa base preset; the
+        # parity grid must be solved once, not per scenario.
+        from repro.validation.plan import _cached_parity_slice
+
+        _cached_parity_slice.cache_clear()
+        execute_plan(build_plan("fig4", "smoke"))
+        after_first = _cached_parity_slice.cache_info()
+        execute_plan(build_plan("fig5", "smoke"))
+        after_second = _cached_parity_slice.cache_info()
+        assert after_first.misses == 1
+        assert after_second.misses == 1
+        assert after_second.hits == after_first.hits + 1
+
+    def test_unknown_scenario_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            build_plan("fig99", "smoke")
+
+    def test_unknown_fidelity_raises_scenario_error(self):
+        with pytest.raises(ScenarioError):
+            build_plan("fig4", "warp")
+
+
+class TestExecutePlan:
+    @pytest.fixture(scope="class")
+    def fig4_report(self):
+        return execute_plan(build_plan("fig4", "smoke"))
+
+    def test_report_passes_and_covers(self, fig4_report):
+        assert fig4_report.passed
+        coverage = fig4_report.coverage()
+        assert coverage.checks_failed == 0
+        assert coverage.points > 0
+        assert fig4_report.backends == ("dense", "template", "batched", "sparse")
+
+    def test_report_carries_check_kinds(self, fig4_report):
+        kinds = {check.kind for check in fig4_report.checks}
+        assert {"artifact", "invariant", "parity"} <= kinds
+
+    def test_report_round_trips_as_json(self, fig4_report):
+        rebuilt = ValidationReport.from_json(fig4_report.to_json())
+        assert rebuilt == fig4_report
+
+    def test_sim_scenario_produces_equivalence_checks(self):
+        report = validate_scenario("fig11", "smoke")
+        assert report.passed
+        sim_checks = [c for c in report.checks if c.kind == "sim_model"]
+        assert len(sim_checks) == 2  # one per panel/metric
+        for check in sim_checks:
+            assert check.points
+            # One simulated point per protocol at smoke fidelity.
+            assert len(check.points) == 5
+
+
+class TestApiSurface:
+    def test_api_validate_scenario(self):
+        report = api.validate_scenario("table1", "smoke")
+        assert isinstance(report, ValidationReport)
+        assert report.scenario_id == "table1"
+        assert report.passed
+
+    def test_spec_instance_accepted(self):
+        report = validate_scenario(scenario("fig4"), "smoke")
+        assert report.scenario_id == "fig4"

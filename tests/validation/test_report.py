@@ -1,0 +1,109 @@
+"""Tests for the validation report data model and renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.validation.report import (
+    VALIDATION_SCHEMA_VERSION,
+    CheckResult,
+    PointCheck,
+    ValidationReport,
+)
+
+
+def make_report(passed: bool = True) -> ValidationReport:
+    good = PointCheck("p1", expected=1.0, observed=1.0, tolerance=0.0, passed=True)
+    bad = PointCheck("p2", expected=1.0, observed=2.0, tolerance=0.5, passed=False)
+    checks = (
+        CheckResult(
+            name="parity check",
+            kind="parity",
+            passed=True,
+            detail="exact",
+            points=(good,),
+        ),
+        CheckResult(
+            name="sim check",
+            kind="sim_model",
+            passed=passed,
+            points=(good,) if passed else (good, bad),
+        ),
+    )
+    return ValidationReport(
+        scenario_id="figX",
+        title="a test scenario",
+        fidelity="smoke",
+        checks=checks,
+        protocols=("SS", "HS"),
+        backends=("dense", "template"),
+        hop_counts=(5, 20),
+    )
+
+
+class TestDataModel:
+    def test_passed_aggregates_checks(self):
+        assert make_report(True).passed
+        assert not make_report(False).passed
+
+    def test_coverage_counts(self):
+        coverage = make_report(False).coverage()
+        assert coverage.checks == 2
+        assert coverage.checks_passed == 1
+        assert coverage.checks_failed == 1
+        assert coverage.points == 3
+        assert coverage.points_passed == 2
+        assert coverage.points_failed == 1
+        assert coverage.protocols == ("SS", "HS")
+        assert coverage.hop_counts == (5, 20)
+
+    def test_point_error(self):
+        point = PointCheck("p", expected=1.0, observed=2.5, tolerance=1.0, passed=False)
+        assert point.error == 1.5
+
+    def test_check_lookup(self):
+        report = make_report()
+        assert report.check("parity check").kind == "parity"
+        with pytest.raises(KeyError):
+            report.check("nope")
+
+    def test_unknown_check_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CheckResult(name="x", kind="vibes", passed=True)
+
+    def test_failures_listing(self):
+        check = make_report(False).check("sim check")
+        assert [point.label for point in check.failures()] == ["p2"]
+
+
+class TestRendering:
+    def test_text_mentions_verdict_and_counts(self):
+        text = make_report(True).to_text()
+        assert "PASS" in text
+        assert "checks 2/2 passed" in text
+        assert "backends: dense, template" in text
+
+    def test_text_lists_failing_points(self):
+        text = make_report(False).to_text()
+        assert "FAIL" in text
+        assert "p2" in text
+        assert "expected 1" in text
+
+    def test_json_round_trip(self):
+        report = make_report(False)
+        rebuilt = ValidationReport.from_json(report.to_json())
+        assert rebuilt == report
+
+    def test_json_carries_schema_version_and_coverage(self):
+        document = json.loads(make_report().to_json())
+        assert document["schema_version"] == VALIDATION_SCHEMA_VERSION
+        assert document["passed"] is True
+        assert document["coverage"]["points"] == 2
+
+    def test_unsupported_schema_version_refused(self):
+        document = json.loads(make_report().to_json())
+        document["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ValidationReport.from_json(json.dumps(document))
