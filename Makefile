@@ -8,7 +8,7 @@ export PYTHONPATH := src
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON ?= BENCH_$(BENCH_STAMP).json
 
-.PHONY: test bench lint
+.PHONY: test bench lint docs docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,4 +20,15 @@ bench:
 	@echo "wrote $(BENCH_JSON)"
 
 lint:
-	ruff check src tests benchmarks examples
+	ruff check src tests benchmarks examples tools
+
+# Regenerate the committed CLI reference from the argparse tree.
+docs:
+	$(PYTHON) tools/generate_cli_docs.py
+
+# What the `docs` CI job runs: doctests on the public surface, no
+# docs/cli.md drift, no broken relative links in docs/ or README.
+docs-check:
+	$(PYTHON) -m pytest --doctest-modules src/repro/api.py -q
+	$(PYTHON) tools/generate_cli_docs.py --check
+	$(PYTHON) tools/check_links.py

@@ -49,7 +49,7 @@ from repro.core import (
 )
 from repro.core.multihop import MultiHopModel, MultiHopSolution, solve_all_multihop
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def __getattr__(name: str):

@@ -1,20 +1,20 @@
 """Public library facade.
 
 The stable, importable surface for driving the reproduction as a
-library — scenario execution, ad-hoc parameter sweeps and single
-solves — without reaching into the experiment/runtime internals:
+library — scenario execution, ad-hoc parameter sweeps, single solves
+and validation — without reaching into the experiment/runtime
+internals:
 
 >>> import repro.api as api
->>> api.list_scenarios()[0].scenario_id
-'fig10'
->>> result = api.run_scenario("fig4", fidelity="fast")
->>> api.run_scenario("fig4", fidelity="smoke",
-...                  overrides={"loss_rate": 0.05}, protocols="ss,hs")
-... # doctest: +SKIP
+>>> result = api.run_scenario("fig4", fidelity="smoke")
+>>> result.provenance.fidelity
+'smoke'
 
 Everything routes through the :mod:`repro.runtime` batch path, so
 results are memo-cached, solved through compiled chain templates and
-(with ``jobs``) fanned across worker processes.
+(with ``jobs``) fanned across worker processes.  The re-exported
+:class:`~repro.core.multihop.topology.Topology` builds the rooted
+trees that :func:`solve_tree` and the tree scenarios consume.
 """
 
 from __future__ import annotations
@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.core.multihop import MultiHopSolution
+from repro.core.multihop.topology import Topology
+from repro.core.multihop.tree_model import TreeSolution
 from repro.core.parameters import (
     MultiHopParameters,
     SignalingParameters,
@@ -46,22 +48,43 @@ from repro.experiments.spec import (
     scenario_ids,
     scenarios,
 )
-from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+from repro.runtime import solve_multihop_batch, solve_singlehop_batch, solve_tree_batch
 from repro.validation import ValidationReport  # noqa: F401 - re-export
 from repro.validation import validate_scenario as _validate_scenario
 
 __all__ = [
+    "Topology",
     "list_scenarios",
     "run_scenario",
     "solve_multihop",
     "solve_singlehop",
+    "solve_tree",
     "sweep",
     "validate_scenario",
 ]
 
 
 def list_scenarios() -> tuple[ScenarioSpec, ...]:
-    """Every registered scenario spec, sorted by id."""
+    """Every registered scenario spec, sorted by id.
+
+    The registry holds one spec per paper artifact — ``fig4`` ...
+    ``fig12``, ``fig17`` ... ``fig19``, ``table1`` — plus the
+    beyond-the-paper studies: ``scaling`` (heterogeneous chains up to
+    128 hops) and the tree-topology scenarios ``tree_depth`` and
+    ``tree_fanout`` (multicast fan-out over star/broom/binary/skewed
+    trees).  The same ids drive the CLI's ``run``/``validate`` verbs
+    and ``repro-signaling all``, so registry, docs and CLI stay
+    consistent:
+
+    >>> import repro.api as api
+    >>> [spec.scenario_id for spec in api.list_scenarios()]
+    ... # doctest: +NORMALIZE_WHITESPACE
+    ['fig10', 'fig11', 'fig12', 'fig17', 'fig18', 'fig19', 'fig4',
+     'fig5', 'fig6', 'fig7', 'fig8', 'fig9', 'scaling', 'table1',
+     'tree_depth', 'tree_fanout']
+    >>> api.list_scenarios()[0].fidelity_names()
+    ('full', 'fast', 'smoke')
+    """
     registry = scenarios()
     return tuple(registry[scenario_id] for scenario_id in scenario_ids())
 
@@ -82,7 +105,14 @@ def validate_scenario(
     :class:`~repro.experiments.spec.SimPlan` — Student-t equivalence of
     the replicated simulations against the analytic predictions.
     ``report.passed`` aggregates every check;
-    ``report.to_json()``/``to_text()`` render the artifact.
+    ``report.to_json()``/``to_text()`` render the artifact:
+
+    >>> import repro.api as api
+    >>> report = api.validate_scenario("tree_fanout", fidelity="smoke")
+    >>> report.passed
+    True
+    >>> report.check("tree SS: unary==chain").kind
+    'parity'
     """
     return _validate_scenario(scenario, fidelity, jobs=jobs, seed=seed)
 
@@ -95,7 +125,14 @@ def solve_singlehop(
     """Solve one single-hop point on the Kazaa defaults.
 
     ``overrides`` replace preset fields (validated), e.g.
-    ``solve_singlehop("ss+er", loss_rate=0.05)``.
+    ``solve_singlehop("ss+er", loss_rate=0.05)``:
+
+    >>> import repro.api as api
+    >>> solution = api.solve_singlehop("ss+er", loss_rate=0.05)
+    >>> 0.0 < solution.inconsistency_ratio < 1.0
+    True
+    >>> solution.expected_receiver_lifetime > 0.0
+    True
     """
     (protocol,) = parse_protocols([protocol])
     base = params if params is not None else kazaa_defaults()
@@ -112,13 +149,55 @@ def solve_multihop(
     """Solve one multi-hop point on the reservation defaults.
 
     ``overrides`` replace preset fields (validated), e.g.
-    ``solve_multihop("hs", hops=30)``.
+    ``solve_multihop("hs", hops=30)``:
+
+    >>> import repro.api as api
+    >>> solution = api.solve_multihop("hs", hops=30)
+    >>> solution.params.hops
+    30
+    >>> len(solution.hop_profile())
+    30
     """
     (protocol,) = parse_protocols([protocol])
     base = params if params is not None else reservation_defaults()
     if overrides:
         base = apply_overrides(base, overrides)
     return solve_multihop_batch([(protocol, base)])[0]
+
+
+def solve_tree(
+    protocol: Protocol | str,
+    topology: Topology,
+    params: MultiHopParameters | None = None,
+    **overrides: float,
+) -> TreeSolution:
+    """Solve one tree (multicast) point on the reservation defaults.
+
+    ``topology`` is a rooted :class:`Topology` (``Topology.chain``,
+    ``star``, ``kary``, ``broom``, ``skewed``); ``params.hops`` is
+    bound to its edge count automatically.  ``overrides`` replace the
+    remaining preset fields:
+
+    >>> import repro.api as api
+    >>> solution = api.solve_tree("ss", api.Topology.kary(2, 2))
+    >>> len(solution.leaf_profile())
+    4
+    >>> 0.0 < solution.fanout_weighted_inconsistency < 1.0
+    True
+
+    A fan-out-1 (chain) topology reproduces :func:`solve_multihop`
+    bit for bit:
+
+    >>> tree = api.solve_tree("ss", api.Topology.chain(5))
+    >>> tree.inconsistency_ratio == api.solve_multihop("ss", hops=5).inconsistency_ratio
+    True
+    """
+    (protocol,) = parse_protocols([protocol])
+    base = params if params is not None else reservation_defaults()
+    if overrides:
+        base = apply_overrides(base, overrides)
+    base = base.replace(hops=topology.num_edges)
+    return solve_tree_batch([(protocol, base, topology)])[0]
 
 
 def sweep(
@@ -137,7 +216,14 @@ def sweep(
     typos and out-of-range values fail loudly); ``metric`` is a
     registered metric name or a ``solution -> float`` callable.  Set
     ``multihop=True`` to sweep the multi-hop model on the reservation
-    defaults instead of the single-hop Kazaa defaults.
+    defaults instead of the single-hop Kazaa defaults:
+
+    >>> import repro.api as api
+    >>> series = api.sweep("loss_rate", (0.0, 0.05, 0.1), protocols="ss,hs")
+    >>> [s.label for s in series]
+    ['SS', 'HS']
+    >>> series[0].x
+    (0.0, 0.05, 0.1)
     """
     if base is None:
         base = reservation_defaults() if multihop else kazaa_defaults()

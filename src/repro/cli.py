@@ -16,8 +16,11 @@ Usage::
     repro-signaling claims [--jobs N]
     repro-signaling report [--full]
     repro-signaling diagram ss [--multihop]
+    repro-signaling --generate-docs [docs/cli.md]
 
-(or ``python -m repro.cli ...``).
+(or ``python -m repro.cli ...``).  ``--generate-docs`` renders the
+markdown CLI reference from the argparse tree (stdout, or the given
+path) — the committed ``docs/cli.md`` is kept in sync by CI.
 
 ``--fidelity`` picks a named resolution profile (``full`` reproduces
 the paper's axes, ``fast`` thins sweeps, ``smoke`` is a seconds-scale
@@ -63,7 +66,7 @@ from repro.experiments.spec import (
 )
 from repro.runtime import effective_jobs, global_cache, run_experiments, using_jobs
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "generate_cli_markdown", "main"]
 
 _FORMATS = ("text", "csv", "json")
 
@@ -178,7 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list the available scenarios")
 
     run_cmd = commands.add_parser("run", help="run one scenario (or a variant of it)")
-    run_cmd.add_argument("experiment", choices=sorted(experiment_ids()))
+    run_cmd.add_argument(
+        "experiment",
+        choices=sorted(experiment_ids()),
+        help="scenario id (see `list`)",
+    )
     _add_fidelity_flags(run_cmd)
     run_cmd.add_argument(
         "--set",
@@ -276,11 +283,119 @@ def build_parser() -> argparse.ArgumentParser:
     diagram_cmd = commands.add_parser(
         "diagram", help="render a model chain (paper Figs. 3, 15, 16) as text"
     )
-    diagram_cmd.add_argument("protocol", choices=[p.value for p in Protocol])
+    diagram_cmd.add_argument(
+        "protocol", choices=[p.value for p in Protocol], help="protocol to render"
+    )
     diagram_cmd.add_argument(
         "--multihop", action="store_true", help="render the multi-hop chain instead"
     )
     return parser
+
+
+def _option_signature(action: argparse.Action) -> str:
+    """``--flag METAVAR`` (or the positional's metavar) for one action."""
+    if not action.option_strings:
+        metavar = action.metavar or action.dest
+        if isinstance(action.choices, (list, tuple)) and len(action.choices) <= 6:
+            return "{" + ",".join(str(c) for c in action.choices) + "}"
+        return str(metavar)
+    flags = ", ".join(action.option_strings)
+    if action.nargs == 0:
+        return flags
+    metavar = action.metavar
+    if metavar is None and action.choices is not None:
+        metavar = "{" + ",".join(str(c) for c in action.choices) + "}"
+    if metavar is None:
+        metavar = action.dest.upper()
+    return f"{flags} {metavar}"
+
+
+def generate_cli_markdown(parser: argparse.ArgumentParser | None = None) -> str:
+    """Render the CLI reference (``docs/cli.md``) from the argparse tree.
+
+    Deterministic, so the committed file can be diffed against a fresh
+    rendering — the ``docs`` CI job fails when the two drift apart.
+    Regenerate with ``python -m repro.cli --generate-docs docs/cli.md``
+    or ``python tools/generate_cli_docs.py``.
+    """
+    parser = parser or build_parser()
+    subparsers_action = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    help_by_command = {
+        choice.dest: choice.help for choice in subparsers_action._choices_actions
+    }
+    lines = [
+        "# CLI reference",
+        "",
+        "<!-- Generated by `python -m repro.cli --generate-docs docs/cli.md`;",
+        "     do not edit by hand.  The `docs` CI job fails on drift. -->",
+        "",
+        f"`{parser.prog}` — {parser.description}",
+        "",
+        "Run as the installed `repro-signaling` console script or as",
+        "`python -m repro.cli` from a checkout (`PYTHONPATH=src`).",
+        "",
+    ]
+    for name, subparser in subparsers_action.choices.items():
+        lines.append(f"## `{name}`")
+        lines.append("")
+        summary = subparser.description or help_by_command.get(name, "")
+        if summary:
+            lines.append(f"{summary.strip().rstrip('.')}.")
+            lines.append("")
+        usage = " ".join(subparser.format_usage().split())
+        usage = usage.removeprefix("usage: ")
+        lines.append(f"```\n{usage}\n```")
+        lines.append("")
+        rows = [
+            action
+            for action in subparser._actions
+            if not isinstance(action, argparse._HelpAction)
+        ]
+        if rows:
+            lines.append("| Argument | Description |")
+            lines.append("| --- | --- |")
+            for action in rows:
+                help_text = (action.help or "").replace("|", "\\|")
+                default = action.default
+                # Skip only the "no meaningful default" sentinels; an
+                # integer 0 default must not be conflated with False.
+                suppressed = (
+                    default is None
+                    or default is False
+                    or (isinstance(default, (tuple, list)) and not default)
+                )
+                if (
+                    action.option_strings
+                    and not suppressed
+                    and "default" not in help_text
+                ):
+                    help_text = f"{help_text} (default: {default})"
+                lines.append(f"| `{_option_signature(action)}` | {help_text} |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _generate_docs(argv: list[str]) -> int:
+    """Handle ``--generate-docs [PATH]``: print or write the reference."""
+    rest = [arg for arg in argv if arg != "--generate-docs"]
+    if len(rest) > 1 or any(arg.startswith("-") for arg in rest):
+        # Option-like leftovers are mistakes (e.g. `--check` belongs to
+        # tools/generate_cli_docs.py), not output paths to create.
+        print("usage: repro-signaling --generate-docs [PATH]", file=sys.stderr)
+        return 2
+    text = generate_cli_markdown()
+    if rest:
+        path = pathlib.Path(rest[0])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _render(result: ExperimentResult, fmt: str) -> str:
@@ -320,8 +435,11 @@ def _emit_panel_csvs(
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if "--generate-docs" in arguments:
+        return _generate_docs(arguments)
     try:
-        return _dispatch(argv)
+        return _dispatch(arguments)
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

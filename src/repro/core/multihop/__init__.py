@@ -12,11 +12,23 @@ from repro.core.multihop.heterogeneous import (
 )
 from repro.core.multihop.model import MultiHopModel, MultiHopSolution, solve_all_multihop
 from repro.core.multihop.states import RECOVERY, HopState, Recovery, multihop_state_space
+from repro.core.multihop.topology import Topology
 from repro.core.multihop.transitions import (
     build_multihop_rates,
     first_timeout_rate,
     slow_path_recovery_rate,
     supported_protocols,
+)
+from repro.core.multihop.tree_messages import (
+    tree_expected_link_crossings,
+    tree_message_components,
+    tree_total_message_rate,
+)
+from repro.core.multihop.tree_model import TreeModel, TreeSolution, solve_all_tree
+from repro.core.multihop.tree_states import TreeState, tree_state_space
+from repro.core.multihop.tree_transitions import (
+    build_tree_rates,
+    tree_transition_specs,
 )
 
 __all__ = [
@@ -28,7 +40,12 @@ __all__ = [
     "MultiHopSolution",
     "RECOVERY",
     "Recovery",
+    "Topology",
+    "TreeModel",
+    "TreeSolution",
+    "TreeState",
     "build_multihop_rates",
+    "build_tree_rates",
     "expected_link_crossings",
     "first_timeout_rate",
     "multihop_message_components",
@@ -36,5 +53,11 @@ __all__ = [
     "multihop_total_message_rate",
     "slow_path_recovery_rate",
     "solve_all_multihop",
+    "solve_all_tree",
     "supported_protocols",
+    "tree_expected_link_crossings",
+    "tree_message_components",
+    "tree_state_space",
+    "tree_total_message_rate",
+    "tree_transition_specs",
 ]

@@ -1,0 +1,197 @@
+"""The tree (multicast) analytic model and its leaf metrics.
+
+:class:`TreeModel` generalizes :class:`~repro.core.multihop.model.MultiHopModel`
+from linear chains to arbitrary rooted trees (:class:`Topology`): the
+sender at the root floods state updates toward every leaf over
+independent lossy edges.  The regime is the same stationary one —
+state lives forever at the sender, Poisson updates at ``lambda_u``.
+
+Metrics aggregate over leaves instead of "the last hop":
+
+* ``inconsistency_ratio`` — *any* node inconsistent (``1 - pi(full)``,
+  the all-leaf consistency complement; eq. 12 on a chain);
+* ``leaf_inconsistency`` / ``leaf_reach`` — per-leaf views;
+* ``mean_leaf_inconsistency`` — the average receiver's experience;
+* ``fanout_weighted_inconsistency`` — leaves weighted by their parent's
+  fan-out, emphasizing hot replication points (one lost trigger at a
+  wide splitter starves many receivers);
+* ``message_rate`` — per-link transmissions per second.
+
+On ``Topology.chain(N)`` every number is **bit-identical** to the
+chain model: the state order, rate floats and metric summation orders
+all reduce to the Fig. 15/16 construction (enforced by
+``repro.validation.parity.tree_parity_checks``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.markov import ContinuousTimeMarkovChain
+from repro.core.multihop.states import RECOVERY
+from repro.core.multihop.topology import Topology
+from repro.core.multihop.transitions import supported_protocols
+from repro.core.multihop.tree_messages import tree_message_components
+from repro.core.multihop.tree_states import TreeState, tree_state_space
+from repro.core.multihop.tree_transitions import build_tree_rates
+from repro.core.parameters import MultiHopParameters
+from repro.core.protocols import Protocol
+
+__all__ = ["TreeModel", "TreeSolution", "solve_all_tree"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeSolution:
+    """Solved metrics of one protocol on one tree configuration."""
+
+    protocol: Protocol
+    params: MultiHopParameters
+    topology: Topology
+    stationary: dict[object, float]
+    message_breakdown: dict[str, float]
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Any node inconsistent: ``1 - pi(full tree consistent)``.
+
+        Because the consistent set is downward-closed, "every leaf
+        consistent" and "every node consistent" are the same event, so
+        this is exactly the all-leaf consistency complement.
+        """
+        full = TreeState(tuple(range(1, self.topology.num_nodes)), ())
+        return 1.0 - self.stationary.get(full, 0.0)
+
+    @property
+    def message_rate(self) -> float:
+        """Total per-link transmissions per second."""
+        return sum(self.message_breakdown.values())
+
+    def node_inconsistency(self, node: int) -> float:
+        """Fraction of time non-root ``node`` is inconsistent.
+
+        A node is inconsistent whenever it is outside the consistent
+        subtree; the HS recovery state counts for every node.  On a
+        chain this is the paper's per-hop view (Fig. 17).
+        """
+        if not 1 <= node <= self.topology.num_edges:
+            raise ValueError(
+                f"node must be in [1, {self.topology.num_edges}], got {node}"
+            )
+        total = 0.0
+        for state, probability in self.stationary.items():
+            if state is RECOVERY:
+                total += probability
+            elif isinstance(state, TreeState) and node not in state.consistent:
+                total += probability
+        return total
+
+    def leaf_inconsistency(self, leaf: int) -> float:
+        """Fraction of time the given leaf is inconsistent."""
+        if leaf not in self.topology.leaves():
+            raise ValueError(f"{leaf} is not a leaf of the topology")
+        return self.node_inconsistency(leaf)
+
+    def leaf_reach(self, leaf: int) -> float:
+        """Fraction of time the given leaf holds the current value."""
+        return 1.0 - self.leaf_inconsistency(leaf)
+
+    def leaf_profile(self) -> list[float]:
+        """Per-leaf inconsistency, in leaf index order."""
+        return [self.leaf_inconsistency(leaf) for leaf in self.topology.leaves()]
+
+    def reach_profile(self) -> list[float]:
+        """Per-leaf reach, in leaf index order."""
+        return [1.0 - value for value in self.leaf_profile()]
+
+    @property
+    def mean_leaf_inconsistency(self) -> float:
+        """Average per-leaf inconsistency (each receiver equal weight)."""
+        profile = self.leaf_profile()
+        return sum(profile) / len(profile)
+
+    @property
+    def fanout_weighted_inconsistency(self) -> float:
+        """Leaf inconsistency weighted by the parent's fan-out.
+
+        A leaf behind a ``k``-way replication point counts ``k`` times:
+        the metric surfaces the cost of losing state at hot splitters,
+        which uniform leaf averaging dilutes.  On a chain (all weights
+        1) it equals the last hop's inconsistency.
+        """
+        leaves = self.topology.leaves()
+        weights = [float(self.topology.fanout(self.topology.parent(leaf))) for leaf in leaves]
+        weighted = sum(
+            weight * self.leaf_inconsistency(leaf)
+            for weight, leaf in zip(weights, leaves)
+        )
+        return weighted / sum(weights)
+
+    def integrated_cost(self, weight: float = 10.0) -> float:
+        """``weight * I + message_rate`` — the eq. (8) cost shape."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        return weight * self.inconsistency_ratio + self.message_rate
+
+
+class TreeModel:
+    """SS, SS+RT or HS signaling down one rooted tree."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        params: MultiHopParameters,
+        topology: Topology,
+    ) -> None:
+        protocol = Protocol(protocol)
+        if protocol not in supported_protocols():
+            raise ValueError(
+                f"{protocol.value} is not modeled in the multi-hop analysis; "
+                f"use one of {[p.value for p in supported_protocols()]}"
+            )
+        if params.hops != topology.num_edges:
+            raise ValueError(
+                f"params.hops ({params.hops}) must equal the topology's edge "
+                f"count ({topology.num_edges}); bind them together when sweeping"
+            )
+        self.protocol = protocol
+        self.params = params
+        self.topology = topology
+        self._rates = build_tree_rates(protocol, params, topology)
+        self._states = tree_state_space(
+            topology, with_recovery=protocol is Protocol.HS
+        )
+
+    def chain(self) -> ContinuousTimeMarkovChain:
+        """The recurrent tree CTMC."""
+        return ContinuousTimeMarkovChain(self._states, self._rates)
+
+    def transition_rates(self) -> dict[tuple[object, object], float]:
+        """A copy of the chain's transition rates."""
+        return dict(self._rates)
+
+    def solve(self) -> TreeSolution:
+        """Compute the stationary distribution and message rates."""
+        stationary = self.chain().stationary_distribution()
+        breakdown = tree_message_components(
+            self.protocol, self.params, self.topology, stationary
+        )
+        return TreeSolution(
+            protocol=self.protocol,
+            params=self.params,
+            topology=self.topology,
+            stationary=stationary,
+            message_breakdown=breakdown,
+        )
+
+
+def solve_all_tree(
+    params: MultiHopParameters,
+    topology: Topology,
+    protocols: tuple[Protocol, ...] | None = None,
+) -> dict[Protocol, TreeSolution]:
+    """Solve every tree protocol on one ``(params, topology)`` point."""
+    chosen = protocols if protocols is not None else supported_protocols()
+    return {
+        protocol: TreeModel(protocol, params, topology).solve()
+        for protocol in chosen
+    }

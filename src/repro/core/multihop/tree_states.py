@@ -1,0 +1,125 @@
+"""States of the tree (multicast) signaling Markov model.
+
+The chain model tracks a single installation frontier — ``(i, s)``:
+``i`` consistent hops, fast or slow path.  On a tree the frontier is a
+*set* of edges: the nodes holding the sender's current value always
+form a downward-closed subtree ``S`` containing the root (a node can
+only have received the value through its parent), and each *frontier*
+node — a node outside ``S`` whose parent is inside — is reached either
+by an in-flight message (fast) or waits for a refresh/retransmission
+after a loss (slow).
+
+:class:`TreeState` records ``(consistent, slow)``: the non-root members
+of ``S`` and the slow subset of the frontier (the fast frontier is
+implied).  On a unary chain this reduces exactly to the paper's state
+space — ``(i, 0)`` is ``consistent = (1..i), slow = ()`` and ``(i, 1)``
+is ``consistent = (1..i), slow = (i+1,)`` — and
+:func:`tree_state_space` orders states so the unary enumeration matches
+:func:`~repro.core.multihop.states.multihop_state_space` position by
+position, which is what makes unary-tree solves *bit-identical* to the
+chain model.  Hard-state trees reuse the chain's
+:data:`~repro.core.multihop.states.RECOVERY` singleton.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.core.multihop.states import RECOVERY
+from repro.core.multihop.topology import Topology
+
+__all__ = ["MAX_TREE_STATES", "TreeState", "tree_state_space"]
+
+#: Refuse to enumerate beyond this many states.  The tree state count is
+#: exponential in fan-out x depth (a complete binary tree of depth 3
+#: already has 15129 states), and beyond a few thousand states the
+#: tree generator's LU fill-in makes even the sparse solve impractical
+#: (the depth-3 binary system factors into ~10^8 nonzeros).  The cap
+#: turns an accidental ``kary(2, 3)`` into a clear error instead of a
+#: minutes-long hang.
+MAX_TREE_STATES = 4096
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class TreeState:
+    """``(consistent, slow)``: the consistent subtree and its slow frontier.
+
+    ``consistent`` lists the non-root nodes holding the sender's current
+    value (sorted); ``slow`` lists the frontier nodes whose installation
+    message was lost and that now wait for the slow path (sorted).
+    Frontier nodes not in ``slow`` have a message in flight.
+    """
+
+    consistent: tuple[int, ...]
+    slow: tuple[int, ...]
+
+    def __str__(self) -> str:
+        consistent = ",".join(str(v) for v in self.consistent) or "-"
+        slow = ",".join(str(v) for v in self.slow) or "-"
+        return f"({{{consistent}}};{{{slow}}})"
+
+
+def _edge_configurations(
+    topology: Topology, node: int
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """All ``(consistent, slow)`` contributions of the edge into ``node``.
+
+    Assumes the parent of ``node`` is consistent, so the edge is live:
+    it is fast (in flight), slow (lost), or crossed — and once crossed,
+    each child edge of ``node`` contributes independently.
+    """
+    results: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
+        ((), ()),  # fast frontier: nothing below node is consistent
+        ((), (node,)),  # slow frontier
+    ]
+    crossed: list[tuple[tuple[int, ...], tuple[int, ...]]] = [((node,), ())]
+    for child in topology.children(node):
+        child_configurations = _edge_configurations(topology, child)
+        crossed = [
+            (consistent + child_consistent, slow + child_slow)
+            for consistent, slow in crossed
+            for child_consistent, child_slow in child_configurations
+        ]
+        if len(crossed) > MAX_TREE_STATES:
+            raise ValueError(
+                f"tree state space exceeds {MAX_TREE_STATES} states; "
+                "reduce the topology's fan-out or depth"
+            )
+    results.extend(crossed)
+    return results
+
+
+@functools.lru_cache(maxsize=256)
+def tree_state_space(topology: Topology, with_recovery: bool) -> tuple[object, ...]:
+    """All states of the tree model, in the canonical order.
+
+    States are sorted by (slow-frontier size, consistent-subtree size,
+    consistent tuple, slow tuple); hard-state trees append ``RECOVERY``
+    last.  On a unary chain this reproduces the
+    :func:`~repro.core.multihop.states.multihop_state_space` order
+    exactly: the all-fast states ``(0,0)..(N,0)`` by consistent count,
+    then the slow states ``(0,1)..(N-1,1)``, then ``RECOVERY``.
+    """
+    configurations: list[tuple[tuple[int, ...], tuple[int, ...]]] = [((), ())]
+    for child in topology.children(0):
+        child_configurations = _edge_configurations(topology, child)
+        configurations = [
+            (consistent + child_consistent, slow + child_slow)
+            for consistent, slow in configurations
+            for child_consistent, child_slow in child_configurations
+        ]
+        if len(configurations) > MAX_TREE_STATES:
+            raise ValueError(
+                f"tree state space exceeds {MAX_TREE_STATES} states; "
+                "reduce the topology's fan-out or depth"
+            )
+    tree_states = sorted(
+        TreeState(tuple(sorted(consistent)), tuple(sorted(slow)))
+        for consistent, slow in configurations
+    )
+    tree_states.sort(key=lambda s: (len(s.slow), len(s.consistent)))
+    states: list[object] = list(tree_states)
+    if with_recovery:
+        states.append(RECOVERY)
+    return tuple(states)

@@ -60,9 +60,17 @@ from repro.core.multihop.heterogeneous import (
 from repro.core.multihop.messages import multihop_message_components
 from repro.core.multihop.model import MultiHopModel, MultiHopSolution
 from repro.core.multihop.states import multihop_state_space
+from repro.core.multihop.topology import Topology
 from repro.core.multihop.transitions import (
     first_timeout_rate,
     slow_path_recovery_rate,
+)
+from repro.core.multihop.tree_messages import tree_message_components
+from repro.core.multihop.tree_model import TreeModel, TreeSolution
+from repro.core.multihop.tree_states import tree_state_space
+from repro.core.multihop.tree_transitions import (
+    tree_tag_rate,
+    tree_transition_specs,
 )
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
@@ -78,11 +86,14 @@ from repro.core.singlehop.transitions import (
 __all__ = [
     "MultiHopTemplate",
     "SingleHopTemplate",
+    "TreeTemplate",
     "multihop_template",
     "singlehop_template",
     "solve_heterogeneous_tasks",
     "solve_multihop_tasks",
     "solve_singlehop_tasks",
+    "solve_tree_tasks",
+    "tree_template",
 ]
 
 
@@ -553,6 +564,135 @@ class MultiHopTemplate:
 
 
 # ----------------------------------------------------------------------
+# Tree templates (multicast fan-out topologies)
+# ----------------------------------------------------------------------
+
+
+class TreeTemplate:
+    """Compiled structure of one ``(protocol, topology)`` tree chain.
+
+    The transition structure comes from the same
+    :func:`~repro.core.multihop.tree_transitions.tree_transition_specs`
+    list the reference model builds its rate dict from, so the COO
+    arrays scatter *exactly* the reference's edges in the reference's
+    accumulation order; each transition tag maps to one derived
+    feature whose value is computed by the shared
+    :func:`~repro.core.multihop.tree_transitions.tree_tag_rate` helper.
+    Dense batches therefore reproduce the per-point dense results bit
+    for bit, and above the sparse crossover the template keeps its
+    fixed CSC pattern exactly like :class:`MultiHopTemplate`.
+
+    Use :func:`tree_template` to get the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol, topology: Topology) -> None:
+        self.protocol = Protocol(protocol)
+        if self.protocol not in Protocol.multihop_family():
+            raise ValueError(
+                f"{self.protocol.value} is not part of the multi-hop analysis"
+            )
+        self.topology = topology
+        with_recovery = self.protocol is Protocol.HS
+        self.states = tree_state_space(topology, with_recovery)
+        index = {state: i for i, state in enumerate(self.states)}
+        ns = len(self.states)
+        self._n_states = ns
+        specs = tree_transition_specs(self.protocol, topology)
+        # One derived feature per distinct transition tag, in first-seen
+        # order (the tag set is tiny: update/advance/lose plus one
+        # recover and timeout slot per depth, or the two HS extras).
+        tag_index: dict[tuple, int] = {}
+        features: list[int] = []
+        for _, _, tag in specs:
+            if tag not in tag_index:
+                tag_index[tag] = len(tag_index)
+            features.append(tag_index[tag])
+        self._tags = tuple(tag_index)
+        self.n_features = len(self._tags)
+        self.rows = np.array([index[o] for o, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([index[d] for _, d, _ in specs], dtype=np.intp)
+        self._features = np.array(features, dtype=np.intp)
+        self._flat = self.rows * ns + self.cols
+        self._sparse_pattern: _SparseStationaryPattern | None = None
+
+    def edge_rates(self, points: Sequence[MultiHopParameters]) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        derived = np.empty((len(points), self.n_features))
+        for k, params in enumerate(points):
+            for j, tag in enumerate(self._tags):
+                derived[k, j] = tree_tag_rate(
+                    self.protocol, params, self.topology, tag
+                )
+        return derived[:, self._features]
+
+    def _use_sparse(self) -> bool:
+        return (
+            self._n_states >= _markov.SPARSE_STATE_THRESHOLD
+            and _markov._sparse_modules() is not None
+        )
+
+    def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        k = rates.shape[0]
+        ns = self._n_states
+        if not self._use_sparse():
+            generators = _fill_generator_diagonal(
+                _assemble_dense(self._flat, rates, ns)
+            )
+            return batched_stationary_dense(generators)
+        if self._sparse_pattern is None:
+            self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
+        pi = np.zeros((k, ns))
+        bad = np.zeros(k, dtype=bool)
+        for point in range(k):
+            solved = self._sparse_pattern.stationary(rates[point])
+            if solved is None:
+                bad[point] = True
+            else:
+                pi[point] = solved
+        return pi, bad
+
+    def solve_batch(self, points: Sequence[MultiHopParameters]) -> list[TreeSolution]:
+        """Solve every point; bit-identical to the per-point dense path."""
+        points = list(points)
+        if not points:
+            return []
+        for params in points:
+            if params.hops != self.topology.num_edges:
+                raise ValueError(
+                    f"task has {params.hops} hops, template compiled for a "
+                    f"{self.topology.num_edges}-edge topology"
+                )
+        rates = self.edge_rates(points)
+        try:
+            pi, bad = self._stationary_batch(rates)
+        except np.linalg.LinAlgError:
+            return [self._reference(params) for params in points]
+        solutions: list[TreeSolution] = []
+        for k, params in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(self.states)
+            }
+            solutions.append(
+                TreeSolution(
+                    protocol=self.protocol,
+                    params=params,
+                    topology=self.topology,
+                    stationary=stationary,
+                    message_breakdown=tree_message_components(
+                        self.protocol, params, self.topology, stationary
+                    ),
+                )
+            )
+        return solutions
+
+    def _reference(self, params: MultiHopParameters) -> TreeSolution:
+        return TreeModel(self.protocol, params, self.topology).solve()
+
+
+# ----------------------------------------------------------------------
 # Template registry and task-level entry points
 # ----------------------------------------------------------------------
 
@@ -567,6 +707,12 @@ def singlehop_template(protocol: Protocol) -> SingleHopTemplate:
 def multihop_template(protocol: Protocol, hops: int) -> MultiHopTemplate:
     """The memoized compiled template for ``(protocol, hops)``."""
     return MultiHopTemplate(protocol, hops)
+
+
+@functools.lru_cache(maxsize=128)
+def tree_template(protocol: Protocol, topology: Topology) -> TreeTemplate:
+    """The memoized compiled template for ``(protocol, topology)``."""
+    return TreeTemplate(protocol, topology)
 
 
 def _solve_grouped(tasks, group_key, solve_group):
@@ -617,5 +763,18 @@ def solve_heterogeneous_tasks(
         lambda task: (Protocol(task[0]), task[1].hops),
         lambda key, group: multihop_template(*key).solve_batch(
             [(params, tuple(hops)) for _, params, hops in group]
+        ),
+    )
+
+
+def solve_tree_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, Topology]],
+) -> list[TreeSolution]:
+    """Solve ``(protocol, params, topology)`` tasks through templates."""
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[2]),
+        lambda key, group: tree_template(*key).solve_batch(
+            [params for _, params, _ in group]
         ),
     )

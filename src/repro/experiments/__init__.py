@@ -30,6 +30,7 @@ from repro.experiments import (  # noqa: F401 - imported to populate the registr
     fig19,
     scaling,
     table01,
+    trees,
 )
 from repro.experiments.executor import run_scenario
 from repro.experiments.runner import (

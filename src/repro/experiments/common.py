@@ -14,6 +14,8 @@ from collections.abc import Callable, Sequence
 
 from repro.core.multihop import MultiHopSolution
 from repro.core.multihop.heterogeneous import HeterogeneousHop
+from repro.core.multihop.topology import Topology
+from repro.core.multihop.tree_model import TreeSolution
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopSolution
@@ -22,6 +24,7 @@ from repro.runtime import (
     solve_heterogeneous_batch,
     solve_multihop_batch,
     solve_singlehop_batch,
+    solve_tree_batch,
 )
 
 __all__ = [
@@ -31,6 +34,7 @@ __all__ = [
     "multihop_metric_series",
     "parametric_singlehop_series",
     "singlehop_metric_series",
+    "tree_metric_series",
 ]
 
 ALL_PROTOCOLS: tuple[Protocol, ...] = tuple(Protocol)
@@ -116,6 +120,42 @@ def heterogeneous_metric_series(
     solutions = solve_heterogeneous_batch(tasks, jobs=jobs)
     return [
         Series(protocol.value, xs, tuple(metric(solution) for solution in group))
+        for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
+    ]
+
+
+def tree_metric_series(
+    xs: Sequence[float],
+    make_point: Callable[[float], tuple[MultiHopParameters, Topology]],
+    metric: Callable[[TreeSolution], float],
+    protocols: Sequence[Protocol] = MULTIHOP_PROTOCOLS,
+    jobs: int | None = None,
+    label_suffix: str = "",
+) -> list[Series]:
+    """Sweep ``xs`` through the tree (multicast) model.
+
+    ``make_point(x)`` returns ``(params, topology)`` for one sweep
+    value — e.g. a fan-out mapped to a star, or a depth mapped to a
+    binary tree.  One series per protocol (labels get
+    ``label_suffix``, so several shapes can share a panel), solved
+    through the compiled tree-template batch path.
+    """
+    xs = tuple(xs)
+    if not xs:
+        return [Series(f"{p.value}{label_suffix}", (), ()) for p in protocols]
+    points = [make_point(x) for x in xs]
+    tasks = [
+        (protocol, params, topology)
+        for protocol in protocols
+        for params, topology in points
+    ]
+    solutions = solve_tree_batch(tasks, jobs=jobs)
+    return [
+        Series(
+            f"{protocol.value}{label_suffix}",
+            xs,
+            tuple(metric(solution) for solution in group),
+        )
         for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
     ]
 

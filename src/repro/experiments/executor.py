@@ -25,6 +25,7 @@ from repro.experiments.common import (
     multihop_metric_series,
     parametric_singlehop_series,
     singlehop_metric_series,
+    tree_metric_series,
 )
 from repro.experiments.runner import ExperimentResult, Panel, Provenance, Series
 from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_batch
@@ -202,6 +203,15 @@ def _sweep_series(
         return singlehop_metric_series(xs, make, metric, protocols=protocols, jobs=jobs)
     if spec.family == "multihop":
         return multihop_metric_series(xs, make, metric, protocols=protocols, jobs=jobs)
+    if spec.family == "tree":
+        return tree_metric_series(
+            xs,
+            make,
+            metric,
+            protocols=protocols,
+            jobs=jobs,
+            label_suffix=plan.label_suffix,
+        )
     return heterogeneous_metric_series(xs, make, metric, protocols=protocols, jobs=jobs)
 
 

@@ -135,6 +135,13 @@ class FidelityProfile:
     fast profile can swap a geometric sweep for a fixed short list, as
     Fig. 11 does).  ``replications``/``sessions``/``sim_budget``
     parameterize the validation scenarios' discrete-event simulations.
+    Mappings freeze to sorted tuples so profiles stay hashable:
+
+    >>> profile = FidelityProfile("fast", axis_points={"hops": 4})
+    >>> profile.axis_points
+    (('hops', 4),)
+    >>> profile.axis_point_map()
+    {'hops': 4}
     """
 
     name: str
@@ -253,12 +260,32 @@ _PRESETS: dict[str, Callable[[], SignalingParameters | MultiHopParameters]] = {
     "reservation": reservation_defaults,
 }
 
-_FAMILIES = ("singlehop", "multihop", "heterogeneous")
+_FAMILIES = ("singlehop", "multihop", "heterogeneous", "tree")
 
 
 @dataclasses.dataclass(frozen=True)
 class ScenarioSpec:
-    """A frozen, declarative description of one runnable scenario."""
+    """A frozen, declarative description of one runnable scenario.
+
+    Specs validate themselves on construction (family, preset, panel
+    and fidelity coherence) and default to the standard
+    ``full``/``fast``/``smoke`` fidelity trio:
+
+    >>> from repro.core.protocols import Protocol
+    >>> spec = ScenarioSpec(
+    ...     scenario_id="demo", title="Demo sweep", artifact="demo",
+    ...     family="singlehop", preset="kazaa", protocols=(Protocol.SS,),
+    ...     axes=(Axis("loss", "linear", low=0.0, high=0.1, points=3),),
+    ...     panels=(PanelSpec("p", "loss p", "I", (SeriesPlan(
+    ...         "sweep", axis="loss", binder="loss_rate",
+    ...         metric="inconsistency_ratio"),)),))
+    >>> spec.fidelity_names()
+    ('full', 'fast', 'smoke')
+    >>> spec.axis("loss").resolve(spec.fidelity("full"))
+    (0.0, 0.05, 0.1)
+
+    See ``docs/authoring.md`` for the full authoring tutorial.
+    """
 
     scenario_id: str
     title: str

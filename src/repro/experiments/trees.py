@@ -1,0 +1,316 @@
+"""Tree-topology scenarios — multicast fan-out, beyond the paper.
+
+The paper's multi-hop analysis covers one linear chain of relays; a
+gossip/multicast dissemination setting (PAPERS.md, Femminella et al.)
+distributes the same soft state down a *tree*: the sender at the root,
+receivers at the leaves, every edge an independent lossy hop.  Two
+scenarios probe the new workload class:
+
+* ``tree_fanout`` — widen the tree at fixed depth: a ``k``-leaf star
+  against a broom (two-hop access path into a ``k``-way replication
+  point), sweeping ``k``.  Fan-out multiplies frontier edges, so the
+  any-leaf inconsistency grows with ``k`` while the *mean* leaf barely
+  moves — exactly the aggregation question chains cannot ask.
+* ``tree_depth`` — deepen the tree at fixed fan-out: the maximally
+  skewed (caterpillar) binary tree and a broom (spine into one final
+  2-way split) sweep depth 1..4, while the complete binary tree —
+  whose state space is exponential in depth and whose generator's LU
+  fill-in walls off depth >= 3 (see
+  :data:`~repro.core.multihop.tree_states.MAX_TREE_STATES`) — runs on
+  its own short axis in the same panels (``shared_x=False``).
+
+Both run SS, SS+RT and HS through the compiled tree-template batch
+path; fan-out-1 / depth-1 points are unary trees and therefore
+bit-identical to the chain model (see
+:func:`repro.validation.parity.tree_parity_checks`).
+"""
+
+from __future__ import annotations
+
+from repro.core.multihop.topology import Topology
+from repro.core.protocols import Protocol
+from repro.experiments.spec import (
+    Axis,
+    FidelityProfile,
+    PanelSpec,
+    ScenarioSpec,
+    SeriesPlan,
+    register_binder,
+    register_metric,
+    register_scenario,
+)
+
+__all__ = ["DEPTH_SPEC", "FANOUT_SPEC"]
+
+#: Swept fan-outs.  A ``k``-leaf star has ``3^k`` states, so the full
+#: sweep tops out at 729-state chains (sparse-template territory).
+FANOUT_VALUES = (1, 2, 3, 4, 5, 6)
+FAST_FANOUT_VALUES = (1, 2, 4)
+SMOKE_FANOUT_VALUES = (1, 2)
+
+#: Swept depths for the cheap deep shapes (skewed / broom).
+DEPTH_VALUES = (1, 2, 3, 4)
+FAST_DEPTH_VALUES = (1, 2, 3)
+SMOKE_DEPTH_VALUES = (1, 2)
+
+#: Swept depths for the complete binary tree, whose state count is
+#: doubly exponential in depth (121 states at depth 2, 15129 at depth
+#: 3 — beyond the solvable cap).
+BINARY_DEPTH_VALUES = (1, 2)
+
+
+def _tree_point(base, topology: Topology):
+    """Bind a topology to the base preset (``hops`` tracks edge count)."""
+    return base.replace(hops=topology.num_edges), topology
+
+
+@register_binder("tree_star")
+def _bind_star(base, fanout: float):
+    """Fan-out ``k`` as a ``k``-leaf star (depth 1)."""
+    return _tree_point(base, Topology.star(int(fanout)))
+
+
+@register_binder("tree_broom")
+def _bind_broom(base, fanout: float):
+    """Fan-out ``k`` behind a two-hop access path (broom)."""
+    return _tree_point(base, Topology.broom(2, int(fanout)))
+
+
+@register_binder("tree_binary")
+def _bind_binary(base, depth: float):
+    """Depth ``d`` as the complete binary tree."""
+    return _tree_point(base, Topology.kary(2, int(depth)))
+
+
+@register_binder("tree_skewed")
+def _bind_skewed(base, depth: float):
+    """Depth ``d`` as the maximally skewed (caterpillar) binary tree."""
+    return _tree_point(base, Topology.skewed(int(depth)))
+
+
+@register_binder("tree_spine")
+def _bind_spine(base, depth: float):
+    """Depth ``d`` as a broom: a spine into one final 2-way split.
+
+    Depth 1 degenerates to the 2-leaf star so every swept point has
+    maximum leaf depth exactly ``d``.
+    """
+    d = int(depth)
+    topology = Topology.star(2) if d == 1 else Topology.broom(d - 1, 2)
+    return _tree_point(base, topology)
+
+
+register_metric(
+    "mean_leaf_inconsistency", lambda solution: solution.mean_leaf_inconsistency
+)
+register_metric(
+    "fanout_weighted_inconsistency",
+    lambda solution: solution.fanout_weighted_inconsistency,
+)
+
+
+def _fidelities(fast_values, smoke_values, axis: str) -> tuple[FidelityProfile, ...]:
+    return (
+        FidelityProfile("full"),
+        FidelityProfile(
+            "fast", axis_values={axis: tuple(float(v) for v in fast_values)}
+        ),
+        FidelityProfile(
+            "smoke", axis_values={axis: tuple(float(v) for v in smoke_values)}
+        ),
+    )
+
+
+FANOUT_SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id="tree_fanout",
+        title="Tree fan-out: star vs broom multicast distribution (beyond the paper)",
+        artifact="beyond the paper",
+        family="tree",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis(
+                "fanout",
+                "explicit",
+                values=tuple(float(v) for v in FANOUT_VALUES),
+            ),
+        ),
+        panels=(
+            PanelSpec(
+                name="a: any-leaf inconsistency",
+                x_label="fan-out k",
+                y_label="inconsistency ratio I (any leaf)",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_star",
+                        metric="inconsistency_ratio",
+                        label_suffix=" star",
+                    ),
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_broom",
+                        metric="inconsistency_ratio",
+                        label_suffix=" broom",
+                    ),
+                ),
+                log_y=True,
+            ),
+            PanelSpec(
+                name="b: mean leaf inconsistency",
+                x_label="fan-out k",
+                y_label="mean per-leaf inconsistency",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_star",
+                        metric="mean_leaf_inconsistency",
+                        label_suffix=" star",
+                    ),
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_broom",
+                        metric="mean_leaf_inconsistency",
+                        label_suffix=" broom",
+                    ),
+                ),
+                log_y=True,
+            ),
+            PanelSpec(
+                name="c: signaling message rate",
+                x_label="fan-out k",
+                y_label="per-link transmissions per second",
+                plans=(
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_star",
+                        metric="message_rate",
+                        label_suffix=" star",
+                    ),
+                    SeriesPlan(
+                        "sweep",
+                        axis="fanout",
+                        binder="tree_broom",
+                        metric="message_rate",
+                        label_suffix=" broom",
+                    ),
+                ),
+            ),
+        ),
+        fidelities=_fidelities(FAST_FANOUT_VALUES, SMOKE_FANOUT_VALUES, "fanout"),
+        notes=(
+            "star: k receivers directly under the sender; "
+            "broom: a 2-hop access path into a k-way replication point",
+            "fan-out 1 points are unary trees, bit-identical to the chain model",
+        ),
+    )
+)
+
+
+def _depth_panel(name: str, y_label: str, metric: str, log_y: bool) -> PanelSpec:
+    """One depth panel: skewed and spine on the deep axis, the complete
+    binary tree on its own short axis (``shared_x=False``)."""
+    return PanelSpec(
+        name=name,
+        x_label="tree depth d",
+        y_label=y_label,
+        plans=(
+            SeriesPlan(
+                "sweep",
+                axis="depth",
+                binder="tree_skewed",
+                metric=metric,
+                label_suffix=" skewed",
+            ),
+            SeriesPlan(
+                "sweep",
+                axis="depth",
+                binder="tree_spine",
+                metric=metric,
+                label_suffix=" spine",
+            ),
+            SeriesPlan(
+                "sweep",
+                axis="binary_depth",
+                binder="tree_binary",
+                metric=metric,
+                label_suffix=" binary",
+            ),
+        ),
+        log_y=log_y,
+        shared_x=False,
+    )
+
+
+DEPTH_SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id="tree_depth",
+        title="Tree depth: balanced vs skewed binary distribution (beyond the paper)",
+        artifact="beyond the paper",
+        family="tree",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis(
+                "depth",
+                "explicit",
+                values=tuple(float(v) for v in DEPTH_VALUES),
+            ),
+            Axis(
+                "binary_depth",
+                "explicit",
+                values=tuple(float(v) for v in BINARY_DEPTH_VALUES),
+            ),
+        ),
+        panels=(
+            _depth_panel(
+                "a: any-leaf inconsistency",
+                "inconsistency ratio I (any leaf)",
+                "inconsistency_ratio",
+                log_y=True,
+            ),
+            _depth_panel(
+                "b: fan-out-weighted inconsistency",
+                "fan-out-weighted leaf inconsistency",
+                "fanout_weighted_inconsistency",
+                log_y=True,
+            ),
+            _depth_panel(
+                "c: signaling message rate",
+                "per-link transmissions per second",
+                "message_rate",
+                log_y=False,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile(
+                "fast",
+                axis_values={
+                    "depth": tuple(float(v) for v in FAST_DEPTH_VALUES)
+                },
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_values={
+                    "depth": tuple(float(v) for v in SMOKE_DEPTH_VALUES)
+                },
+            ),
+        ),
+        notes=(
+            "skewed: a d-link backbone with one side leaf per internal node; "
+            "spine: a (d-1)-link path into one 2-way split; binary: the "
+            "complete 2-ary tree (own axis — its state space is exponential "
+            "in depth and depth >= 3 exceeds the solvable cap)",
+            "skewed depth 1 is the single-hop chain (unary points are "
+            "bit-identical to the chain model); spine depth 1 is the "
+            "2-leaf star",
+        ),
+    )
+)

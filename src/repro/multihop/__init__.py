@@ -1,4 +1,5 @@
-"""Multi-hop chain simulation (extends the paper's validation to §III-B)."""
+"""Multi-hop chain and tree simulation (extends the paper's validation
+to §III-B and to multicast distribution trees)."""
 
 from repro.multihop.chain import (
     MultiHopSimResult,
@@ -7,6 +8,13 @@ from repro.multihop.chain import (
 )
 from repro.multihop.config import MultiHopSimConfig
 from repro.multihop.nodes import ChainSender, RelayNode
+from repro.multihop.tree import (
+    TreeRelayNode,
+    TreeSender,
+    TreeSimResult,
+    TreeSimulation,
+    simulate_tree_replications,
+)
 
 __all__ = [
     "ChainSender",
@@ -14,5 +22,10 @@ __all__ = [
     "MultiHopSimResult",
     "MultiHopSimulation",
     "RelayNode",
+    "TreeRelayNode",
+    "TreeSender",
+    "TreeSimResult",
+    "TreeSimulation",
+    "simulate_tree_replications",
     "simulate_multihop_replications",
 ]

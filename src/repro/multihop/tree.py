@@ -1,0 +1,494 @@
+"""The tree (multicast) simulation harness — per-edge channels.
+
+Generalizes :mod:`repro.multihop.chain` from a relay chain to a rooted
+:class:`~repro.core.multihop.topology.Topology`: the sender at the
+root, one relay per non-root node, and **one independent lossy channel
+pair per edge** (forward toward the leaves, reverse toward the root).
+Reliable-trigger protocols run one hop-local retransmission loop *per
+child edge* — a node with fan-out ``k`` retransmits independently
+toward each unacknowledged child, which is exactly the per-edge
+frontier the tree CTMC tracks.
+
+Measured outputs mirror the analytic
+:class:`~repro.core.multihop.tree_model.TreeSolution` metrics:
+per-node inconsistency, any-leaf inconsistency (the eq. 12
+generalization) and per-link transmissions per second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.multihop.topology import Topology
+from repro.core.protocols import Protocol
+from repro.multihop.config import MultiHopSimConfig
+from repro.multihop.nodes import _ReliableHop
+from repro.protocols.messages import Message, MessageKind
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.sim.monitor import StateFractionMonitor
+from repro.sim.randomness import RandomStreams, Timer
+from repro.sim.stats import ReplicationSet
+
+__all__ = [
+    "TreeRelayNode",
+    "TreeSender",
+    "TreeSimResult",
+    "TreeSimulation",
+    "simulate_tree_replications",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeSimResult:
+    """Measured outcome of one tree simulation run."""
+
+    protocol: Protocol
+    topology: Topology
+    measured_time: float
+    node_inconsistent_time: list[float]
+    any_leaf_inconsistent_time: float
+    link_transmissions: int
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Fraction of time any leaf disagreed with the sender."""
+        if self.measured_time <= 0:
+            return 0.0
+        return self.any_leaf_inconsistent_time / self.measured_time
+
+    @property
+    def message_rate(self) -> float:
+        """Per-link transmissions per second, summed over all links."""
+        if self.measured_time <= 0:
+            return 0.0
+        return self.link_transmissions / self.measured_time
+
+    def node_inconsistency(self, node: int) -> float:
+        """Fraction of time non-root ``node`` was inconsistent."""
+        if not 1 <= node <= self.topology.num_edges:
+            raise ValueError(
+                f"node must be in [1, {self.topology.num_edges}], got {node}"
+            )
+        if self.measured_time <= 0:
+            return 0.0
+        return self.node_inconsistent_time[node - 1] / self.measured_time
+
+    def leaf_profile(self) -> list[float]:
+        """Per-leaf inconsistency fractions, in leaf index order."""
+        return [self.node_inconsistency(leaf) for leaf in self.topology.leaves()]
+
+    @property
+    def mean_leaf_inconsistency(self) -> float:
+        """Average per-leaf inconsistency."""
+        profile = self.leaf_profile()
+        return sum(profile) / len(profile)
+
+
+class TreeSender:
+    """The root: owns the value, triggers and refreshes every child edge."""
+
+    def __init__(
+        self,
+        env: Environment,
+        protocol: Protocol,
+        refresh_timer: Timer,
+        child_transmits: list,
+        child_retransmission_timers: list[Timer],
+        on_value_change=None,
+    ) -> None:
+        self.env = env
+        self.protocol = protocol
+        self.version = 1
+        self.value: int = 1
+        self._transmits = list(child_transmits)
+        self._on_value_change = on_value_change or (lambda: None)
+        self._refresh_timer = refresh_timer
+        self._hops: list[_ReliableHop | None] = [
+            _ReliableHop(env, timer, transmit) if protocol.reliable_triggers else None
+            for timer, transmit in zip(child_retransmission_timers, child_transmits)
+        ]
+        self._refresh_proc: Process | None = None
+        self._started = False
+
+    def start(self) -> None:
+        """Send the initial triggers and start the refresh flood."""
+        if self._started:
+            raise RuntimeError("tree sender already started")
+        self._started = True
+        self._send_triggers()
+        if self.protocol.uses_refreshes:
+            self._refresh_proc = self.env.process(
+                self._refresh_loop(), name="tree-refresh"
+            )
+
+    def update(self) -> None:
+        """Poisson workload: change the state value."""
+        self.version += 1
+        self.value = self.version
+        self._on_value_change()
+        self._send_triggers()
+
+    def on_message(self, child_slot: int, message: Message) -> None:
+        """Handle ACKs and NOTIFYs arriving from one child edge."""
+        if message.kind is MessageKind.ACK:
+            hop = self._hops[child_slot]
+            if hop is not None:
+                hop.on_ack(message.version)
+        elif message.kind is MessageKind.NOTIFY:
+            # A receiver dropped state somewhere below this child:
+            # re-install by re-triggering the current value.
+            self._send_triggers()
+        else:
+            raise ValueError(f"tree sender cannot handle {message.kind!r}")
+
+    def _send_triggers(self) -> None:
+        message = Message(MessageKind.TRIGGER, self.version, self.value)
+        for slot, transmit in enumerate(self._transmits):
+            hop = self._hops[slot]
+            if hop is not None:
+                hop.offer(message)
+            else:
+                transmit(message)
+
+    def _refresh_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self._refresh_timer.draw())
+                refresh = Message(MessageKind.REFRESH, self.version, self.value)
+                for transmit in self._transmits:
+                    transmit(refresh)
+        except Interrupt:
+            return
+
+
+class TreeRelayNode:
+    """A non-root node: holds state, floods it to every child edge."""
+
+    def __init__(
+        self,
+        env: Environment,
+        protocol: Protocol,
+        index: int,
+        timeout_timer: Timer,
+        child_transmits: list,
+        child_retransmission_timers: list[Timer],
+        transmit_upstream,
+        on_value_change=None,
+    ) -> None:
+        self.env = env
+        self.protocol = protocol
+        self.index = index
+        self.value: int | None = None
+        self.version = 0
+        self.timeout_removals = 0
+        self.false_signal_removals = 0
+        self._timeout_timer = timeout_timer
+        self._transmits = list(child_transmits)
+        self._transmit_up = transmit_upstream
+        self._on_value_change = on_value_change or (lambda: None)
+        self._timeout_proc: Process | None = None
+        self._hops: list[_ReliableHop | None] = [
+            _ReliableHop(env, timer, transmit) if protocol.reliable_triggers else None
+            for timer, transmit in zip(child_retransmission_timers, child_transmits)
+        ]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._transmits
+
+    # -- upstream-facing input (messages travelling toward the leaves) --
+
+    def on_message_from_upstream(self, message: Message) -> None:
+        """Handle TRIGGER / REFRESH / REMOVAL arriving from the parent."""
+        if message.carries_state:
+            if message.version >= self.version:
+                self._install(message.version, message.value)
+                if self.protocol.reliable_triggers and message.kind is MessageKind.TRIGGER:
+                    self._transmit_up(Message(MessageKind.ACK, message.version))
+                self._forward_state(message)
+        elif message.kind is MessageKind.REMOVAL:
+            # HS purge flood after an external failure signal.
+            if message.version >= self.version and self.value is not None:
+                self.version = max(self.version, message.version)
+                self._remove()
+            for transmit in self._transmits:
+                transmit(message)
+        else:
+            raise ValueError(f"tree relay cannot handle {message.kind!r} from upstream")
+
+    # -- downstream-facing input (messages travelling toward the root) --
+
+    def on_message_from_child(self, child_slot: int, message: Message) -> None:
+        """Handle ACK / NOTIFY arriving from one child edge."""
+        if message.kind is MessageKind.ACK:
+            hop = self._hops[child_slot]
+            if hop is not None:
+                hop.on_ack(message.version)
+        elif message.kind is MessageKind.NOTIFY:
+            if self.protocol is Protocol.HS:
+                # Failure flood: purge local state and keep propagating
+                # toward the sender, which will re-trigger.
+                if self.value is not None:
+                    self._remove()
+                self._transmit_up(message)
+            else:
+                # Hop-local notification: re-install just that child.
+                if self.value is not None:
+                    self._forward_state(
+                        Message(MessageKind.TRIGGER, self.version, self.value),
+                        only_slot=child_slot,
+                    )
+        else:
+            raise ValueError(f"tree relay cannot handle {message.kind!r} from child")
+
+    def false_remove(self) -> None:
+        """HS external failure signal fired spuriously at this node."""
+        if self.value is None:
+            return
+        self.false_signal_removals += 1
+        self._remove()
+        self._transmit_up(Message(MessageKind.NOTIFY, self.version))
+        removal = Message(MessageKind.REMOVAL, self.version)
+        for transmit in self._transmits:
+            transmit(removal)
+
+    # -- internals ------------------------------------------------------
+
+    def _forward_state(self, message: Message, only_slot: int | None = None) -> None:
+        slots = range(len(self._transmits)) if only_slot is None else (only_slot,)
+        for slot in slots:
+            forwarded = Message(message.kind, message.version, message.value)
+            hop = self._hops[slot]
+            if hop is not None and message.kind is MessageKind.TRIGGER:
+                hop.offer(forwarded)
+            else:
+                self._transmits[slot](forwarded)
+
+    def _install(self, version: int, value: int | None) -> None:
+        self.version = version
+        self.value = value
+        self._on_value_change()
+        if self.protocol.uses_state_timeout:
+            self._restart_timeout()
+
+    def _remove(self) -> None:
+        self.value = None
+        self._on_value_change()
+        self._cancel_timeout()
+        for hop in self._hops:
+            if hop is not None:
+                hop.cancel()
+
+    def _restart_timeout(self) -> None:
+        self._cancel_timeout()
+        self._timeout_proc = self.env.process(
+            self._timeout_loop(), name=f"tree-timeout-{self.index}"
+        )
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_proc is not None and self._timeout_proc.is_alive:
+            self._timeout_proc.interrupt("cancelled")
+        self._timeout_proc = None
+
+    def _timeout_loop(self):
+        try:
+            yield self.env.timeout(self._timeout_timer.draw())
+        except Interrupt:
+            return
+        if self.value is None:
+            return
+        self.timeout_removals += 1
+        self._remove()
+        if self.protocol.removal_notification:
+            self._transmit_up(Message(MessageKind.NOTIFY, self.version))
+
+
+class TreeSimulation:
+    """One replication of the tree simulation over a topology."""
+
+    def __init__(self, config: MultiHopSimConfig, topology: Topology) -> None:
+        if config.params.hops != topology.num_edges:
+            raise ValueError(
+                f"params.hops ({config.params.hops}) must equal the topology's "
+                f"edge count ({topology.num_edges})"
+            )
+        self.config = config
+        self.topology = topology
+        self.env = Environment()
+        params = config.params
+        protocol = config.protocol
+        streams = RandomStreams(config.seed)
+        self._workload_rng = streams.stream("workload")
+        self._signal_rng = streams.stream("external-signal")
+        self.link_transmissions = 0
+
+        channel_config = ChannelConfig(
+            loss_rate=params.loss_rate,
+            mean_delay=params.delay,
+            delay_discipline=config.delay_discipline,
+        )
+
+        def timer(mean: float, key: str) -> Timer:
+            return Timer(mean, config.timer_discipline, streams.stream(key))
+
+        # Per-edge channel pairs, keyed by the child node; wired after
+        # the nodes exist, so transmits go through one-slot indirection.
+        forward_channels: dict[int, Channel] = {}
+        reverse_channels: dict[int, Channel] = {}
+
+        def make_transmit(channels: dict[int, Channel], child: int):
+            def transmit(message: Message) -> None:
+                self.link_transmissions += 1
+                channels[child].send(message)
+
+            return transmit
+
+        # Build nodes leaves-first so each node's child transmits exist.
+        self.nodes: dict[int, TreeRelayNode] = {}
+        for node in range(topology.num_edges, 0, -1):
+            children = topology.children(node)
+            self.nodes[node] = TreeRelayNode(
+                self.env,
+                protocol,
+                index=node,
+                timeout_timer=timer(params.timeout_interval, f"timeout-{node}"),
+                child_transmits=[
+                    make_transmit(forward_channels, child) for child in children
+                ],
+                child_retransmission_timers=[
+                    timer(params.retransmission_interval, f"retx-{node}-{child}")
+                    for child in children
+                ],
+                transmit_upstream=make_transmit(reverse_channels, node),
+                on_value_change=self._refresh_consistency,
+            )
+
+        root_children = topology.children(0)
+        self.sender = TreeSender(
+            self.env,
+            protocol,
+            refresh_timer=timer(params.refresh_interval, "refresh"),
+            child_transmits=[
+                make_transmit(forward_channels, child) for child in root_children
+            ],
+            child_retransmission_timers=[
+                timer(params.retransmission_interval, f"retx-0-{child}")
+                for child in root_children
+            ],
+            on_value_change=self._refresh_consistency,
+        )
+
+        # Channels: edge into `child`, forward (parent -> child) and
+        # reverse (child -> parent).  Reverse deliveries carry the
+        # child's slot index at the parent so per-edge ACK loops stop.
+        for child in range(1, topology.num_nodes):
+            parent = topology.parent(child)
+            node = self.nodes[child]
+            forward_channels[child] = Channel(
+                self.env,
+                channel_config,
+                streams.stream(f"fwd-{child}"),
+                (lambda n: lambda d: n.on_message_from_upstream(d.payload))(node),
+                name=f"edge-{child}-fwd",
+            )
+            slot = topology.children(parent).index(child)
+            if parent == 0:
+                handler = (
+                    lambda s: lambda d: self.sender.on_message(s, d.payload)
+                )(slot)
+            else:
+                handler = (
+                    lambda p, s: lambda d: self.nodes[p].on_message_from_child(
+                        s, d.payload
+                    )
+                )(parent, slot)
+            reverse_channels[child] = Channel(
+                self.env,
+                channel_config,
+                streams.stream(f"rev-{child}"),
+                handler,
+                name=f"edge-{child}-rev",
+            )
+
+        self._node_monitors = {
+            node: StateFractionMonitor(self.env, initial=True)
+            for node in range(1, topology.num_nodes)
+        }
+        self._any_leaf_monitor = StateFractionMonitor(self.env, initial=True)
+        self._leaves = topology.leaves()
+        self.sender.start()
+        self._refresh_consistency()
+
+        if protocol is Protocol.HS and params.external_false_signal_rate > 0:
+            for node in self.nodes.values():
+                self.env.process(
+                    self._false_signal_source(node), name=f"signal-{node.index}"
+                )
+
+    # -- wiring helpers -------------------------------------------------
+
+    def _refresh_consistency(self) -> None:
+        leaves_consistent = True
+        for index, node in self.nodes.items():
+            consistent = node.value == self.sender.value
+            self._node_monitors[index].set(not consistent)
+            if not consistent and index in self._leaves:
+                leaves_consistent = False
+        self._any_leaf_monitor.set(not leaves_consistent)
+
+    def _false_signal_source(self, node: TreeRelayNode):
+        rate = self.config.params.external_false_signal_rate
+        while True:
+            yield self.env.timeout(float(self._signal_rng.exponential(1.0 / rate)))
+            node.false_remove()
+
+    def _update_workload(self):
+        rate = self.config.params.update_rate
+        while True:
+            yield self.env.timeout(float(self._workload_rng.exponential(1.0 / rate)))
+            self.sender.update()
+
+    # -- run ------------------------------------------------------------
+
+    def run(self) -> TreeSimResult:
+        """Simulate until the horizon; measurement starts after warmup."""
+        self.env.process(self._update_workload(), name="update-workload")
+        if self.config.warmup > 0:
+            self.env.run(until=self.config.warmup)
+        for monitor in self._node_monitors.values():
+            monitor.reset()
+        self._any_leaf_monitor.reset()
+        transmissions_at_warmup = self.link_transmissions
+        self.env.run(until=self.config.horizon)
+        measured = self.config.horizon - self.config.warmup
+        return TreeSimResult(
+            protocol=self.config.protocol,
+            topology=self.topology,
+            measured_time=measured,
+            node_inconsistent_time=[
+                self._node_monitors[node].active_time()
+                for node in range(1, self.topology.num_nodes)
+            ],
+            any_leaf_inconsistent_time=self._any_leaf_monitor.active_time(),
+            link_transmissions=self.link_transmissions - transmissions_at_warmup,
+        )
+
+
+def simulate_tree_replications(
+    config: MultiHopSimConfig,
+    topology: Topology,
+    replications: int = 5,
+) -> ReplicationSet:
+    """Run independent replications; records I, message rate, mean leaf."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    streams = RandomStreams(config.seed)
+    results = ReplicationSet()
+    for index in range(replications):
+        replication = config.replace(seed=streams.spawn(index).seed)
+        outcome = TreeSimulation(replication, topology).run()
+        results.add("inconsistency_ratio", outcome.inconsistency_ratio)
+        results.add("message_rate", outcome.message_rate)
+        results.add("mean_leaf_inconsistency", outcome.mean_leaf_inconsistency)
+    return results

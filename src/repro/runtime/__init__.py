@@ -35,6 +35,7 @@ from repro.runtime.solvers import (
     solve_multihop_batch,
     solve_protocol_suite,
     solve_singlehop_batch,
+    solve_tree_batch,
     templates_enabled,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "solve_multihop_batch",
     "solve_protocol_suite",
     "solve_singlehop_batch",
+    "solve_tree_batch",
     "templates_enabled",
     "using_jobs",
 ]

@@ -25,6 +25,8 @@ from collections.abc import Iterable, Sequence
 from repro.core import templates as _templates
 from repro.core.multihop import MultiHopModel, MultiHopSolution
 from repro.core.multihop.heterogeneous import HeterogeneousHop, HeterogeneousMultiHopModel
+from repro.core.multihop.topology import Topology
+from repro.core.multihop.tree_model import TreeModel, TreeSolution
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel, SingleHopSolution
@@ -44,6 +46,9 @@ __all__ = [
     "solve_singlehop_batch",
     "solve_singlehop_point",
     "solve_singlehop_template_chunk",
+    "solve_tree_batch",
+    "solve_tree_point",
+    "solve_tree_template_chunk",
     "templates_enabled",
 ]
 
@@ -54,6 +59,7 @@ _TEMPLATES_ENV = "REPRO_TEMPLATES"
 SingleHopTask = tuple[Protocol, SignalingParameters]
 MultiHopTask = tuple[Protocol, MultiHopParameters]
 HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
+TreeTask = tuple[Protocol, MultiHopParameters, Topology]
 
 
 def templates_enabled() -> bool:
@@ -86,6 +92,11 @@ def _heterogeneous_key(task: HeterogeneousTask) -> tuple:
     return cache_key("heterogeneous", protocol, params, hop_key)
 
 
+def _tree_key(task: TreeTask) -> tuple:
+    protocol, params, topology = task
+    return cache_key("tree", protocol, params, topology.parents)
+
+
 def _memoized(key: tuple, compute):
     cache = global_cache()
     value = cache.get(key, _MISSING)
@@ -110,6 +121,11 @@ def _compute_heterogeneous(task: HeterogeneousTask) -> MultiHopSolution:
     return HeterogeneousMultiHopModel(protocol, params, hops).solve()
 
 
+def _compute_tree(task: TreeTask) -> TreeSolution:
+    protocol, params, topology = task
+    return TreeModel(protocol, params, topology).solve()
+
+
 def solve_singlehop_point(task: SingleHopTask) -> SingleHopSolution:
     """Solve one single-hop ``(protocol, params)`` point (memoized)."""
     return _memoized(_singlehop_key(task), lambda: _compute_singlehop(task))
@@ -123,6 +139,11 @@ def solve_multihop_point(task: MultiHopTask) -> MultiHopSolution:
 def solve_heterogeneous_point(task: HeterogeneousTask) -> MultiHopSolution:
     """Solve one heterogeneous ``(protocol, params, hops)`` point (memoized)."""
     return _memoized(_heterogeneous_key(task), lambda: _compute_heterogeneous(task))
+
+
+def solve_tree_point(task: TreeTask) -> TreeSolution:
+    """Solve one tree ``(protocol, params, topology)`` point (memoized)."""
+    return _memoized(_tree_key(task), lambda: _compute_tree(task))
 
 
 def solve_protocol_suite(
@@ -160,6 +181,11 @@ def solve_heterogeneous_template_chunk(
 ) -> list[MultiHopSolution]:
     """Solve a chunk of heterogeneous multi-hop tasks through templates."""
     return _templates.solve_heterogeneous_tasks(list(tasks))
+
+
+def solve_tree_template_chunk(tasks: Sequence[TreeTask]) -> list[TreeSolution]:
+    """Solve a chunk of tree tasks through compiled templates."""
+    return _templates.solve_tree_tasks(list(tasks))
 
 
 def _fan_chunks(chunk_fn, tasks: list, jobs: int | None) -> list:
@@ -243,6 +269,19 @@ def solve_heterogeneous_batch(
         _compute_heterogeneous,
         solve_heterogeneous_template_chunk,
         _heterogeneous_key,
+        tasks,
+        jobs,
+    )
+
+
+def solve_tree_batch(
+    tasks: Iterable[TreeTask], jobs: int | None = None
+) -> list[TreeSolution]:
+    """Solve many tree points; results in task order."""
+    return _solve_batch(
+        _compute_tree,
+        solve_tree_template_chunk,
+        _tree_key,
         tasks,
         jobs,
     )

@@ -23,7 +23,26 @@ validation plan:
   not imported here so the package stays dependency-light).
 
 Entry points: ``repro-signaling validate [scenario|all]`` on the CLI,
-:func:`repro.api.validate_scenario` as a library call.
+:func:`repro.api.validate_scenario` as a library call:
+
+>>> from repro.validation import validate_scenario
+>>> report = validate_scenario("fig4", fidelity="smoke")
+>>> report.passed
+True
+>>> sorted({check.kind for check in report.checks})
+['artifact', 'invariant', 'parity']
+>>> report.coverage().backends
+('dense', 'template', 'batched', 'sparse')
+
+Reports render as text tables or versioned JSON artifacts
+(``schema_version`` 1) that round-trip losslessly:
+
+>>> from repro.validation import ValidationReport
+>>> ValidationReport.from_json(report.to_json()) == report
+True
+
+See ``docs/validation.md`` for the check families, the report schema
+and how to interpret per-point evidence.
 """
 
 from repro.validation.equivalence import (
@@ -37,6 +56,7 @@ from repro.validation.parity import (
     multihop_parity_checks,
     parity_parameter_points,
     singlehop_parity_checks,
+    tree_parity_checks,
 )
 from repro.validation.plan import (
     ValidationPlan,
@@ -70,6 +90,7 @@ __all__ = [
     "multihop_parity_checks",
     "parity_parameter_points",
     "singlehop_parity_checks",
+    "tree_parity_checks",
     "validate_all",
     "validate_scenario",
 ]

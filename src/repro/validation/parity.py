@@ -45,6 +45,8 @@ from repro.core.multihop.heterogeneous import (
     hops_from_parameters,
 )
 from repro.core.multihop.model import MultiHopModel
+from repro.core.multihop.topology import Topology
+from repro.core.multihop.tree_model import TreeModel
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop.model import SingleHopModel
@@ -59,6 +61,8 @@ __all__ = [
     "multihop_parity_checks",
     "parity_parameter_points",
     "singlehop_parity_checks",
+    "tree_parity_checks",
+    "tree_parity_topologies",
 ]
 
 #: The solver paths the matrix covers, reference first.
@@ -320,6 +324,173 @@ def multihop_parity_checks(
                 f"multihop {protocol.value}: dense~sparse",
                 sparse_points,
                 detail=f"hops {hop_list}, splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+#: Unary chain lengths for the tree==chain reduction slice.
+TREE_CHAIN_HOPS = (3, 8)
+
+#: Metrics compared exactly between tree solver paths.
+_TREE_METRICS = (
+    "inconsistency_ratio",
+    "message_rate",
+    "mean_leaf_inconsistency",
+    "fanout_weighted_inconsistency",
+)
+
+
+def tree_parity_topologies(fidelity: str = "smoke") -> list[tuple[str, Topology]]:
+    """Labelled non-chain tree shapes for one fidelity.
+
+    ``smoke`` covers one of each structural kind (pure fan-out,
+    balanced, skewed); ``fast``/``full`` widen and deepen them while
+    staying in the dense regime so exact parity compares like with
+    like.
+    """
+    shapes = [
+        ("star3", Topology.star(3)),
+        ("binary2", Topology.kary(2, 2)),
+        ("skewed3", Topology.skewed(3)),
+    ]
+    if fidelity == "smoke":
+        return shapes
+    shapes.append(("broom2x3", Topology.broom(2, 3)))
+    if fidelity == "fast":
+        return shapes
+    shapes.append(("star4", Topology.star(4)))
+    shapes.append(("skewed4", Topology.skewed(4)))
+    return shapes
+
+
+def tree_parity_checks(
+    params: MultiHopParameters,
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The tree (multicast) slice of the parity matrix.
+
+    Four assertions per protocol:
+
+    * **unary==chain** — the tree model on ``Topology.chain(N)`` must
+      reproduce :class:`MultiHopModel` *bit for bit*: stationary
+      distribution state by state (the canonical tree state order maps
+      1:1 onto the chain order), inconsistency ratio, message rate and
+      the per-node (= per-hop) inconsistency profile;
+    * **dense==template** — the compiled tree templates agree exactly
+      with the per-point dense reference on every shape and metric;
+    * **dense==batched** — the stacked-LAPACK kernel applied to the
+      reference tree generator reproduces the stationary distribution
+      exactly;
+    * **dense~sparse** — the splu path agrees within the repo's sparse
+      tolerance.
+    """
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        unary_points: list[PointCheck] = []
+        for hops in TREE_CHAIN_HOPS:
+            chain_params = params.replace(hops=int(hops))
+            topology = Topology.chain(int(hops))
+            for label, point_params in parity_parameter_points(chain_params, fidelity):
+                label = f"N={hops} {label}"
+                chain_reference = MultiHopModel(protocol, point_params).solve()
+                tree = TreeModel(protocol, point_params, topology).solve()
+                # Guard the positional mapping: a state-count mismatch
+                # is exactly the divergence this check exists to catch,
+                # and zip() would otherwise truncate it silently.
+                unary_points.append(
+                    _exact_point(
+                        f"{label} state count",
+                        float(len(chain_reference.stationary)),
+                        float(len(tree.stationary)),
+                    )
+                )
+                for (chain_state, expected), observed in zip(
+                    chain_reference.stationary.items(), tree.stationary.values()
+                ):
+                    unary_points.append(
+                        _exact_point(
+                            f"{label} pi[{chain_state}]", expected, observed
+                        )
+                    )
+                unary_points.append(
+                    _exact_point(
+                        f"{label} inconsistency_ratio",
+                        chain_reference.inconsistency_ratio,
+                        tree.inconsistency_ratio,
+                    )
+                )
+                unary_points.append(
+                    _exact_point(
+                        f"{label} message_rate",
+                        chain_reference.message_rate,
+                        tree.message_rate,
+                    )
+                )
+                for hop in range(1, int(hops) + 1):
+                    unary_points.append(
+                        _exact_point(
+                            f"{label} hop_inconsistency({hop})",
+                            chain_reference.hop_inconsistency(hop),
+                            tree.node_inconsistency(hop),
+                        )
+                    )
+        checks.append(
+            _check(
+                f"tree {protocol.value}: unary==chain",
+                unary_points,
+                detail=f"fan-out-1 trees vs Fig. 15/16 chains, N={TREE_CHAIN_HOPS}, exact",
+            )
+        )
+
+        template_points: list[PointCheck] = []
+        batched_points: list[PointCheck] = []
+        sparse_points: list[PointCheck] = []
+        for shape, topology in tree_parity_topologies(fidelity):
+            shape_params = params.replace(hops=topology.num_edges)
+            for label, point_params in parity_parameter_points(shape_params, fidelity):
+                label = f"{shape} {label}"
+                model = TreeModel(protocol, point_params, topology)
+                reference = model.solve()
+                template = _templates.solve_tree_tasks(
+                    [(protocol, point_params, topology)]
+                )[0]
+                for metric in _TREE_METRICS:
+                    template_points.append(
+                        _exact_point(
+                            f"{label} {metric}",
+                            getattr(reference, metric),
+                            getattr(template, metric),
+                        )
+                    )
+                chain = model.chain()
+                batched_points.extend(
+                    _batched_stationary_points(chain, reference.stationary, label)
+                )
+                sparse_points.extend(
+                    _sparse_stationary_points(chain, reference.stationary, label)
+                )
+        shape_list = ",".join(shape for shape, _ in tree_parity_topologies(fidelity))
+        checks.append(
+            _check(
+                f"tree {protocol.value}: dense==template",
+                template_points,
+                detail=f"shapes {shape_list}, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"tree {protocol.value}: dense==batched",
+                batched_points,
+                detail=f"shapes {shape_list}, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"tree {protocol.value}: dense~sparse",
+                sparse_points,
+                detail=f"shapes {shape_list}, splu within rel {SPARSE_REL_TOL:g}",
             )
         )
     return checks

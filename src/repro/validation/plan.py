@@ -39,7 +39,8 @@ from repro.experiments import run_scenario, scenario_ids
 from repro.experiments import spec as _spec
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.spec import ScenarioSpec, SeriesPlan
-from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+from repro.core.multihop.topology import Topology
+from repro.runtime import solve_multihop_batch, solve_singlehop_batch, solve_tree_batch
 from repro.validation.equivalence import (
     SIM_EQUIVALENCE_CRITERIA,
     equivalence_point,
@@ -49,6 +50,7 @@ from repro.validation.parity import (
     heterogeneous_parity_check,
     multihop_parity_checks,
     singlehop_parity_checks,
+    tree_parity_checks,
 )
 from repro.validation.report import CheckResult, PointCheck, ValidationReport
 
@@ -86,8 +88,13 @@ def _sim_panels(spec: ScenarioSpec) -> tuple[str, ...]:
     )
 
 
+#: The canonical topology tree-family invariants are checked on: small
+#: enough to solve densely, non-trivial in both depth and fan-out.
+_INVARIANT_TOPOLOGY = Topology.kary(2, 2)
+
+
 def _parity_hop_counts(spec: ScenarioSpec) -> tuple[int, ...]:
-    if spec.family == "singlehop":
+    if spec.family in ("singlehop", "tree"):
         return ()
     base = _spec.base_parameters(spec)
     # Two hop counts in the dense regime: the scenario's own chain
@@ -109,6 +116,10 @@ def build_plan(scenario: str | ScenarioSpec, fidelity: str = "smoke") -> Validat
     if spec.family == "singlehop":
         families: tuple[str, ...] = ("singlehop",)
         protocols = spec.protocols
+    elif spec.family == "tree":
+        families = ("tree",)
+        multihop = Protocol.multihop_family()
+        protocols = tuple(p for p in spec.protocols if p in multihop)
     else:
         families = ("multihop",)
         if spec.family == "heterogeneous":
@@ -182,6 +193,12 @@ def _invariant_checks(plan: ValidationPlan) -> CheckResult:
     points: list[PointCheck] = []
     if spec.family == "singlehop":
         solutions = solve_singlehop_batch([(p, base) for p in plan.protocols])
+    elif spec.family == "tree":
+        topology = _INVARIANT_TOPOLOGY
+        tree_base = base.replace(hops=topology.num_edges)
+        solutions = solve_tree_batch(
+            [(p, tree_base, topology) for p in plan.protocols]
+        )
     else:
         solutions = solve_multihop_batch([(p, base) for p in plan.protocols])
     for protocol, solution in zip(plan.protocols, solutions):
@@ -321,6 +338,8 @@ def _cached_parity_slice(
         return tuple(
             multihop_parity_checks(base, hop_counts, protocols, fidelity=fidelity)
         )
+    if family == "tree":
+        return tuple(tree_parity_checks(base, protocols, fidelity=fidelity))
     return (heterogeneous_parity_check(base, protocols),)
 
 

@@ -1,0 +1,121 @@
+"""Rooted-tree topology representation and shape constructors."""
+
+import pytest
+
+from repro.core.multihop.topology import Topology
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            Topology(())
+
+    def test_rejects_forward_parent(self):
+        # node 1 may only hang below the root.
+        with pytest.raises(ValueError, match="parents must be existing"):
+            Topology((1,))
+
+    def test_rejects_negative_parent(self):
+        with pytest.raises(ValueError, match="parents must be existing"):
+            Topology((0, -1))
+
+    def test_parents_coerced_to_ints(self):
+        assert Topology((0.0, 1.0)).parents == (0, 1)
+
+
+class TestStructure:
+    def test_chain(self):
+        chain = Topology.chain(4)
+        assert chain.parents == (0, 1, 2, 3)
+        assert chain.is_chain
+        assert chain.num_edges == 4
+        assert chain.num_nodes == 5
+        assert chain.leaves() == (4,)
+        assert [chain.depth(v) for v in range(5)] == [0, 1, 2, 3, 4]
+        assert chain.max_depth == 4
+
+    def test_star(self):
+        star = Topology.star(3)
+        assert star.parents == (0, 0, 0)
+        assert not star.is_chain
+        assert star.children(0) == (1, 2, 3)
+        assert star.leaves() == (1, 2, 3)
+        assert star.num_leaves == 3
+        assert star.fanout(0) == 3
+        assert star.max_depth == 1
+
+    def test_kary_binary_depth_2(self):
+        tree = Topology.kary(2, 2)
+        assert tree.num_nodes == 7
+        assert tree.children(0) == (1, 2)
+        assert tree.children(1) == (3, 4)
+        assert tree.children(2) == (5, 6)
+        assert tree.leaves() == (3, 4, 5, 6)
+        assert tree.depth(6) == 2
+
+    def test_kary_unary_is_chain(self):
+        assert Topology.kary(1, 5) == Topology.chain(5)
+
+    def test_broom(self):
+        broom = Topology.broom(2, 3)
+        assert broom.parents == (0, 1, 2, 2, 2)
+        assert broom.leaves() == (3, 4, 5)
+        assert broom.max_depth == 3
+
+    def test_skewed(self):
+        skewed = Topology.skewed(3)
+        assert skewed.parents == (0, 1, 1, 3, 3)
+        assert skewed.max_depth == 3
+        # Every internal backbone node has exactly fan-out 2.
+        assert skewed.fanout(1) == 2
+        assert skewed.fanout(3) == 2
+
+    def test_skewed_depth_1_is_chain(self):
+        assert Topology.skewed(1) == Topology.chain(1)
+
+    def test_subtree(self):
+        tree = Topology.kary(2, 2)
+        assert tree.subtree(1) == (1, 3, 4)
+        assert tree.subtree(0) == tuple(range(7))
+        assert tree.subtree(6) == (6,)
+
+    def test_parent_bounds(self):
+        chain = Topology.chain(2)
+        assert chain.parent(2) == 1
+        with pytest.raises(ValueError):
+            chain.parent(0)
+        with pytest.raises(ValueError):
+            chain.parent(3)
+
+    def test_subtree_bounds(self):
+        with pytest.raises(ValueError):
+            Topology.chain(2).subtree(5)
+
+    @pytest.mark.parametrize("factory", ["chain", "star", "kary", "broom", "skewed"])
+    def test_constructors_reject_non_positive(self, factory):
+        with pytest.raises(ValueError):
+            if factory == "kary":
+                Topology.kary(0, 2)
+            elif factory == "broom":
+                Topology.broom(1, 0)
+            else:
+                getattr(Topology, factory)(0)
+
+
+class TestHashing:
+    def test_equal_shapes_hash_equal(self):
+        assert hash(Topology.chain(3)) == hash(Topology((0, 1, 2)))
+        assert Topology.chain(3) == Topology((0, 1, 2))
+
+    def test_usable_as_cache_key(self):
+        table = {Topology.star(2): "star", Topology.chain(2): "chain"}
+        assert table[Topology((0, 0))] == "star"
+        assert table[Topology((0, 1))] == "chain"
+
+
+class TestDescribe:
+    def test_render_shows_every_node(self):
+        text = Topology.kary(2, 2).describe()
+        assert text.startswith("sender")
+        for node in range(1, 7):
+            assert f"node {node}" in text

@@ -1,0 +1,239 @@
+"""The tree (multicast) analytic model: states, rates, metrics, parity.
+
+The load-bearing assertions are the **bit-parity** ones: on a unary
+chain topology the tree model must reproduce the chain model with
+``==`` — state order, stationary distribution, message components and
+per-node metrics — because the repo's fast-path guarantees are anchored
+to the chain reference.
+"""
+
+import pytest
+
+from repro.core.multihop import (
+    MultiHopModel,
+    RECOVERY,
+    Topology,
+    TreeModel,
+    build_multihop_rates,
+    build_tree_rates,
+    multihop_state_space,
+    tree_expected_link_crossings,
+    tree_state_space,
+)
+from repro.core.multihop.messages import expected_link_crossings
+from repro.core.multihop.tree_states import MAX_TREE_STATES, TreeState
+from repro.core.parameters import reservation_defaults
+from repro.core.protocols import Protocol
+
+MULTIHOP = Protocol.multihop_family()
+
+
+def params_for(topology: Topology, **overrides):
+    return reservation_defaults().replace(hops=topology.num_edges, **overrides)
+
+
+class TestStateSpace:
+    def test_chain_count_matches_chain_model(self):
+        for hops in (1, 2, 5):
+            topo = Topology.chain(hops)
+            assert len(tree_state_space(topo, False)) == 2 * hops + 1
+            assert len(tree_state_space(topo, True)) == 2 * hops + 2
+
+    def test_chain_order_matches_chain_model_position_by_position(self):
+        topo = Topology.chain(4)
+        tree_states = tree_state_space(topo, True)
+        chain_states = multihop_state_space(4, with_recovery=True)
+        for tree_state, chain_state in zip(tree_states, chain_states):
+            if chain_state is RECOVERY:
+                assert tree_state is RECOVERY
+            else:
+                consistent = tuple(range(1, chain_state.consistent_hops + 1))
+                slow = (
+                    (chain_state.consistent_hops + 1,) if chain_state.slow else ()
+                )
+                assert tree_state == TreeState(consistent, slow)
+
+    def test_star_count_is_three_to_the_k(self):
+        # Each leaf edge is independently fast, slow or crossed.
+        for k in (1, 2, 3, 4):
+            assert len(tree_state_space(Topology.star(k), False)) == 3**k
+
+    def test_binary_depth_2_count(self):
+        assert len(tree_state_space(Topology.kary(2, 2), False)) == 121
+
+    def test_start_state_is_first_and_full_state_present(self):
+        topo = Topology.kary(2, 2)
+        states = tree_state_space(topo, False)
+        assert states[0] == TreeState((), ())
+        assert TreeState(tuple(range(1, 7)), ()) in states
+
+    def test_downward_closure_and_frontier_slow_validity(self):
+        topo = Topology.kary(2, 2)
+        for state in tree_state_space(topo, False):
+            members = {0, *state.consistent}
+            for node in state.consistent:
+                assert topo.parent(node) in members, state
+            for node in state.slow:
+                assert node not in state.consistent, state
+                assert topo.parent(node) in members, state
+
+    def test_state_count_cap(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            tree_state_space(Topology.kary(2, 3), False)
+        assert MAX_TREE_STATES < 15129
+
+
+class TestUnaryChainBitParity:
+    @pytest.mark.parametrize("protocol", MULTIHOP, ids=lambda p: p.value)
+    @pytest.mark.parametrize("hops", [1, 3, 7])
+    def test_rates_bit_identical_to_chain(self, protocol, hops):
+        topo = Topology.chain(hops)
+        params = params_for(topo)
+        chain_rates = build_multihop_rates(protocol, params)
+        tree_rates = build_tree_rates(protocol, params, topo)
+        assert len(chain_rates) == len(tree_rates)
+        # Same multiset of rate values with identical floats, keyed by
+        # the positional state mapping.
+        chain_states = multihop_state_space(hops, protocol is Protocol.HS)
+        tree_states = tree_state_space(topo, protocol is Protocol.HS)
+        mapping = dict(zip(chain_states, tree_states))
+        for (origin, destination), rate in chain_rates.items():
+            assert tree_rates[(mapping[origin], mapping[destination])] == rate
+
+    @pytest.mark.parametrize("protocol", MULTIHOP, ids=lambda p: p.value)
+    @pytest.mark.parametrize(
+        "overrides",
+        [{}, {"loss_rate": 0.2}, {"loss_rate": 0.0}, {"delay": 0.3}],
+        ids=["base", "lossy", "lossless", "slow-links"],
+    )
+    def test_solution_bit_identical_to_chain(self, protocol, overrides):
+        topo = Topology.chain(5)
+        params = params_for(topo, **overrides)
+        chain = MultiHopModel(protocol, params).solve()
+        tree = TreeModel(protocol, params, topo).solve()
+        assert list(chain.stationary.values()) == list(tree.stationary.values())
+        assert chain.inconsistency_ratio == tree.inconsistency_ratio
+        assert chain.message_breakdown == tree.message_breakdown
+        assert chain.message_rate == tree.message_rate
+        for hop in range(1, 6):
+            assert chain.hop_inconsistency(hop) == tree.node_inconsistency(hop)
+        assert chain.hop_inconsistency(5) == tree.leaf_inconsistency(5)
+        assert chain.hop_inconsistency(5) == tree.mean_leaf_inconsistency
+        assert chain.hop_inconsistency(5) == tree.fanout_weighted_inconsistency
+        assert chain.integrated_cost(10.0) == tree.integrated_cost(10.0)
+
+
+class TestTreeMetrics:
+    def test_stationary_sums_to_one(self):
+        for topo in (Topology.star(3), Topology.kary(2, 2), Topology.skewed(3)):
+            for protocol in MULTIHOP:
+                solution = TreeModel(protocol, params_for(topo), topo).solve()
+                assert sum(solution.stationary.values()) == pytest.approx(1.0)
+                assert 0.0 <= solution.inconsistency_ratio <= 1.0
+
+    def test_star_leaves_are_symmetric(self):
+        topo = Topology.star(4)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        profile = solution.leaf_profile()
+        assert len(profile) == 4
+        for value in profile[1:]:
+            assert value == pytest.approx(profile[0], rel=1e-12)
+
+    def test_any_leaf_dominates_mean_leaf(self):
+        topo = Topology.star(5)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        assert solution.inconsistency_ratio > solution.mean_leaf_inconsistency
+        assert solution.reach_profile() == [
+            1.0 - value for value in solution.leaf_profile()
+        ]
+
+    def test_fanout_widening_grows_any_leaf_inconsistency(self):
+        values = []
+        for k in (1, 2, 4):
+            topo = Topology.star(k)
+            values.append(
+                TreeModel(Protocol.SS, params_for(topo), topo).solve().inconsistency_ratio
+            )
+        assert values[0] < values[1] < values[2]
+
+    def test_deeper_leaves_are_more_inconsistent(self):
+        topo = Topology.skewed(3)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        # Leaf 2 sits at depth 2, leaves 4/5 at depth 3.
+        assert solution.leaf_inconsistency(2) < solution.leaf_inconsistency(5)
+
+    def test_fanout_weighting_emphasizes_wide_splitters(self):
+        # Root fans out to one shallow leaf and one deep 3-way splitter:
+        # the weighted metric must exceed the uniform mean.
+        topo = Topology((0, 0, 2, 2, 2))
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        assert (
+            solution.fanout_weighted_inconsistency
+            > solution.mean_leaf_inconsistency
+        )
+
+    def test_node_inconsistency_monotone_along_paths(self):
+        topo = Topology.kary(2, 2)
+        solution = TreeModel(Protocol.SS_RT, params_for(topo), topo).solve()
+        # A child can only be consistent when its parent is.
+        assert solution.node_inconsistency(1) <= solution.node_inconsistency(3)
+
+    def test_hs_recovery_state_present(self):
+        topo = Topology.star(2)
+        solution = TreeModel(Protocol.HS, params_for(topo), topo).solve()
+        assert RECOVERY in solution.stationary
+        assert solution.stationary[RECOVERY] > 0.0
+
+
+class TestLinkCrossings:
+    def test_chain_uses_closed_form(self):
+        topo = Topology.chain(6)
+        params = params_for(topo)
+        assert tree_expected_link_crossings(topo, params) == expected_link_crossings(
+            params
+        )
+
+    def test_general_tree_sums_reach_probabilities(self):
+        topo = Topology.kary(2, 2)
+        params = params_for(topo, loss_rate=0.1)
+        expected = 2 * 1.0 + 4 * 0.9  # two root edges + four depth-2 edges
+        assert tree_expected_link_crossings(topo, params) == pytest.approx(expected)
+
+    def test_lossless_counts_every_edge(self):
+        topo = Topology.skewed(3)
+        params = params_for(topo, loss_rate=0.0)
+        assert tree_expected_link_crossings(topo, params) == pytest.approx(
+            topo.num_edges
+        )
+
+
+class TestErrors:
+    def test_hops_mismatch_rejected(self):
+        topo = Topology.star(3)
+        with pytest.raises(ValueError, match="edge"):
+            TreeModel(Protocol.SS, reservation_defaults(), topo)
+
+    def test_non_multihop_protocol_rejected(self):
+        topo = Topology.star(2)
+        with pytest.raises(ValueError, match="not modeled"):
+            TreeModel(Protocol.SS_ER, params_for(topo), topo)
+
+    def test_leaf_metric_rejects_internal_node(self):
+        topo = Topology.kary(2, 2)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        with pytest.raises(ValueError, match="not a leaf"):
+            solution.leaf_inconsistency(1)
+
+    def test_node_metric_bounds(self):
+        topo = Topology.star(2)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        with pytest.raises(ValueError):
+            solution.node_inconsistency(0)
+        with pytest.raises(ValueError):
+            solution.node_inconsistency(3)
+
+    def test_negative_cost_weight_rejected(self):
+        topo = Topology.star(2)
+        solution = TreeModel(Protocol.SS, params_for(topo), topo).solve()
+        with pytest.raises(ValueError):
+            solution.integrated_cost(-1.0)

@@ -269,6 +269,8 @@ class TestRegistry:
         "fig18",
         "fig19",
         "scaling",  # beyond the paper: heterogeneous hop-count scaling
+        "tree_fanout",  # beyond the paper: multicast fan-out trees
+        "tree_depth",  # beyond the paper: balanced vs skewed tree depth
     }
 
     def test_every_paper_artifact_registered(self):

@@ -72,6 +72,8 @@ class TestRegistry:
             "fig18",
             "fig19",
             "scaling",
+            "tree_fanout",
+            "tree_depth",
         }
 
     def test_registry_holds_frozen_specs(self):

@@ -1,0 +1,135 @@
+"""The per-edge-channel tree simulation harness.
+
+Chain-sim agreement is tolerance-band territory (deterministic timers
+carry a documented bias), so these tests prefer structural and
+deterministic assertions: lossless propagation, reproducibility under
+one seed, conservation of the per-link transmission count, and coarse
+agreement with the analytic tree model where the bands are wide.
+"""
+
+import pytest
+
+from repro.core.multihop import Topology, TreeModel
+from repro.core.parameters import reservation_defaults
+from repro.core.protocols import Protocol
+from repro.multihop import (
+    MultiHopSimConfig,
+    TreeSimulation,
+    simulate_tree_replications,
+)
+
+BINARY = Topology.kary(2, 2)
+
+
+def config_for(topology, protocol=Protocol.SS, horizon=2000.0, **overrides):
+    params = reservation_defaults().replace(hops=topology.num_edges, **overrides)
+    return MultiHopSimConfig(
+        protocol=protocol, params=params, horizon=horizon, warmup=100.0
+    )
+
+
+class TestStructure:
+    def test_hops_must_match_topology(self):
+        with pytest.raises(ValueError, match="edge count"):
+            TreeSimulation(
+                MultiHopSimConfig(
+                    protocol=Protocol.SS, params=reservation_defaults()
+                ),
+                BINARY,
+            )
+
+    def test_result_shapes(self):
+        result = TreeSimulation(config_for(BINARY, horizon=500.0), BINARY).run()
+        assert result.topology == BINARY
+        assert len(result.node_inconsistent_time) == BINARY.num_edges
+        assert len(result.leaf_profile()) == BINARY.num_leaves
+        assert result.measured_time == pytest.approx(400.0)
+        with pytest.raises(ValueError):
+            result.node_inconsistency(0)
+
+    def test_same_seed_reproduces_exactly(self):
+        config = config_for(BINARY, protocol=Protocol.SS_RT, horizon=800.0)
+        first = TreeSimulation(config, BINARY).run()
+        second = TreeSimulation(config, BINARY).run()
+        assert first.link_transmissions == second.link_transmissions
+        assert first.any_leaf_inconsistent_time == second.any_leaf_inconsistent_time
+        assert first.node_inconsistent_time == second.node_inconsistent_time
+
+    def test_different_seeds_differ(self):
+        config = config_for(BINARY, horizon=800.0)
+        first = TreeSimulation(config, BINARY).run()
+        second = TreeSimulation(config.replace(seed=config.seed + 1), BINARY).run()
+        assert first.link_transmissions != second.link_transmissions
+
+
+class TestLossless:
+    @pytest.mark.parametrize("protocol", Protocol.multihop_family(), ids=lambda p: p.value)
+    def test_leaves_track_the_sender(self, protocol):
+        config = config_for(
+            BINARY,
+            protocol=protocol,
+            horizon=3000.0,
+            loss_rate=0.0,
+            external_false_signal_rate=0.0,
+        )
+        result = TreeSimulation(config, BINARY).run()
+        # Without losses or false signals the only inconsistency is the
+        # propagation delay after each Poisson update: ~ depth * delay
+        # per update, a small fraction of the horizon.
+        assert result.inconsistency_ratio < 0.02
+        assert result.link_transmissions > 0
+
+    def test_refresh_traffic_counts_every_edge(self):
+        # SS with no updates: traffic is the periodic refresh flood,
+        # one transmission per edge per refresh interval.
+        config = config_for(
+            BINARY,
+            horizon=1100.0,
+            loss_rate=0.0,
+            update_rate=1e-9,
+        )
+        result = TreeSimulation(config, BINARY).run()
+        measured = result.measured_time
+        expected = BINARY.num_edges / config.params.refresh_interval
+        assert result.message_rate == pytest.approx(expected, rel=0.1)
+
+
+class TestAgreement:
+    def test_message_rate_tracks_model_binary(self):
+        topology = BINARY
+        config = config_for(topology, protocol=Protocol.SS_RT, horizon=4000.0)
+        replications = simulate_tree_replications(topology=topology, config=config, replications=3)
+        model = TreeModel(
+            Protocol.SS_RT, config.params, topology
+        ).solve()
+        interval = replications.interval("message_rate")
+        # Wide band: deterministic timers and hop-local ACK details.
+        assert interval.mean == pytest.approx(model.message_rate, rel=0.25)
+
+    def test_mean_leaf_inconsistency_recorded(self):
+        config = config_for(BINARY, horizon=1500.0)
+        replications = simulate_tree_replications(config, BINARY, replications=2)
+        assert "mean_leaf_inconsistency" in replications.metrics()
+        assert replications.interval("inconsistency_ratio").mean >= 0.0
+
+    def test_replications_validated(self):
+        with pytest.raises(ValueError):
+            simulate_tree_replications(config_for(BINARY), BINARY, replications=0)
+
+
+class TestHardState:
+    def test_false_signals_purge_and_recover(self):
+        config = config_for(
+            BINARY,
+            protocol=Protocol.HS,
+            horizon=4000.0,
+            external_false_signal_rate=0.01,
+        )
+        simulation = TreeSimulation(config, BINARY)
+        result = simulation.run()
+        removals = sum(
+            node.false_signal_removals for node in simulation.nodes.values()
+        )
+        assert removals > 0
+        # The system recovers: inconsistency stays far from 1.
+        assert result.inconsistency_ratio < 0.5

@@ -1,0 +1,127 @@
+"""The docs contract: doctests, generated CLI reference, link integrity.
+
+Three promises the ``docs`` CI job also enforces:
+
+* the public-surface docstring examples (``repro.api``,
+  ``repro.validation``, the spec dataclasses) actually run;
+* the committed ``docs/cli.md`` matches a fresh rendering of the
+  argparse tree (regenerate with ``python tools/generate_cli_docs.py``);
+* every relative link in ``docs/*.md`` and ``README.md`` resolves.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro.api
+import repro.experiments.spec
+import repro.validation
+from repro.cli import generate_cli_markdown
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+TOOLS = REPO_ROOT / "tools"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.api, repro.experiments.spec, repro.validation],
+    ids=lambda module: module.__name__,
+)
+def test_public_surface_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0
+
+
+def test_generated_cli_reference_is_committed_and_in_sync():
+    committed = (DOCS / "cli.md").read_text()
+    assert committed == generate_cli_markdown(), (
+        "docs/cli.md is out of sync with the argparse tree; regenerate "
+        "with `python tools/generate_cli_docs.py`"
+    )
+
+
+def test_cli_reference_lists_every_scenario():
+    text = (DOCS / "cli.md").read_text()
+    from repro.experiments import experiment_ids
+
+    for scenario_id in experiment_ids():
+        assert scenario_id in text
+
+
+def test_generate_docs_flag_prints_reference():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--generate-docs"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert result.returncode == 0
+    assert result.stdout == generate_cli_markdown()
+
+
+def _run_check_tool():
+    return subprocess.run(
+        [sys.executable, str(TOOLS / "generate_cli_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_check_tool_passes_when_in_sync():
+    result = _run_check_tool()
+    assert result.returncode == 0, result.stderr
+
+
+def test_check_tool_detects_drift():
+    doc = DOCS / "cli.md"
+    original = doc.read_text()
+    try:
+        doc.write_text(original + "\nstray drift line\n")
+        result = _run_check_tool()
+        assert result.returncode == 1
+        assert "out of sync" in result.stderr
+        assert "stray drift line" in result.stderr
+    finally:
+        doc.write_text(original)
+
+
+def test_docs_links_resolve():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import check_links
+    finally:
+        sys.path.remove(str(TOOLS))
+    problems = []
+    for document in [*sorted(DOCS.glob("*.md")), REPO_ROOT / "README.md"]:
+        problems.extend(check_links.check_file(document))
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_exist_and_link_to_each_other():
+    for name in ("architecture.md", "authoring.md", "validation.md", "cli.md"):
+        assert (DOCS / name).exists(), f"docs/{name} missing"
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("architecture.md", "authoring.md", "validation.md", "cli.md"):
+        assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+def test_list_scenarios_docstring_matches_registry():
+    """The api.list_scenarios docstring names every registered id."""
+    from repro.experiments import experiment_ids
+
+    docstring = repro.api.list_scenarios.__doc__
+    for scenario_id in experiment_ids():
+        assert scenario_id in docstring, (
+            f"repro.api.list_scenarios docstring does not mention "
+            f"{scenario_id!r}; keep docs, registry and CLI consistent"
+        )

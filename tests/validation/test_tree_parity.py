@@ -1,0 +1,76 @@
+"""The tree slice of the backend parity matrix."""
+
+import pytest
+
+from repro.core.multihop import Topology
+from repro.core.parameters import reservation_defaults
+from repro.core.protocols import Protocol
+from repro.validation import tree_parity_checks, validate_scenario
+from repro.validation.parity import tree_parity_topologies
+from repro.validation.plan import build_plan
+
+MULTIHOP = Protocol.multihop_family()
+
+
+class TestTreeParityChecks:
+    def test_smoke_slice_passes(self):
+        checks = tree_parity_checks(reservation_defaults(), fidelity="smoke")
+        assert checks, "empty parity slice"
+        for check in checks:
+            assert check.passed, check.name
+            assert check.kind == "parity"
+            assert check.points
+
+    def test_covers_four_assertions_per_protocol(self):
+        checks = tree_parity_checks(reservation_defaults(), fidelity="smoke")
+        names = [check.name for check in checks]
+        for protocol in MULTIHOP:
+            assert f"tree {protocol.value}: unary==chain" in names
+            assert f"tree {protocol.value}: dense==template" in names
+            assert f"tree {protocol.value}: dense==batched" in names
+            assert f"tree {protocol.value}: dense~sparse" in names
+
+    def test_unary_points_demand_bit_parity(self):
+        checks = tree_parity_checks(
+            reservation_defaults(), protocols=(Protocol.SS,), fidelity="smoke"
+        )
+        unary = next(c for c in checks if c.name.endswith("unary==chain"))
+        for point in unary.points:
+            assert point.tolerance == 0.0
+            assert point.expected == point.observed
+
+    def test_fast_slice_passes_with_more_shapes(self):
+        smoke_shapes = {name for name, _ in tree_parity_topologies("smoke")}
+        fast_shapes = {name for name, _ in tree_parity_topologies("fast")}
+        full_shapes = {name for name, _ in tree_parity_topologies("full")}
+        assert smoke_shapes < fast_shapes < full_shapes
+        checks = tree_parity_checks(
+            reservation_defaults(), protocols=(Protocol.SS_RT,), fidelity="fast"
+        )
+        assert all(check.passed for check in checks)
+
+    def test_topologies_are_trees_not_chains(self):
+        for _, topology in tree_parity_topologies("full"):
+            assert isinstance(topology, Topology)
+            assert not topology.is_chain
+
+
+class TestPlanWiring:
+    def test_tree_family_plan(self):
+        plan = build_plan("tree_fanout", "smoke")
+        assert plan.parity_families == ("tree",)
+        assert plan.hop_counts == ()
+        assert plan.protocols == MULTIHOP
+        assert not plan.has_simulation
+
+    @pytest.mark.parametrize("scenario_id", ["tree_fanout", "tree_depth"])
+    def test_validate_scenario_passes(self, scenario_id):
+        report = validate_scenario(scenario_id, "smoke")
+        assert report.passed, report.to_text()
+        kinds = {check.kind for check in report.checks}
+        assert kinds == {"artifact", "invariant", "parity"}
+
+    def test_report_counts_tree_backends(self):
+        report = validate_scenario("tree_fanout", "smoke")
+        assert report.backends == ("dense", "template", "batched", "sparse")
+        assert report.hop_counts == ()

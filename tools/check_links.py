@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Check relative markdown links in ``docs/*.md`` and ``README.md``.
+
+Usage::
+
+    python tools/check_links.py            # exit 1 on any broken link
+
+For every ``[text](target)`` link whose target is not an absolute URL
+or mail address, the target file must exist relative to the linking
+document (query strings are rejected, ``#anchor`` suffixes are checked
+against the target file's headings).  The ``docs`` CI job runs this so
+reorganizing files cannot silently strand references.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _anchors(path: pathlib.Path) -> set[str]:
+    """GitHub-style anchor slugs of a markdown file's headings."""
+    slugs: set[str] = set()
+    for line in path.read_text().splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", title).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """All broken relative links of one markdown file."""
+    problems: list[str] = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            if target.startswith("#") and target[1:] not in _anchors(path):
+                problems.append(f"{path.name}: missing local anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link {target}")
+        elif anchor and resolved.suffix == ".md" and anchor not in _anchors(resolved):
+            problems.append(f"{path.name}: missing anchor {target}")
+    return problems
+
+
+def main() -> int:
+    documents = sorted((REPO_ROOT / "docs").glob("*.md"))
+    documents.append(REPO_ROOT / "README.md")
+    problems: list[str] = []
+    for document in documents:
+        problems.extend(check_file(document))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(documents)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"links ok across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

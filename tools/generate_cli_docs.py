@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate (or drift-check) ``docs/cli.md`` from the argparse tree.
+
+Usage::
+
+    python tools/generate_cli_docs.py            # rewrite docs/cli.md
+    python tools/generate_cli_docs.py --check    # exit 1 if out of sync
+
+The rendering itself lives in :func:`repro.cli.generate_cli_markdown`
+(also reachable as ``python -m repro.cli --generate-docs``); this
+script adds the CI-friendly ``--check`` mode.  Run from the repo root;
+``src/`` is put on ``sys.path`` automatically so no install is needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import generate_cli_markdown  # noqa: E402 - path setup first
+
+DOC_PATH = REPO_ROOT / "docs" / "cli.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when the committed docs/cli.md is out of sync "
+        "instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    generated = generate_cli_markdown()
+    if args.check:
+        committed = DOC_PATH.read_text() if DOC_PATH.exists() else ""
+        if committed == generated:
+            print(f"{DOC_PATH.relative_to(REPO_ROOT)} is in sync")
+            return 0
+        diff = difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            generated.splitlines(keepends=True),
+            fromfile="docs/cli.md (committed)",
+            tofile="docs/cli.md (generated)",
+        )
+        sys.stderr.writelines(diff)
+        print(
+            "docs/cli.md is out of sync; regenerate with "
+            "`python tools/generate_cli_docs.py`",
+            file=sys.stderr,
+        )
+        return 1
+    DOC_PATH.parent.mkdir(parents=True, exist_ok=True)
+    DOC_PATH.write_text(generated)
+    print(f"wrote {DOC_PATH.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
