@@ -19,16 +19,24 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-json=$(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
+# Generic hygiene (ruff) plus the repo-specific invariants (reprolint:
+# layer DAG, determinism, canonical order, parity registration, worker
+# safety -- see docs/linting.md).
 lint:
 	ruff check src tests benchmarks examples tools
+	$(PYTHON) -m tools.reprolint
 
-# Regenerate the committed CLI reference from the argparse tree.
+# Regenerate the committed, manifest/argparse-derived docs: the CLI
+# reference and the layer-map block in docs/architecture.md.
 docs:
 	$(PYTHON) tools/generate_cli_docs.py
+	$(PYTHON) tools/generate_layer_docs.py
 
 # What the `docs` CI job runs: doctests on the public surface, no
-# docs/cli.md drift, no broken relative links in docs/ or README.
+# docs/cli.md or layer-map drift, no broken relative links in docs/
+# or README.
 docs-check:
 	$(PYTHON) -m pytest --doctest-modules src/repro/api.py -q
 	$(PYTHON) tools/generate_cli_docs.py --check
+	$(PYTHON) tools/generate_layer_docs.py --check
 	$(PYTHON) tools/check_links.py

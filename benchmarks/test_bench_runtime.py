@@ -94,7 +94,7 @@ def test_bench_multihop_grid_parallel_speedup(run_once):
             f"parallel {parallel_seconds:.2f}s without asserting"
         )
     assert parallel_seconds < serial_seconds / 2.0, (
-        f"expected >=2x speedup with 4 workers: "
+        "expected >=2x speedup with 4 workers: "
         f"serial {serial_seconds:.2f}s vs parallel {parallel_seconds:.2f}s"
     )
 

@@ -38,7 +38,7 @@ def main() -> None:
     print(f"  any-leaf inconsistency  I = {solution.inconsistency_ratio:.6f}")
     print(f"  mean leaf inconsistency   = {solution.mean_leaf_inconsistency:.6f}")
     print(f"  fan-out-weighted          = {solution.fanout_weighted_inconsistency:.6f}")
-    print(f"  per-leaf reach            = "
+    print("  per-leaf reach            = "
           f"{[f'{r:.4f}' for r in solution.reach_profile()]}")
     print(f"  message rate              = {solution.message_rate:.4f} tx/s per link")
     print()

@@ -49,7 +49,9 @@ from repro.core import (
 )
 from repro.core.multihop import MultiHopModel, MultiHopSolution, solve_all_multihop
 
-__version__ = "1.2.0"
+# The canonical value lives in repro._version (a bottom layer) so that
+# provenance stamping in lower layers never imports this facade.
+from repro._version import __version__  # noqa: E402
 
 
 def __getattr__(name: str):

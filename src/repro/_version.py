@@ -1,0 +1,12 @@
+"""The package version, importable from every layer.
+
+Kept in its own bottom-layer module so provenance stamping
+(``experiments/executor.py``, ``validation/report.py``) does not have
+to import the package root — ``repro/__init__.py`` pulls in the whole
+facade, and importing it from a lower layer is exactly the upward
+edge the layer contract (reprolint RL001) forbids.  The root
+re-exports this value, and packaging reads it via
+``version = { attr = "repro.__version__" }``.
+"""
+
+__version__ = "1.3.0"

@@ -280,6 +280,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="use full-resolution sweeps (slower)"
     )
 
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="run the reprolint invariant checks (layer DAG, determinism, "
+        "canonical order, parity registration, worker safety); needs a "
+        "source checkout",
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable findings (default) or the schema-versioned "
+        "JSON report",
+    )
+
     diagram_cmd = commands.add_parser(
         "diagram", help="render a model chain (paper Figs. 3, 15, 16) as text"
     )
@@ -500,6 +520,44 @@ def _dispatch_validate(args: argparse.Namespace) -> int:
     return 0 if all(report.passed for report in reports) else 1
 
 
+def _find_reprolint_root() -> pathlib.Path | None:
+    """Locate a repo checkout carrying ``tools/reprolint``.
+
+    reprolint is repo tooling, not part of the installed package: it
+    lints the source tree against ``tools/reprolint/layers.toml``.
+    Try the checkout this module runs from (the ``PYTHONPATH=src``
+    layout) first, then the working directory and its parents (the
+    installed-console-script-from-a-checkout case).
+    """
+    candidates = [pathlib.Path(__file__).resolve().parents[2]]
+    cwd = pathlib.Path.cwd().resolve()
+    candidates.extend([cwd, *cwd.parents])
+    for root in candidates:
+        if (root / "tools" / "reprolint" / "layers.toml").is_file():
+            return root
+    return None
+
+
+def _dispatch_lint(args: argparse.Namespace) -> int:
+    """Run the ``lint`` verb by delegating to ``tools.reprolint``."""
+    root = _find_reprolint_root()
+    if root is None:
+        print(
+            "error: repro-signaling lint needs a source checkout "
+            "(tools/reprolint/ was not found here or above the current "
+            "directory); run it from the repo root, or use "
+            "`python -m tools.reprolint` there",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.reprolint.cli import main as reprolint_main
+
+    forwarded = list(args.paths) + ["--format", args.format, "--root", str(root)]
+    return reprolint_main(forwarded)
+
+
 def _dispatch(argv: Sequence[str] | None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -551,6 +609,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
         return 0
     if args.command == "validate":
         return _dispatch_validate(args)
+    if args.command == "lint":
+        return _dispatch_lint(args)
     if args.command == "claims":
         print(robustness_report(jobs=args.jobs))
         if args.verbose:

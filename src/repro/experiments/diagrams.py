@@ -41,7 +41,7 @@ def render_singlehop_chain(
             f"  {origin.value:>{width}s} --{_format_rate(rate):>10s}/s--> "
             f"{destination.value}"
         )
-    lines.append(f"absorbing: (0,0); start: (1,0)_1")
+    lines.append("absorbing: (0,0); start: (1,0)_1")
     return "\n".join(lines)
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro import __version__
+from repro._version import __version__
 from repro.core.protocols import Protocol
 from repro.experiments import spec as _spec
 from repro.experiments.common import (

@@ -24,7 +24,7 @@ from repro.core.protocols import Protocol
 from repro.multihop.config import MultiHopSimConfig
 from repro.multihop.nodes import _ReliableHop
 from repro.protocols.messages import Message, MessageKind
-from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.channel import Channel, ChannelConfig
 from repro.sim.engine import Environment, Interrupt, Process
 from repro.sim.monitor import StateFractionMonitor
 from repro.sim.randomness import RandomStreams, Timer

@@ -22,13 +22,13 @@ import dataclasses
 
 from repro.core.protocols import Protocol
 from repro.protocols.config import SingleHopSimConfig
-from repro.protocols.messages import Message, MessageKind
+from repro.protocols.messages import Message
 from repro.protocols.receiver import SignalingReceiver
 from repro.protocols.sender import SignalingSender
 from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
 from repro.sim.engine import Environment
 from repro.sim.monitor import StateFractionMonitor
-from repro.sim.randomness import RandomStreams, Timer, TimerDiscipline
+from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ReplicationSet
 
 __all__ = ["SingleHopSimResult", "SingleHopSimulation", "simulate_replications"]

@@ -295,7 +295,11 @@ def run_experiment_task(task: tuple[str, bool | str]):
     internal sweeps run serially inside the worker so cross-experiment
     parallelism never nests process pools.
     """
-    from repro.experiments import run_experiment
+    # The `all` pool task must live below parallel_map to stay
+    # picklable, yet runs a whole scenario, which lives above; the
+    # lazy import defers that deliberate upward edge to worker call
+    # time, so the runtime layer stays import-clean.
+    from repro.experiments import run_experiment  # reprolint: disable=RL001 -- deliberate lazy upward edge, see comment
 
     experiment_id, fidelity = task
     if isinstance(fidelity, bool):

@@ -55,6 +55,7 @@ from repro.validation.report import CheckResult, PointCheck
 
 __all__ = [
     "BACKENDS",
+    "PARITY_CLASSES",
     "SPARSE_REL_TOL",
     "SPARSE_ABS_TOL",
     "heterogeneous_parity_check",
@@ -67,6 +68,22 @@ __all__ = [
 
 #: The solver paths the matrix covers, reference first.
 BACKENDS = ("dense", "template", "batched", "sparse")
+
+#: Parity class of every public solver backend entry point
+#: (``core/templates.py``, ``core/markov.py``): ``"exact"`` paths must
+#: reproduce the dense reference bit for bit (``==``), ``"tolerance"``
+#: paths within the sparse bound below.  reprolint rule RL004
+#: cross-references this dict against the entry points actually
+#: defined, so a new backend cannot ship without declaring — and being
+#: held to — its parity class here.
+PARITY_CLASSES: dict[str, str] = {
+    "solve_singlehop_tasks": "exact",
+    "solve_multihop_tasks": "exact",
+    "solve_heterogeneous_tasks": "exact",
+    "solve_tree_tasks": "exact",
+    "batched_stationary_dense": "exact",
+    "batched_absorption_times_dense": "exact",
+}
 
 #: Agreement bound for the sparse (splu) backend against the dense
 #: reference: ``|a - b| <= SPARSE_ABS_TOL + SPARSE_REL_TOL * |a|``.

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import json
 
-from repro import __version__
+from repro._version import __version__
 
 __all__ = [
     "Coverage",

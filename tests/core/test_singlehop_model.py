@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.parameters import SignalingParameters, kazaa_defaults
+from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel, SingleHopState, solve_all
 from repro.core.singlehop.states import INCONSISTENT_STATES

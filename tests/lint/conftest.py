@@ -1,0 +1,67 @@
+"""Fixtures for the reprolint test suite.
+
+The linter lives in ``tools/`` (not on the installed ``repro`` path),
+so the repo root goes on ``sys.path`` here.  ``mini_repo`` builds a
+throwaway checkout-shaped tree from the snippet files in ``fixtures/``:
+a tiny four-layer package plus its own layer manifest.  The RL004
+cross-reference pair (entry points + parity registry) is seeded clean
+by default, so RL004 only fires when a test swaps in a violating
+variant.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: Baseline mini repo: RL004 cross-references these two files on every
+#: run, so they exist (and agree) unless a test overrides them.
+_BASELINE = {
+    "src/pkg/core/templates.py": "rl004_templates_clean.py",
+    "src/pkg/validation/parity.py": "rl004_registry_clean.py",
+}
+
+
+@pytest.fixture
+def mini_repo(tmp_path):
+    """Factory: build a mini checkout from fixture snippets.
+
+    ``files`` maps repo-relative destinations to snippet names under
+    ``fixtures/``; entries override the baseline pair.
+    """
+
+    def build(files=None):
+        root = tmp_path / "repo"
+        layout = dict(_BASELINE)
+        layout.update(files or {})
+        for rel, fixture_name in layout.items():
+            dest = root / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(FIXTURES / fixture_name, dest)
+        shutil.copyfile(FIXTURES / "layers.toml", root / "layers.toml")
+        return root
+
+    return build
+
+
+@pytest.fixture
+def lint(mini_repo):
+    """Factory: build a mini repo from snippets and lint its src tree."""
+    from tools.reprolint.engine import run_lint
+    from tools.reprolint.manifest import load_manifest
+
+    def run(files=None, paths=None):
+        root = mini_repo(files)
+        manifest = load_manifest(root / "layers.toml")
+        return run_lint(root, paths or [Path("src")], manifest)
+
+    return run

@@ -1,0 +1,11 @@
+"""RL001 fixture: a sim module importing only downward and sideways.
+
+Placed at ``src/pkg/sim/engine.py``: core is a declared dependency and
+same-layer relative imports are always allowed.
+"""
+
+from pkg.core import states
+
+from .channel import Channel
+
+__all__ = ["Channel", "states"]

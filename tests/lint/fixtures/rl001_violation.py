@@ -1,0 +1,12 @@
+"""RL001 fixture: a core module importing upward and the root facade.
+
+Placed at ``src/pkg/core/upward.py``: three violations — the package
+root facade, an absolute upward import, and a relative upward import.
+"""
+
+from pkg import PKG_VERSION
+from pkg.experiments import driver
+
+from ..experiments import driver as rel_driver
+
+__all__ = ["PKG_VERSION", "driver", "rel_driver"]

@@ -1,0 +1,8 @@
+"""RL002 fixture: the sanctioned explicit-seeding idiom."""
+
+import numpy
+
+
+def generators(seed: int):
+    root = numpy.random.SeedSequence(seed)
+    return [numpy.random.default_rng(child) for child in root.spawn(2)]

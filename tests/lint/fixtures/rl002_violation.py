@@ -1,0 +1,22 @@
+"""RL002 fixture: ambient entropy and wall-clock reads in the core.
+
+Placed anywhere inside an RL002-scoped layer; every function below is
+one banned pattern.
+"""
+
+import random
+import time
+
+import numpy
+
+
+def draw() -> float:
+    return random.random() + time.time()
+
+
+def legacy(n: int):
+    return numpy.random.rand(n)
+
+
+def unseeded():
+    return numpy.random.default_rng()

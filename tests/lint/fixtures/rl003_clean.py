@@ -1,0 +1,14 @@
+"""RL003 fixture: the same shapes with the order pinned by sorted()."""
+
+
+def enumerate_states(edges):
+    reachable = {node for pair in edges for node in pair}
+    out = []
+    for node in sorted(reachable):
+        out.append(node)
+    out.extend(kind for kind in sorted({"fast", "slow"}))
+    return out
+
+
+def memo_key(table):
+    return tuple(sorted(table.keys()))

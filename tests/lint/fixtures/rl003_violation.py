@@ -1,0 +1,19 @@
+"""RL003 fixture: unordered iteration in an order-critical module.
+
+Placed at ``src/pkg/core/states.py`` (the path named in the fixture
+manifest's ``[rules.RL003] modules``): a set-valued name, a set
+literal, and a bare ``.keys()``.
+"""
+
+
+def enumerate_states(edges):
+    reachable = {node for pair in edges for node in pair}
+    out = []
+    for node in reachable:
+        out.append(node)
+    out.extend(kind for kind in {"fast", "slow"})
+    return out
+
+
+def memo_key(table):
+    return tuple(key for key in table.keys())

@@ -1,0 +1,8 @@
+"""RL004 fixture: the parity registry, in sync with the entry points
+of ``rl004_templates_clean.py``.  Placed at ``src/pkg/validation/parity.py``.
+"""
+
+PARITY_CLASSES: dict[str, str] = {
+    "solve_dense": "exact",
+    "batched_stationary": "tolerance",
+}

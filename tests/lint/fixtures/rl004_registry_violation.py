@@ -1,0 +1,8 @@
+"""RL004 fixture: a registry that rotted — ``solve_dense`` claims an
+unknown parity class and ``solve_retired`` no longer exists."""
+
+PARITY_CLASSES: dict[str, str] = {
+    "solve_dense": "approximate",
+    "batched_stationary": "tolerance",
+    "solve_retired": "exact",
+}

@@ -1,0 +1,19 @@
+"""RL004 fixture: solver entry points, all registered in the parity
+registry (``rl004_registry_clean.py``).  Private helpers are exempt.
+
+Placed at ``src/pkg/core/templates.py``; this pair is the mini repo's
+baseline so RL004 has something consistent to cross-reference in every
+test.
+"""
+
+
+def solve_dense(params):
+    return params
+
+
+def batched_stationary(tasks):
+    return list(tasks)
+
+
+def _solve_helper(params):
+    return params

@@ -1,0 +1,14 @@
+"""RL004 fixture: ``solve_sparse`` is a public entry point that the
+parity registry does not know about."""
+
+
+def solve_dense(params):
+    return params
+
+
+def batched_stationary(tasks):
+    return list(tasks)
+
+
+def solve_sparse(params):
+    return params

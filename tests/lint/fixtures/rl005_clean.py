@@ -1,0 +1,15 @@
+"""RL005 fixture: a module-level worker pickles fine."""
+
+
+def parallel_map(fn, items):
+    return [fn(item) for item in items]
+
+
+def worker(task):
+    return task * 2
+
+
+def run_all(tasks, pool):
+    results = parallel_map(worker, tasks)
+    futures = [pool.submit(worker, task) for task in tasks]
+    return results, futures

@@ -1,0 +1,16 @@
+"""RL005 fixture: unpicklable callables handed to the pool — a lambda
+to ``parallel_map`` and a locally-defined function to ``submit``."""
+
+
+def parallel_map(fn, items):
+    return [fn(item) for item in items]
+
+
+def run_all(tasks, pool):
+    results = parallel_map(lambda task: task + 1, tasks)
+
+    def local_worker(task):
+        return task * 2
+
+    futures = [pool.submit(local_worker, task) for task in tasks]
+    return results, futures

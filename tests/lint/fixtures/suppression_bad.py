@@ -1,0 +1,15 @@
+"""Suppression-hygiene fixture: every way a suppression can rot.
+
+Line by line: a suppression naming a rule that does not exist, an
+unjustified suppression with nothing to suppress, and (for contrast)
+one legitimate, justified, used suppression.
+"""
+
+import time
+
+GOOD = 1  # reprolint: disable=RL099 -- no such rule
+BAD = 2  # reprolint: disable=RL002
+
+
+def stamp() -> float:
+    return time.time()  # reprolint: disable=RL002 -- display-only timing

@@ -1,0 +1,67 @@
+"""Engine behavior: suppressions, suppression hygiene (RL000), and the
+text/JSON report formats."""
+
+from __future__ import annotations
+
+import json
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences_and_is_recorded(self, lint):
+        report = lint({"src/pkg/core/noise.py": "suppressed.py"})
+        assert report.passed
+        assert len(report.suppressed) == 1
+        finding, suppression = report.suppressed[0]
+        assert finding.rule == "RL002"
+        assert finding.line == suppression.line
+        assert suppression.justification.startswith("fixture:")
+
+    def test_suppression_hygiene_findings(self, lint):
+        report = lint({"src/pkg/core/noise.py": "suppression_bad.py"})
+        assert [f.rule for f in report.findings] == ["RL000", "RL000", "RL000"]
+        messages = " ".join(f.message for f in report.findings)
+        assert "unknown rule RL099" in messages
+        assert "unused suppression of RL002" in messages
+        assert "without a justification" in messages
+        # The legitimate suppression still worked.
+        assert len(report.suppressed) == 1
+
+
+class TestReports:
+    def test_json_report_schema(self, lint):
+        report = lint({"src/pkg/core/noise.py": "rl002_violation.py"})
+        payload = json.loads(report.to_json())
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "reprolint"
+        assert payload["passed"] is False
+        assert payload["files_checked"] == report.files_checked
+        assert {r["code"] for r in payload["rules"]} == {
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+        }
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "message"}
+
+    def test_json_suppressed_entries_carry_justification(self, lint):
+        report = lint({"src/pkg/core/noise.py": "suppressed.py"})
+        payload = json.loads(report.to_json())
+        assert payload["passed"] is True
+        (entry,) = payload["suppressed"]
+        assert entry["rule"] == "RL002"
+        assert entry["justification"].startswith("fixture:")
+
+    def test_text_report_summary_line(self, lint):
+        report = lint()
+        assert report.passed
+        assert report.to_text() == (
+            "reprolint: 0 finding(s), 0 suppressed, 2 file(s) checked"
+        )
+
+    def test_text_report_renders_location_per_finding(self, lint):
+        report = lint({"src/pkg/core/states.py": "rl003_violation.py"})
+        first = report.to_text().splitlines()[0]
+        assert first.startswith("src/pkg/core/states.py:")
+        assert " RL003 " in first

@@ -1,0 +1,79 @@
+"""Layer-manifest loading and validation, including the shipped
+``tools/reprolint/layers.toml``."""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.reprolint.manifest import ManifestError, load_manifest
+
+HEADER = '[manifest]\nschema = 1\npackage = "pkg"\nsource_root = "src/pkg"\n'
+
+
+def write(tmp_path, body):
+    path = tmp_path / "layers.toml"
+    path.write_text(HEADER + body)
+    return path
+
+
+class TestShippedManifest:
+    def test_loads_and_matches_the_real_package(self):
+        manifest = load_manifest()
+        assert manifest.package == "repro"
+        assert manifest.source_root == "src/repro"
+        names = manifest.layer_names()
+        for expected in ("meta", "core", "sim", "runtime", "validation", "cli"):
+            assert expected in names
+
+    def test_edges_point_downward(self):
+        manifest = load_manifest()
+        assert manifest.allowed("cli", "core")
+        assert manifest.allowed("runtime", "core")
+        assert not manifest.allowed("core", "runtime")
+        assert not manifest.allowed("sim", "experiments")
+
+    def test_rule_configs_present(self):
+        manifest = load_manifest()
+        assert manifest.rule_config("RL002").get("layers")
+        assert manifest.rule_config("RL004").get("registry_file")
+        assert manifest.rule_config("no-such-rule") == {}
+
+
+class TestValidation:
+    def test_cycle_is_a_manifest_error(self, tmp_path):
+        path = write(
+            tmp_path,
+            '[[layer]]\nname = "a"\ndepends = ["b"]\n'
+            '[[layer]]\nname = "b"\ndepends = ["a"]\n',
+        )
+        with pytest.raises(ManifestError, match="cycle"):
+            load_manifest(path)
+
+    def test_unknown_dependency(self, tmp_path):
+        path = write(tmp_path, '[[layer]]\nname = "a"\ndepends = ["ghost"]\n')
+        with pytest.raises(ManifestError, match="unknown layer"):
+            load_manifest(path)
+
+    def test_duplicate_module_ownership(self, tmp_path):
+        path = write(
+            tmp_path,
+            '[[layer]]\nname = "a"\nmodules = ["x"]\n'
+            '[[layer]]\nname = "b"\nmodules = ["x"]\n',
+        )
+        with pytest.raises(ManifestError, match="owned by both"):
+            load_manifest(path)
+
+    def test_unsupported_schema(self, tmp_path):
+        path = tmp_path / "layers.toml"
+        path.write_text("[manifest]\nschema = 99\n")
+        with pytest.raises(ManifestError, match="unsupported manifest schema"):
+            load_manifest(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="not found"):
+            load_manifest(tmp_path / "nope.toml")
+
+    def test_no_layers(self, tmp_path):
+        path = write(tmp_path, "")
+        with pytest.raises(ManifestError, match="declares no layers"):
+            load_manifest(path)

@@ -1,0 +1,109 @@
+"""Per-rule coverage: at least one violating and one clean case each,
+driven through the real engine over checkout-shaped mini repos."""
+
+from __future__ import annotations
+
+
+def by_rule(report, code):
+    return [finding for finding in report.findings if finding.rule == code]
+
+
+class TestRL001LayerContract:
+    def test_upward_and_facade_imports_flagged(self, lint):
+        report = lint({"src/pkg/core/upward.py": "rl001_violation.py"})
+        findings = by_rule(report, "RL001")
+        assert len(findings) == 3
+        assert all(f.path == "src/pkg/core/upward.py" for f in findings)
+        messages = " ".join(f.message for f in findings)
+        assert "root facade" in messages
+        assert "'experiments'" in messages
+
+    def test_relative_upward_import_is_resolved(self, lint):
+        report = lint({"src/pkg/core/upward.py": "rl001_violation.py"})
+        relative = [
+            f for f in by_rule(report, "RL001") if "from ..experiments" in f.message
+        ]
+        assert len(relative) == 1
+
+    def test_downward_and_same_layer_imports_pass(self, lint):
+        report = lint({"src/pkg/sim/engine.py": "rl001_clean.py"})
+        assert report.passed
+
+
+class TestRL002Determinism:
+    def test_ambient_entropy_flagged(self, lint):
+        report = lint({"src/pkg/core/noise.py": "rl002_violation.py"})
+        findings = by_rule(report, "RL002")
+        assert len(findings) == 5
+        messages = " ".join(f.message for f in findings)
+        assert "import random" in messages
+        assert "time.time" in messages
+        assert "legacy global-state numpy.random" in messages
+        assert "default_rng() without a seed" in messages
+
+    def test_explicit_seeding_passes(self, lint):
+        report = lint({"src/pkg/core/seeded.py": "rl002_clean.py"})
+        assert report.passed
+
+    def test_out_of_scope_layers_are_exempt(self, lint):
+        # experiments is not in [rules.RL002] layers; same code passes.
+        report = lint({"src/pkg/experiments/noise.py": "rl002_violation.py"})
+        assert not by_rule(report, "RL002")
+
+
+class TestRL003CanonicalOrder:
+    def test_unordered_iteration_flagged(self, lint):
+        report = lint({"src/pkg/core/states.py": "rl003_violation.py"})
+        findings = by_rule(report, "RL003")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "set expression" in messages
+        assert "set-valued name" in messages
+        assert "bare .keys()" in messages
+
+    def test_sorted_iteration_passes(self, lint):
+        report = lint({"src/pkg/core/states.py": "rl003_clean.py"})
+        assert report.passed
+
+    def test_only_configured_modules_in_scope(self, lint):
+        # The same unordered code outside [rules.RL003] modules passes.
+        report = lint({"src/pkg/core/other.py": "rl003_violation.py"})
+        assert not by_rule(report, "RL003")
+
+
+class TestRL004ParityRegistration:
+    def test_unregistered_entry_point_flagged(self, lint):
+        report = lint(
+            {"src/pkg/core/templates.py": "rl004_templates_violation.py"}
+        )
+        findings = by_rule(report, "RL004")
+        assert len(findings) == 1
+        assert findings[0].path == "src/pkg/core/templates.py"
+        assert "'solve_sparse'" in findings[0].message
+
+    def test_stale_and_unknown_class_registrations_flagged(self, lint):
+        report = lint(
+            {"src/pkg/validation/parity.py": "rl004_registry_violation.py"}
+        )
+        findings = by_rule(report, "RL004")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "stale registration" in messages
+        assert "'approximate'" in messages
+
+    def test_registered_backends_pass(self, lint):
+        assert lint().passed  # the baseline pair is in sync
+
+
+class TestRL005WorkerSafety:
+    def test_lambda_and_local_function_flagged(self, lint):
+        report = lint({"src/pkg/experiments/driver.py": "rl005_violation.py"})
+        findings = by_rule(report, "RL005")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "lambda passed to parallel_map()" in messages
+        assert "'local_worker'" in messages
+
+    def test_module_level_worker_passes(self, lint):
+        report = lint({"src/pkg/experiments/driver.py": "rl005_clean.py"})
+        assert report.passed

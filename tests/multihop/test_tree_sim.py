@@ -89,7 +89,6 @@ class TestLossless:
             update_rate=1e-9,
         )
         result = TreeSimulation(config, BINARY).run()
-        measured = result.measured_time
         expected = BINARY.num_edges / config.params.refresh_interval
         assert result.message_rate == pytest.approx(expected, rel=0.1)
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.parameters import kazaa_defaults
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel
 from repro.protocols.config import SingleHopSimConfig

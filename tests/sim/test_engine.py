@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import Environment, Event, Interrupt, SimulationError
+from repro.sim.engine import Environment, Interrupt, SimulationError
 
 
 def run_collecting(generator_factory):

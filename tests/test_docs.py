@@ -6,6 +6,8 @@ Three promises the ``docs`` CI job also enforces:
   ``repro.validation``, the spec dataclasses) actually run;
 * the committed ``docs/cli.md`` matches a fresh rendering of the
   argparse tree (regenerate with ``python tools/generate_cli_docs.py``);
+* the layer-map block in ``docs/architecture.md`` matches the layer
+  manifest (regenerate with ``python tools/generate_layer_docs.py``);
 * every relative link in ``docs/*.md`` and ``README.md`` resolves.
 """
 
@@ -108,11 +110,61 @@ def test_docs_links_resolve():
 
 
 def test_docs_exist_and_link_to_each_other():
-    for name in ("architecture.md", "authoring.md", "validation.md", "cli.md"):
+    names = (
+        "architecture.md",
+        "authoring.md",
+        "validation.md",
+        "cli.md",
+        "linting.md",
+    )
+    for name in names:
         assert (DOCS / name).exists(), f"docs/{name} missing"
     readme = (REPO_ROOT / "README.md").read_text()
-    for name in ("architecture.md", "authoring.md", "validation.md", "cli.md"):
+    for name in names:
         assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+def _run_layer_docs_check():
+    return subprocess.run(
+        [sys.executable, str(TOOLS / "generate_layer_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_architecture_layer_map_is_in_sync():
+    result = _run_layer_docs_check()
+    assert result.returncode == 0, result.stderr
+
+
+def test_layer_docs_check_detects_drift():
+    doc = DOCS / "architecture.md"
+    original = doc.read_text()
+    try:
+        doc.write_text(
+            original.replace("<!-- layer-map:begin -->", "<!-- layer-map:begin -->\nstray drift line")
+        )
+        result = _run_layer_docs_check()
+        assert result.returncode == 1
+        assert "stray drift line" in result.stderr
+    finally:
+        doc.write_text(original)
+
+
+def test_linting_doc_names_every_shipped_rule():
+    """docs/linting.md's catalogue stays in sync with default_rules()."""
+    sys.path.insert(0, str(REPO_ROOT))
+    try:
+        from tools.reprolint.rules import default_rules
+    finally:
+        sys.path.remove(str(REPO_ROOT))
+    text = (DOCS / "linting.md").read_text()
+    for rule in default_rules():
+        assert f"`{rule.code}`" in text, (
+            f"docs/linting.md does not document {rule.code}; keep the "
+            "rule catalogue in sync with default_rules()"
+        )
 
 
 def test_list_scenarios_docstring_matches_registry():
@@ -122,6 +174,6 @@ def test_list_scenarios_docstring_matches_registry():
     docstring = repro.api.list_scenarios.__doc__
     for scenario_id in experiment_ids():
         assert scenario_id in docstring, (
-            f"repro.api.list_scenarios docstring does not mention "
+            "repro.api.list_scenarios docstring does not mention "
             f"{scenario_id!r}; keep docs, registry and CLI consistent"
         )

@@ -1,0 +1,5 @@
+"""Repo maintenance tooling (not installed with the package).
+
+Importable from a source checkout only — ``python -m tools.reprolint``
+and the test suite put the repo root on ``sys.path``.
+"""

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Regenerate (or drift-check) the layer-map block of ``docs/architecture.md``.
+
+Usage::
+
+    python tools/generate_layer_docs.py            # rewrite the block in place
+    python tools/generate_layer_docs.py --check    # exit 1 if out of sync
+
+The block between the ``<!-- layer-map:begin -->`` / ``<!-- layer-map:end -->``
+markers is rendered from ``tools/reprolint/layers.toml`` — the same
+manifest reprolint rule RL001 enforces — so the documented DAG and the
+enforced DAG cannot diverge (same pattern as ``generate_cli_docs.py``
+for the CLI reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint.manifest import LayerManifest, load_manifest  # noqa: E402 - path setup first
+
+DOC_PATH = REPO_ROOT / "docs" / "architecture.md"
+BEGIN = "<!-- layer-map:begin -->"
+END = "<!-- layer-map:end -->"
+
+
+def _display_path(manifest: LayerManifest, module: str) -> str:
+    base = f"{manifest.source_root}/{module}"
+    if (REPO_ROOT / base).is_dir():
+        return base
+    return f"{base}.py"
+
+
+def render_layer_map(manifest: LayerManifest) -> str:
+    """The generated markdown block (markers included)."""
+    lines = [
+        BEGIN,
+        "<!-- generated from tools/reprolint/layers.toml by",
+        "     tools/generate_layer_docs.py; edit the manifest, not this block -->",
+        "",
+        "```",
+    ]
+    rows = [
+        (_display_path(manifest, module), layer.description)
+        for layer in manifest.layers
+        for module in layer.modules
+    ]
+    width = max(len(path) for path, _ in rows)
+    lines.extend(f"{path:<{width}}  {description}" for path, description in rows)
+    lines.append("```")
+    lines.extend(
+        [
+            "",
+            "Dependencies point downward only — machine-checked by reprolint",
+            "rule RL001 ([linting guide](linting.md)) against the manifest in",
+            "`tools/reprolint/layers.toml`.  Each layer's declared imports:",
+            "",
+            "| Layer | May import from |",
+            "| --- | --- |",
+        ]
+    )
+    for layer in manifest.layers:
+        depends = ", ".join(f"`{dep}`" for dep in layer.depends) or "—"
+        lines.append(f"| `{layer.name}` | {depends} |")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def spliced_document(manifest: LayerManifest) -> str:
+    """``docs/architecture.md`` with a freshly rendered layer-map block."""
+    text = DOC_PATH.read_text()
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"{DOC_PATH}: missing {BEGIN} / {END} markers; cannot splice"
+        ) from None
+    return head + render_layer_map(manifest) + tail
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when the committed block is out of sync "
+        "instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    manifest = load_manifest()
+    generated = spliced_document(manifest)
+    committed = DOC_PATH.read_text()
+    if args.check:
+        if committed == generated:
+            print(f"{DOC_PATH.relative_to(REPO_ROOT)} layer map is in sync")
+            return 0
+        diff = difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            generated.splitlines(keepends=True),
+            fromfile="docs/architecture.md (committed)",
+            tofile="docs/architecture.md (generated)",
+        )
+        sys.stderr.writelines(diff)
+        print(
+            "docs/architecture.md layer map is out of sync with "
+            "tools/reprolint/layers.toml; regenerate with "
+            "`python tools/generate_layer_docs.py`",
+            file=sys.stderr,
+        )
+        return 1
+    if committed != generated:
+        DOC_PATH.write_text(generated)
+        print(f"wrote {DOC_PATH.relative_to(REPO_ROOT)}")
+    else:
+        print(f"{DOC_PATH.relative_to(REPO_ROOT)} already in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""reprolint — AST-based invariant checker for this repo's contracts.
+
+The repo's correctness story rests on contracts that used to be prose:
+layers import downward only (docs/architecture.md), the numerical core
+is deterministic given a seed, state enumeration order underpins the
+chain<->tree bit-parity, every solver backend enters the validation
+parity matrix, and pool callables must pickle.  reprolint turns each
+into a machine-checked rule:
+
+========  ====================  ==============================================
+code      name                  contract
+========  ====================  ==============================================
+RL001     layer-contract        imports follow the layers.toml downward DAG
+RL002     determinism           no ambient randomness / wall-clock in the core
+RL003     canonical-order       no set/bare-.keys() iteration where order is
+                                load-bearing
+RL004     parity-registration   solver entry points registered in the parity
+                                matrix (exact or tolerance class)
+RL005     worker-safety         pool callables are module-level (picklable)
+========  ====================  ==============================================
+
+Run ``python -m tools.reprolint`` (or ``repro-signaling lint`` from a
+checkout); see ``docs/linting.md`` for the rule catalogue, suppression
+syntax and how to add a rule.  Stdlib-only by design: ``ast`` +
+``tomllib``, no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.engine import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    LintReport,
+    run_lint,
+)
+from tools.reprolint.manifest import LayerManifest, ManifestError, load_manifest
+from tools.reprolint.rules import default_rules
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LayerManifest",
+    "LintReport",
+    "ManifestError",
+    "default_rules",
+    "load_manifest",
+    "run_lint",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,105 @@
+"""Command line for reprolint.
+
+Usage::
+
+    python -m tools.reprolint [PATH ...] [--format {text,json}]
+                              [--manifest FILE] [--list-rules]
+
+Defaults to linting ``src/repro``.  Exit codes: ``0`` clean, ``1``
+findings, ``2`` usage or manifest/configuration error — so CI can tell
+"contract violated" from "checker misconfigured".
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from tools.reprolint.engine import run_lint
+from tools.reprolint.manifest import DEFAULT_MANIFEST_PATH, ManifestError, load_manifest
+from tools.reprolint.rules import default_rules
+
+__all__ = ["main"]
+
+#: The repo checkout this tools/ package belongs to.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CONFIG = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the repo's layer, determinism "
+            "and bit-parity contracts (rules RL001-RL005; see docs/linting.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable findings (default) or the schema-versioned "
+        "JSON report",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=pathlib.Path,
+        default=None,
+        help=f"layer manifest to use (default: {DEFAULT_MANIFEST_PATH.name} "
+        "next to the package)",
+    )
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=None,
+        help="repo root for relative paths in reports and rule config "
+        "(default: the checkout containing this package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return EXIT_CLEAN
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as error:
+        print(f"reprolint: configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    root = (args.root or REPO_ROOT).resolve()
+    paths = list(args.paths) or [pathlib.Path(manifest.source_root)]
+    for path in paths:
+        resolved = path if path.is_absolute() else root / path
+        if not resolved.exists():
+            print(f"reprolint: no such path: {path}", file=sys.stderr)
+            return EXIT_CONFIG
+    report = run_lint(root, paths, manifest, rules)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return EXIT_CLEAN if report.passed else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

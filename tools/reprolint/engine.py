@@ -1,0 +1,348 @@
+"""The reprolint engine: file walking, rule driving, suppressions, reports.
+
+A *rule* is an object with a ``code`` (``RLxxx``), a ``name``, a
+``description`` and one or both of:
+
+``check_module(module, context)``
+    called once per linted file with a parsed :class:`Module`;
+``check_project(context)``
+    called once per run, for cross-file contracts (e.g. RL004 compares
+    solver entry points against the validation parity registry).
+
+Both return lists of :class:`Finding`.  The engine applies per-line
+suppressions (``# reprolint: disable=RL001 -- justification``) after
+all rules ran, and reports anything wrong with the suppressions
+themselves — unknown codes, missing justifications, suppressions that
+matched nothing — under the engine's own code ``RL000``, so a stale or
+unexplained escape hatch is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+
+from tools.reprolint.manifest import LayerManifest
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintReport",
+    "Module",
+    "Suppression",
+    "run_lint",
+]
+
+#: Version of the JSON report layout (same discipline as the
+#: validation reports: consumers pin on this, bumps are deliberate).
+JSON_SCHEMA_VERSION = 1
+
+#: The engine's own meta-rule (suppression hygiene, unparsable files).
+ENGINE_CODE = "RL000"
+
+_SUPPRESS = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+    r"(?:\s*--\s*(?P<justification>\S.*))?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: disable=...`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Module:
+    """A parsed source file under lint."""
+
+    path: pathlib.Path  # absolute
+    rel_path: str  # repo-relative, POSIX separators
+    source: str
+    tree: ast.Module
+    #: Dotted-path components below the package source root
+    #: (``src/repro/core/markov.py`` -> ``("core", "markov")``), or
+    #: ``None`` for files outside it (tools, tests, fixtures).
+    package_parts: tuple[str, ...] | None
+
+
+class LintContext:
+    """Shared state for one run: root, manifest, parsed-file cache."""
+
+    def __init__(self, root: pathlib.Path, manifest: LayerManifest) -> None:
+        self.root = root.resolve()
+        self.manifest = manifest
+        self._parsed: dict[str, Module | None] = {}
+
+    def rel_path(self, path: pathlib.Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def package_parts(self, rel_path: str) -> tuple[str, ...] | None:
+        prefix = self.manifest.source_root.rstrip("/") + "/"
+        if not rel_path.startswith(prefix):
+            return None
+        inner = rel_path[len(prefix):]
+        parts = inner.rsplit(".py", 1)[0].split("/")
+        return tuple(parts)
+
+    def load(self, rel_path: str) -> Module | None:
+        """Parse one repo-relative file (cached); ``None`` if unreadable."""
+        if rel_path not in self._parsed:
+            path = self.root / rel_path
+            try:
+                source = path.read_text()
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, ValueError):
+                self._parsed[rel_path] = None
+            else:
+                self._parsed[rel_path] = Module(
+                    path=path,
+                    rel_path=rel_path,
+                    source=source,
+                    tree=tree,
+                    package_parts=self.package_parts(rel_path),
+                )
+        return self._parsed[rel_path]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """The outcome of one run: findings, honored suppressions, coverage."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[tuple[Finding, Suppression], ...]
+    files_checked: int
+    rules: tuple[tuple[str, str, str], ...]  # (code, name, description)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+    def to_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"reprolint: {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "tool": "reprolint",
+            "files_checked": self.files_checked,
+            "passed": self.passed,
+            "rules": [
+                {"code": code, "name": name, "description": description}
+                for code, name, description in self.rules
+            ],
+            "findings": [dataclasses.asdict(finding) for finding in self.findings],
+            "suppressed": [
+                {
+                    **dataclasses.asdict(finding),
+                    "justification": suppression.justification,
+                }
+                for finding, suppression in self.suppressed
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_suppressions(rel_path: str, source: str) -> list[Suppression]:
+    """All suppression comments of one file, in line order."""
+    suppressions = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(line)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        suppressions.append(
+            Suppression(
+                path=rel_path,
+                line=lineno,
+                codes=codes,
+                justification=(match.group("justification") or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def discover_files(root: pathlib.Path, paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    """Python files under ``paths``, sorted, hidden/cache dirs skipped."""
+    files: set[pathlib.Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.relative_to(path).parts
+                ):
+                    continue
+                files.add(candidate.resolve())
+    return sorted(files)
+
+
+def _suppression_hygiene(
+    suppressions: list[Suppression],
+    used: set[tuple[str, int, str]],
+    known_codes: set[str],
+) -> list[Finding]:
+    findings = []
+    for suppression in suppressions:
+        for code in suppression.codes:
+            if code not in known_codes:
+                findings.append(
+                    Finding(
+                        rule=ENGINE_CODE,
+                        path=suppression.path,
+                        line=suppression.line,
+                        message=f"suppression names unknown rule {code}",
+                    )
+                )
+            elif (suppression.path, suppression.line, code) not in used:
+                findings.append(
+                    Finding(
+                        rule=ENGINE_CODE,
+                        path=suppression.path,
+                        line=suppression.line,
+                        message=f"unused suppression of {code} (nothing to suppress here)",
+                    )
+                )
+        if not suppression.justification:
+            findings.append(
+                Finding(
+                    rule=ENGINE_CODE,
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=(
+                        "suppression without a justification "
+                        "(write `# reprolint: disable=RLxxx -- why`)"
+                    ),
+                )
+            )
+    return findings
+
+
+def run_lint(
+    root: pathlib.Path,
+    paths: list[pathlib.Path],
+    manifest: LayerManifest,
+    rules: list | None = None,
+) -> LintReport:
+    """Run every rule over the files under ``paths``; apply suppressions."""
+    if rules is None:
+        from tools.reprolint.rules import default_rules
+
+        rules = default_rules()
+    context = LintContext(root, manifest)
+    files = discover_files(context.root, paths)
+
+    raw_findings: list[Finding] = []
+    suppressions: list[Suppression] = []
+    modules: list[Module] = []
+    for path in files:
+        rel = context.rel_path(path)
+        module = context.load(rel)
+        if module is None:
+            raw_findings.append(
+                Finding(
+                    rule=ENGINE_CODE,
+                    path=rel,
+                    line=1,
+                    message="file could not be read or parsed",
+                )
+            )
+            continue
+        modules.append(module)
+        suppressions.extend(parse_suppressions(rel, module.source))
+
+    for rule in rules:
+        check_module = getattr(rule, "check_module", None)
+        if check_module is not None:
+            for module in modules:
+                raw_findings.extend(check_module(module, context))
+        check_project = getattr(rule, "check_project", None)
+        if check_project is not None:
+            raw_findings.extend(check_project(context))
+
+    # Project-level findings can land in files outside the linted set;
+    # honor their suppressions too (parsed on demand).
+    by_location: dict[tuple[str, int], list[Suppression]] = {}
+    for suppression in suppressions:
+        by_location.setdefault((suppression.path, suppression.line), []).append(suppression)
+    linted_paths = {module.rel_path for module in modules}
+
+    def suppressions_at(path: str, line: int) -> list[Suppression]:
+        if path not in linted_paths:
+            module = context.load(path)
+            if module is not None:
+                for suppression in parse_suppressions(path, module.source):
+                    key = (suppression.path, suppression.line)
+                    by_location.setdefault(key, []).append(suppression)
+            linted_paths.add(path)
+        return by_location.get((path, line), [])
+
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, Suppression]] = []
+    used: set[tuple[str, int, str]] = set()
+    for finding in raw_findings:
+        match = next(
+            (
+                suppression
+                for suppression in suppressions_at(finding.path, finding.line)
+                if finding.rule in suppression.codes
+            ),
+            None,
+        )
+        if match is None:
+            kept.append(finding)
+        else:
+            suppressed.append((finding, match))
+            used.add((match.path, match.line, finding.rule))
+
+    known_codes = {rule.code for rule in rules} | {ENGINE_CODE}
+    kept.extend(_suppression_hygiene(suppressions, used, known_codes))
+    kept.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    suppressed.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].rule))
+
+    rule_table = tuple(
+        (rule.code, rule.name, rule.description) for rule in rules
+    )
+    return LintReport(
+        findings=tuple(kept),
+        suppressed=tuple(suppressed),
+        files_checked=len(files),
+        rules=rule_table,
+    )

@@ -1,0 +1,164 @@
+"""Load and validate the layer manifest (``layers.toml``).
+
+The manifest is the single machine-readable source of truth for the
+repo's layering contract: rule RL001 checks imports against it and
+``tools/generate_layer_docs.py`` renders the ``docs/architecture.md``
+layer-map block from it.  Loading validates the declaration itself —
+unknown dependency names, duplicate module ownership, or a cycle in the
+declared edges are configuration errors (exit code 2), not findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import tomllib
+
+__all__ = ["Layer", "LayerManifest", "ManifestError", "load_manifest"]
+
+DEFAULT_MANIFEST_PATH = pathlib.Path(__file__).resolve().parent / "layers.toml"
+
+
+class ManifestError(Exception):
+    """The manifest file is missing, unparsable, or inconsistent."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Layer:
+    """One stratum of the package: a name, its modules, its allowed deps."""
+
+    name: str
+    modules: tuple[str, ...]
+    depends: tuple[str, ...]
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerManifest:
+    """The validated layer DAG plus per-rule configuration tables."""
+
+    package: str
+    source_root: str
+    layers: tuple[Layer, ...]
+    rules: dict[str, dict]
+    path: pathlib.Path
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def layer_of_module(self, module: str) -> Layer | None:
+        """The layer owning a top-level entry of the package, if any.
+
+        ``module`` is the first path component under ``src/repro/`` —
+        a subpackage name (``core``) or a module stem (``api``).
+        """
+        return self._module_map().get(module)
+
+    def allowed(self, source: str, target: str) -> bool:
+        """Whether layer ``source`` may import from layer ``target``."""
+        if source == target:
+            return True
+        layer = self._layer_map().get(source)
+        return layer is not None and target in layer.depends
+
+    def rule_config(self, code: str) -> dict:
+        return self.rules.get(code, {})
+
+    # Derived lookup tables (built lazily; the dataclass is frozen so
+    # they are cached on the instance via object.__setattr__).
+
+    def _layer_map(self) -> dict[str, Layer]:
+        cached = self.__dict__.get("_layers_by_name")
+        if cached is None:
+            cached = {layer.name: layer for layer in self.layers}
+            object.__setattr__(self, "_layers_by_name", cached)
+        return cached
+
+    def _module_map(self) -> dict[str, Layer]:
+        cached = self.__dict__.get("_layers_by_module")
+        if cached is None:
+            cached = {}
+            for layer in self.layers:
+                for module in layer.modules:
+                    cached[module] = layer
+            object.__setattr__(self, "_layers_by_module", cached)
+        return cached
+
+
+def _validate(layers: tuple[Layer, ...], path: pathlib.Path) -> None:
+    names = [layer.name for layer in layers]
+    if len(set(names)) != len(names):
+        raise ManifestError(f"{path}: duplicate layer names in manifest")
+    known = set(names)
+    owners: dict[str, str] = {}
+    for layer in layers:
+        for dep in layer.depends:
+            if dep not in known:
+                raise ManifestError(
+                    f"{path}: layer {layer.name!r} depends on unknown layer {dep!r}"
+                )
+        for module in layer.modules:
+            if module in owners:
+                raise ManifestError(
+                    f"{path}: module {module!r} owned by both "
+                    f"{owners[module]!r} and {layer.name!r}"
+                )
+            owners[module] = layer.name
+    # The declared edges must form a DAG: the "downward only" contract
+    # is meaningless if the manifest itself smuggles in a cycle.
+    edges = {layer.name: set(layer.depends) for layer in layers}
+    seen: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(node: str, stack: list[str]) -> None:
+        state = seen.get(node)
+        if state == 2:
+            return
+        if state == 1:
+            cycle = " -> ".join(stack[stack.index(node):] + [node])
+            raise ManifestError(f"{path}: dependency cycle in manifest: {cycle}")
+        seen[node] = 1
+        for dep in sorted(edges[node]):
+            visit(dep, stack + [node])
+        seen[node] = 2
+
+    for name in names:
+        visit(name, [])
+
+
+def load_manifest(path: pathlib.Path | None = None) -> LayerManifest:
+    """Parse and validate ``layers.toml`` (the packaged one by default)."""
+    path = pathlib.Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    try:
+        data = tomllib.loads(path.read_text())
+    except FileNotFoundError as error:
+        raise ManifestError(f"manifest not found: {path}") from error
+    except tomllib.TOMLDecodeError as error:
+        raise ManifestError(f"{path}: invalid TOML: {error}") from error
+    meta = data.get("manifest", {})
+    if meta.get("schema") != 1:
+        raise ManifestError(f"{path}: unsupported manifest schema {meta.get('schema')!r}")
+    layers = []
+    for entry in data.get("layer", []):
+        try:
+            name = entry["name"]
+        except KeyError as error:
+            raise ManifestError(f"{path}: layer entry without a name") from error
+        layers.append(
+            Layer(
+                name=name,
+                modules=tuple(entry.get("modules", [name])),
+                depends=tuple(entry.get("depends", [])),
+                description=entry.get("description", ""),
+            )
+        )
+    if not layers:
+        raise ManifestError(f"{path}: manifest declares no layers")
+    layers = tuple(layers)
+    _validate(layers, path)
+    return LayerManifest(
+        package=meta.get("package", "repro"),
+        source_root=meta.get("source_root", "src/repro"),
+        layers=layers,
+        rules=data.get("rules", {}),
+        path=path,
+    )

@@ -1,0 +1,29 @@
+"""The reprolint rule set.
+
+``default_rules()`` returns one instance of every shipped rule, in
+code order.  To add a rule: implement a class with ``code``/``name``/
+``description`` and ``check_module`` and/or ``check_project`` (see
+``docs/linting.md``), add any configuration under ``[rules.RLxxx]`` in
+``layers.toml``, register it here, and give it a violating + clean
+fixture pair under ``tests/lint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.rules.determinism import DeterminismRule
+from tools.reprolint.rules.layers import LayerContractRule
+from tools.reprolint.rules.ordering import CanonicalOrderRule
+from tools.reprolint.rules.parity import ParityRegistrationRule
+from tools.reprolint.rules.workers import WorkerSafetyRule
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> list:
+    return [
+        LayerContractRule(),
+        DeterminismRule(),
+        CanonicalOrderRule(),
+        ParityRegistrationRule(),
+        WorkerSafetyRule(),
+    ]

@@ -1,0 +1,53 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_chain", "import_aliases"]
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted import path they are bound to.
+
+    Covers ``import x``, ``import x.y as z``, ``from x import y [as z]``
+    anywhere in the module (function-level imports included — scope
+    precision is not needed for ban lists).  ``import x.y`` binds the
+    *top* name ``x`` (attribute access spells out the rest).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_chain(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The fully-resolved dotted path of a Name/Attribute chain.
+
+    ``np.random.rand`` with ``np -> numpy`` resolves to
+    ``"numpy.random.rand"``.  Returns ``None`` when the chain does not
+    start from an imported name (locals, calls, subscripts...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))

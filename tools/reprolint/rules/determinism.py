@@ -1,0 +1,169 @@
+"""RL002 — determinism: no ambient randomness or wall-clock reads.
+
+Inside the layers named by ``[rules.RL002] layers`` in ``layers.toml``
+(the numerical core, the simulator kernel, the runtime and the multihop
+harnesses), results must be a pure function of parameters and the root
+seed.  Banned:
+
+* the stdlib ``random`` module (import or use) — hidden global state;
+* ``time.time``/``monotonic``/``perf_counter`` and friends,
+  ``datetime.now``/``utcnow``/``today``, ``date.today`` — wall-clock
+  reads that leak the host into results or cache keys;
+* ``os.urandom``, ``uuid.uuid1``/``uuid4``, anything in ``secrets``;
+* legacy global-state ``numpy.random`` functions (``rand``, ``seed``,
+  ``shuffle``, ``RandomState``, ...) and **unseeded**
+  ``numpy.random.default_rng()``.
+
+The sanctioned path is ``sim/randomness.RandomStreams``: explicit
+``SeedSequence``-derived generators threaded to the draw site.  The
+modern seeded constructors (``default_rng(seed)``, ``SeedSequence``,
+``Generator``, bit generators) pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.engine import Finding, LintContext, Module
+from tools.reprolint.rules._common import dotted_chain, import_aliases
+
+__all__ = ["DeterminismRule"]
+
+#: Exact dotted names that are always findings.
+_BANNED_EXACT = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+#: Dotted prefixes banned wholesale.
+_BANNED_PREFIXES = {
+    "random": "stdlib random (hidden global state)",
+    "secrets": "OS entropy",
+}
+
+#: numpy.random attributes that are part of the explicit-seeding API.
+_NUMPY_RANDOM_ALLOWED = {
+    "BitGenerator",
+    "Generator",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "SeedSequence",
+    "default_rng",
+}
+
+
+class DeterminismRule:
+    code = "RL002"
+    name = "determinism"
+    description = (
+        "core/sim/runtime/multihop must route all randomness through "
+        "sim/randomness.RandomStreams; no ambient entropy or wall-clock reads"
+    )
+
+    def check_module(self, module: Module, context: LintContext) -> list[Finding]:
+        parts = module.package_parts
+        if parts is None:
+            return []
+        layer = context.manifest.layer_of_module(parts[0])
+        scoped = context.manifest.rule_config(self.code).get("layers", [])
+        if layer is None or layer.name not in scoped:
+            return []
+        aliases = import_aliases(module.tree)
+        findings: list[Finding] = []
+
+        def flag(lineno: int, what: str, why: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=lineno,
+                    message=(
+                        f"{what} ({why}); derive randomness from "
+                        "sim/randomness.RandomStreams and pass clocks/ids "
+                        "in explicitly"
+                    ),
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in _BANNED_PREFIXES:
+                        flag(node.lineno, f"import {alias.name}", _BANNED_PREFIXES[top])
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                top = node.module.split(".")[0]
+                if top in _BANNED_PREFIXES:
+                    flag(
+                        node.lineno,
+                        f"from {node.module} import ...",
+                        _BANNED_PREFIXES[top],
+                    )
+                else:
+                    for alias in node.names:
+                        dotted = f"{node.module}.{alias.name}"
+                        if dotted in _BANNED_EXACT:
+                            flag(node.lineno, dotted, _BANNED_EXACT[dotted])
+                        elif _legacy_numpy_random(dotted):
+                            flag(
+                                node.lineno,
+                                dotted,
+                                "legacy global-state numpy.random",
+                            )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                dotted = dotted_chain(node, aliases)
+                if dotted is None:
+                    continue
+                if dotted in _BANNED_EXACT:
+                    flag(node.lineno, dotted, _BANNED_EXACT[dotted])
+                else:
+                    top = dotted.split(".")[0]
+                    if top in _BANNED_PREFIXES and dotted != top:
+                        flag(node.lineno, dotted, _BANNED_PREFIXES[top])
+                    elif _legacy_numpy_random(dotted):
+                        flag(node.lineno, dotted, "legacy global-state numpy.random")
+            elif isinstance(node, ast.Call):
+                dotted = dotted_chain(node.func, aliases)
+                if (
+                    dotted is not None
+                    and dotted.endswith("random.default_rng")
+                    and dotted in ("numpy.random.default_rng", "random.default_rng")
+                    and not node.args
+                    and not node.keywords
+                ):
+                    flag(
+                        node.lineno,
+                        "default_rng() without a seed",
+                        "fresh OS entropy per call",
+                    )
+        # One finding per (line, message): the Attribute walk sees the
+        # same chain once, but an import plus a use on one line should
+        # not double up.
+        unique: dict[tuple[int, str], Finding] = {
+            (finding.line, finding.message): finding for finding in findings
+        }
+        return list(unique.values())
+
+
+def _legacy_numpy_random(dotted: str) -> bool:
+    parts = dotted.split(".")
+    return (
+        len(parts) == 3
+        and parts[0] == "numpy"
+        and parts[1] == "random"
+        and parts[2] not in _NUMPY_RANDOM_ALLOWED
+    )

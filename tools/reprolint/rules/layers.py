@@ -1,0 +1,145 @@
+"""RL001 — the layer contract: imports point downward only.
+
+Every ``repro.*`` import inside ``src/repro`` (absolute or relative,
+module level or nested in a function) is resolved to the top-level
+entry it reaches, mapped to its owning layer via ``layers.toml``, and
+checked against the importing module's declared ``depends`` list.  The
+package root ``__init__.py`` is the facade and is exempt; importing
+*the root itself* from below (``from repro import ...``) is flagged,
+because the root pulls in the whole stack — constants that every layer
+needs belong in a bottom layer (``repro._version``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.engine import Finding, LintContext, Module
+
+__all__ = ["LayerContractRule"]
+
+
+class LayerContractRule:
+    code = "RL001"
+    name = "layer-contract"
+    description = (
+        "imports across src/repro layers must follow the downward DAG "
+        "declared in tools/reprolint/layers.toml"
+    )
+
+    def check_module(self, module: Module, context: LintContext) -> list[Finding]:
+        parts = module.package_parts
+        if parts is None or parts == ("__init__",):
+            return []
+        manifest = context.manifest
+        package = manifest.package
+        source_layer = manifest.layer_of_module(parts[0])
+        if source_layer is None:
+            return [
+                Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=1,
+                    message=(
+                        f"module {package}.{parts[0]} is not owned by any layer "
+                        f"in {manifest.path.name}; add it to the manifest"
+                    ),
+                )
+            ]
+        findings: list[Finding] = []
+        for top, lineno, display in _import_targets(module.tree, parts, package):
+            if top is None:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=lineno,
+                        message=(
+                            f"imports the package root facade ({display}); "
+                            "import from the owning layer instead "
+                            f"(e.g. {package}._version for __version__)"
+                        ),
+                    )
+                )
+                continue
+            target_layer = manifest.layer_of_module(top)
+            if target_layer is None:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=lineno,
+                        message=(
+                            f"imports {package}.{top}, which no layer in "
+                            f"{manifest.path.name} owns"
+                        ),
+                    )
+                )
+            elif not manifest.allowed(source_layer.name, target_layer.name):
+                allowed = ", ".join(source_layer.depends) or "(nothing)"
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=lineno,
+                        message=(
+                            f"layer {source_layer.name!r} may not import layer "
+                            f"{target_layer.name!r} ({display}); its declared "
+                            f"dependencies are: {allowed}"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _import_targets(
+    tree: ast.Module, parts: tuple[str, ...], package: str
+) -> list[tuple[str | None, int, str]]:
+    """``(top_level_entry, line, display)`` per in-package import edge.
+
+    ``top_level_entry`` is the first component under the package root
+    (``"core"``, ``"api"``, ...), or ``None`` when the import reaches
+    the root package itself.
+    """
+    targets: list[tuple[str | None, int, str]] = []
+    prefix = package + "."
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == package:
+                    targets.append((None, node.lineno, f"import {alias.name}"))
+                elif alias.name.startswith(prefix):
+                    top = alias.name.split(".")[1]
+                    targets.append((top, node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module == package:
+                    targets.append(
+                        (None, node.lineno, f"from {package} import ...")
+                    )
+                elif node.module and node.module.startswith(prefix):
+                    top = node.module.split(".")[1]
+                    targets.append(
+                        (top, node.lineno, f"from {node.module} import ...")
+                    )
+                continue
+            # Relative import: resolve against the module's own package
+            # path.  parts[:-1] is the containing package for plain
+            # modules and subpackage __init__ files alike.
+            base = list(parts[:-1])
+            hops = node.level - 1
+            if hops > len(base):
+                continue  # reaches above the package root; not ours to judge
+            base = base[: len(base) - hops] if hops else base
+            resolved = base + (node.module.split(".") if node.module else [])
+            dots = "." * node.level
+            display = f"from {dots}{node.module or ''} import ..."
+            if resolved:
+                targets.append((resolved[0], node.lineno, display))
+            else:
+                # `from . import x` at the package root: each imported
+                # name is itself a top-level entry.
+                for alias in node.names:
+                    if alias.name != "*":
+                        targets.append((alias.name, node.lineno, display))
+    return targets

@@ -1,0 +1,111 @@
+"""RL003 — canonical-order safety in order-critical modules.
+
+State enumeration and memo-cache key construction pin the float
+accumulation order that the chain<->tree bit-parity contract depends
+on (see docs/architecture.md, "preserve expression shapes and
+accumulation order").  In the modules listed under ``[rules.RL003]
+modules`` in ``layers.toml``, iterating anything without a canonical
+order is flagged:
+
+* ``for``/comprehension iteration over a set literal, set
+  comprehension, ``set(...)``/``frozenset(...)`` call, or a local name
+  assigned one of those;
+* iteration over ``.keys()`` — make the order explicit: ``sorted(...)``
+  for a canonical order, or iterate the dict itself if insertion order
+  *is* the canonical order (then the code says so).
+
+Wrapping the iterable in ``sorted(...)`` always passes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.engine import Finding, LintContext, Module
+
+__all__ = ["CanonicalOrderRule"]
+
+
+class CanonicalOrderRule:
+    code = "RL003"
+    name = "canonical-order"
+    description = (
+        "order-critical modules (state enumeration, memo-key builders) "
+        "must not iterate sets or bare .keys(); wrap in sorted()"
+    )
+
+    def check_module(self, module: Module, context: LintContext) -> list[Finding]:
+        scoped = context.manifest.rule_config(self.code).get("modules", [])
+        if module.rel_path not in scoped:
+            return []
+        set_names = _set_assigned_names(module.tree)
+        findings: list[Finding] = []
+        for iterable in _iteration_sites(module.tree):
+            reason = _unordered_reason(iterable, set_names)
+            if reason is not None:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=iterable.lineno,
+                        message=(
+                            f"iteration over {reason} in an order-critical "
+                            "module; wrap in sorted(...) to pin the canonical "
+                            "order"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _iteration_sites(tree: ast.Module) -> list[ast.expr]:
+    """Every expression that a for-loop or comprehension iterates."""
+    sites: list[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            sites.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            sites.extend(gen.iter for gen in node.generators)
+    return sites
+
+
+def _set_assigned_names(tree: ast.Module) -> set[str]:
+    """Names bound to a set-valued expression anywhere in the module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is not None and _is_set_expression(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _unordered_reason(node: ast.expr, set_names: set[str]) -> str | None:
+    if _is_set_expression(node):
+        return "a set expression"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"the set-valued name {node.id!r}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+    ):
+        return "bare .keys()"
+    return None

@@ -1,0 +1,141 @@
+"""RL005 — worker safety: pool callables must be module-level.
+
+``runtime.parallel_map`` (and raw pool ``submit``/``apply_async``)
+pickle the callable into worker processes.  Lambdas and functions
+defined inside another function do not pickle — and worse, they fail
+only when a pool actually spawns, which the one-worker fast path and
+sandboxed CI never exercise.  This rule flags, at the call site, a
+lambda or a locally-defined function passed as the callable argument
+of any API named in ``[rules.RL005] apis``.
+
+Names that cannot be resolved statically (parameters, attributes) pass:
+the rule proves the definite failures, the test suite catches the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.engine import Finding, LintContext, Module
+
+__all__ = ["WorkerSafetyRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class WorkerSafetyRule:
+    code = "RL005"
+    name = "worker-safety"
+    description = (
+        "callables passed to parallel_map/pool submission must be "
+        "module-level functions (lambdas/closures do not pickle)"
+    )
+
+    def check_module(self, module: Module, context: LintContext) -> list[Finding]:
+        apis = set(context.manifest.rule_config(self.code).get("apis", []))
+        if not apis:
+            return []
+        findings: list[Finding] = []
+        self._visit_scope(module.tree.body, [], apis, module, findings)
+        return findings
+
+    def _visit_scope(
+        self,
+        body: list[ast.stmt],
+        frames: list[set[str]],
+        apis: set[str],
+        module: Module,
+        findings: list[Finding],
+    ) -> None:
+        """Check one scope's calls, then recurse into nested functions.
+
+        ``frames`` holds, per enclosing *function* scope, the names
+        bound there to a def or lambda.  Module-level defs never enter
+        a frame — they pickle fine.
+        """
+        nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        for node in _scope_nodes(body, nested):
+            if isinstance(node, ast.Call):
+                self._check_call(node, frames, apis, module, findings)
+        for func in nested:
+            frame = _local_callable_names(func)
+            self._visit_scope(func.body, frames + [frame], apis, module, findings)
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        frames: list[set[str]],
+        apis: set[str],
+        module: Module,
+        findings: list[Finding],
+    ) -> None:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        if func_name not in apis or not node.args:
+            return
+        candidate = node.args[0]
+        if isinstance(candidate, ast.Lambda):
+            findings.append(
+                Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=candidate.lineno,
+                    message=(
+                        f"lambda passed to {func_name}(); pool callables must "
+                        "be module-level functions (lambdas do not pickle)"
+                    ),
+                )
+            )
+        elif isinstance(candidate, ast.Name) and any(
+            candidate.id in frame for frame in frames
+        ):
+            findings.append(
+                Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=candidate.lineno,
+                    message=(
+                        f"locally-defined function {candidate.id!r} passed to "
+                        f"{func_name}(); move it to module level so it pickles "
+                        "into worker processes"
+                    ),
+                )
+            )
+
+
+def _scope_nodes(body: list[ast.stmt], nested: list) -> list[ast.AST]:
+    """All nodes of one scope, stopping at nested function boundaries.
+
+    Nested defs are appended to ``nested`` for the caller to recurse
+    into with their own frame.
+    """
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES):
+            nested.append(node)
+            # Decorators and defaults evaluate in the enclosing scope.
+            stack.extend(node.decorator_list)
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        nodes.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _local_callable_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound to a def or lambda directly inside ``func``'s body."""
+    names: set[str] = set()
+    for stmt in func.body:
+        if isinstance(stmt, _FUNCTION_NODES):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Lambda):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
