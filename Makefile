@@ -8,10 +8,16 @@ export PYTHONPATH := src
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON ?= BENCH_$(BENCH_STAMP).json
 
-.PHONY: test bench lint docs docs-check
+.PHONY: test chaos bench lint docs docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The fault-injection suite (SIGKILLed/hung/raising workers) -- excluded
+# from `test` via the pyproject addopts marker filter; its own CI job
+# runs this.  See docs/robustness.md.
+chaos:
+	$(PYTHON) -m pytest tests/runtime/test_chaos.py -m chaos -q
 
 # Run the full benchmark suite and leave a timestamped JSON behind --
 # the artifact the nightly CI job uploads to build the perf trajectory.

@@ -70,17 +70,20 @@ def list_scenarios() -> tuple[ScenarioSpec, ...]:
     The registry holds one spec per paper artifact — ``fig4`` ...
     ``fig12``, ``fig17`` ... ``fig19``, ``table1`` — plus the
     beyond-the-paper studies: ``scaling`` (heterogeneous chains up to
-    128 hops) and the tree-topology scenarios ``tree_depth`` and
+    128 hops), the tree-topology scenarios ``tree_depth`` and
     ``tree_fanout`` (multicast fan-out over star/broom/binary/skewed
-    trees).  The same ids drive the CLI's ``run``/``validate`` verbs
-    and ``repro-signaling all``, so registry, docs and CLI stay
-    consistent:
+    trees), and the fault-injection scenarios ``burst_loss``,
+    ``burst_loss_hops`` and ``link_flap`` (Gilbert-Elliott bursty loss
+    and link churn; see ``docs/robustness.md``).  The same ids drive
+    the CLI's ``run``/``validate`` verbs and ``repro-signaling all``,
+    so registry, docs and CLI stay consistent:
 
     >>> import repro.api as api
     >>> [spec.scenario_id for spec in api.list_scenarios()]
     ... # doctest: +NORMALIZE_WHITESPACE
-    ['fig10', 'fig11', 'fig12', 'fig17', 'fig18', 'fig19', 'fig4',
-     'fig5', 'fig6', 'fig7', 'fig8', 'fig9', 'scaling', 'table1',
+    ['burst_loss', 'burst_loss_hops', 'fig10', 'fig11', 'fig12',
+     'fig17', 'fig18', 'fig19', 'fig4', 'fig5', 'fig6', 'fig7',
+     'fig8', 'fig9', 'link_flap', 'scaling', 'table1',
      'tree_depth', 'tree_fanout']
     >>> api.list_scenarios()[0].fidelity_names()
     ('full', 'fast', 'smoke')

@@ -32,7 +32,10 @@ protocol set, so arbitrary scenario variants run with no new code.
 versioned JSON artifact with a provenance block.  ``--jobs N`` fans
 sweep points (for ``run``/``claims``) or whole experiments (for
 ``all``) across N worker processes; results are identical to the
-serial run, just faster.
+serial run, just faster.  ``--task-timeout`` and ``--max-retries``
+(or ``$REPRO_TASK_TIMEOUT`` / ``$REPRO_MAX_RETRIES``) tune the worker
+pools' fault tolerance — see :mod:`repro.runtime.executor`; the
+counters of what tolerance actually absorbed print with ``--verbose``.
 
 ``validate`` turns every scenario spec into an executable validation
 plan (see :mod:`repro.validation`): artifact round-trips, base-point
@@ -64,7 +67,14 @@ from repro.experiments.spec import (
     ScenarioError,
     parse_overrides,
 )
-from repro.runtime import effective_jobs, global_cache, run_experiments, using_jobs
+from repro.runtime import (
+    effective_jobs,
+    failure_report,
+    global_cache,
+    run_experiments,
+    using_jobs,
+    using_tolerance,
+)
 
 __all__ = ["build_parser", "generate_cli_markdown", "main"]
 
@@ -93,6 +103,18 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _non_negative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {text!r}")
+    return value
+
+
 def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--jobs",
@@ -101,13 +123,30 @@ def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
         metavar="N",
         help="solve across N worker processes (default: serial, or $REPRO_JOBS)",
     )
+    command.add_argument(
+        "--task-timeout",
+        type=_non_negative_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task stall timeout for worker pools; 0 disables "
+        "(default: $REPRO_TASK_TIMEOUT, or no timeout)",
+    )
+    command.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="re-run a failing task up to N times with exponential backoff "
+        "(default: $REPRO_MAX_RETRIES, or 2)",
+    )
 
 
 def _add_verbose_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--verbose",
         action="store_true",
-        help="report solve-cache hit/miss counters on stderr when done",
+        help="report solve-cache and fault-tolerance counters on stderr "
+        "when done",
     )
 
 
@@ -165,6 +204,22 @@ def _print_cache_stats() -> None:
         f"({rate:.1f}% hit rate), {stats['size']} entries",
         file=sys.stderr,
     )
+    print(f"failure report: {failure_report().summary()}", file=sys.stderr)
+
+
+def _tolerance_kwargs(args: argparse.Namespace) -> dict:
+    """Only the tolerance knobs the user actually set.
+
+    Flags left at their ``None`` default are omitted entirely so
+    :func:`repro.runtime.using_tolerance` keeps the environment-derived
+    defaults (passing ``None`` through would *reset* them instead).
+    """
+    kwargs = {}
+    if getattr(args, "task_timeout", None) is not None:
+        kwargs["task_timeout"] = args.task_timeout
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    return kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,8 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd = commands.add_parser(
         "lint",
         help="run the reprolint invariant checks (layer DAG, determinism, "
-        "canonical order, parity registration, worker safety); needs a "
-        "source checkout",
+        "canonical order, parity registration, worker safety, silent "
+        "failures); needs a source checkout",
     )
     lint_cmd.add_argument(
         "paths",
@@ -486,7 +541,7 @@ def _dispatch_validate(args: argparse.Namespace) -> int:
     fidelity = args.fidelity or (FAST if args.fast else SMOKE)
     ids = sorted(experiment_ids()) if args.target == "all" else [args.target]
     reports = []
-    with using_jobs(args.jobs):
+    with using_jobs(args.jobs), using_tolerance(**_tolerance_kwargs(args)):
         for scenario_id in ids:
             reports.append(
                 validate_scenario(scenario_id, fidelity, seed=args.seed)
@@ -567,7 +622,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
     if args.command == "run":
         fidelity = _resolve_fidelity(args)
         overrides = parse_overrides(args.overrides)
-        with using_jobs(args.jobs):
+        with using_jobs(args.jobs), using_tolerance(**_tolerance_kwargs(args)):
             result = run_scenario(
                 scenario(args.experiment),
                 fidelity,
@@ -583,27 +638,28 @@ def _dispatch(argv: Sequence[str] | None) -> int:
     if args.command == "all":
         fidelity = _resolve_fidelity(args)
         ids = sorted(experiment_ids())
-        if effective_jobs(args.jobs) <= 1:
-            # Serial: stream each experiment's output as it completes,
-            # so a long run shows progress and a late crash cannot
-            # discard the artifacts already produced.
-            results = (
-                run_experiments([experiment_id], fidelity=fidelity)[0]
-                for experiment_id in ids
-            )
-        else:
-            results = run_experiments(ids, fidelity=fidelity, jobs=args.jobs)
-        for experiment_id, result in zip(ids, results):
-            output = (
-                args.output_dir / f"{experiment_id}{_EXTENSIONS[args.format]}"
-                if args.output_dir is not None
-                else None
-            )
-            _emit(_render(result, args.format), output)
-            if args.csv_dir is not None:
-                _emit_panel_csvs(result, experiment_id, args.csv_dir)
-            if output is None:
-                print()
+        with using_tolerance(**_tolerance_kwargs(args)):
+            if effective_jobs(args.jobs) <= 1:
+                # Serial: stream each experiment's output as it
+                # completes, so a long run shows progress and a late
+                # crash cannot discard the artifacts already produced.
+                results = (
+                    run_experiments([experiment_id], fidelity=fidelity)[0]
+                    for experiment_id in ids
+                )
+            else:
+                results = run_experiments(ids, fidelity=fidelity, jobs=args.jobs)
+            for experiment_id, result in zip(ids, results):
+                output = (
+                    args.output_dir / f"{experiment_id}{_EXTENSIONS[args.format]}"
+                    if args.output_dir is not None
+                    else None
+                )
+                _emit(_render(result, args.format), output)
+                if args.csv_dir is not None:
+                    _emit_panel_csvs(result, experiment_id, args.csv_dir)
+                if output is None:
+                    print()
         if args.verbose:
             _print_cache_stats()
         return 0
@@ -612,7 +668,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
     if args.command == "lint":
         return _dispatch_lint(args)
     if args.command == "claims":
-        print(robustness_report(jobs=args.jobs))
+        with using_tolerance(**_tolerance_kwargs(args)):
+            print(robustness_report(jobs=args.jobs))
         if args.verbose:
             _print_cache_stats()
         return 0

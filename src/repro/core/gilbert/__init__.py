@@ -1,0 +1,27 @@
+"""Gilbert-Elliott channel x protocol product-chain models.
+
+The analytic half of the ``burst_loss`` fault scenarios: the signaling
+chains of the paper, re-solved on the product state space
+``(protocol_state, channel_state)`` where the channel is the two-state
+Gilbert-Elliott loss modulator from :mod:`repro.faults`.  See
+:mod:`repro.core.gilbert.transitions` for the shared edge specs and
+:mod:`repro.core.gilbert.model` for the reference models; the compiled
+batch path lives in :mod:`repro.core.templates`.
+"""
+
+from repro.core.gilbert.model import (
+    GilbertMultiHopModel,
+    GilbertMultiHopSolution,
+    GilbertSingleHopModel,
+    GilbertSingleHopSolution,
+)
+from repro.core.gilbert.transitions import CHANNEL_STATES, ChannelState
+
+__all__ = [
+    "CHANNEL_STATES",
+    "ChannelState",
+    "GilbertMultiHopModel",
+    "GilbertMultiHopSolution",
+    "GilbertSingleHopModel",
+    "GilbertSingleHopSolution",
+]

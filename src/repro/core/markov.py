@@ -119,6 +119,14 @@ class ContinuousTimeMarkovChain:
         """The configured backend (``"auto"``, ``"dense"`` or ``"sparse"``)."""
         return self._solver
 
+    def with_solver(self, solver: str) -> "ContinuousTimeMarkovChain":
+        """The same chain with a different linear-algebra backend.
+
+        Used by the runtime's solver fallback chain to recompute a
+        failed sparse solve densely.
+        """
+        return ContinuousTimeMarkovChain(self.states, self.rates, solver=solver)
+
     def _use_sparse(self, n: int) -> bool:
         if self._solver == "dense":
             return False

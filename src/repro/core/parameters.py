@@ -49,8 +49,11 @@ class SignalingParameters:
     external_false_signal_rate: float = 1e-4
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        # loss_rate == 1.0 is admitted for the Gilbert-Elliott bad-state
+        # slice (repro.core.gilbert evaluates per-channel rates at the
+        # bad-state loss, which may be certain loss).
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
         for name in (
             "delay",
             "refresh_interval",
@@ -125,8 +128,8 @@ class MultiHopParameters:
     def __post_init__(self) -> None:
         if self.hops < 1:
             raise ValueError(f"hops must be >= 1, got {self.hops}")
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
         for name in (
             "delay",
             "refresh_interval",

@@ -40,11 +40,32 @@ point, so failure diagnostics are exactly the reference's.
 from __future__ import annotations
 
 import functools
+import logging
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core import markov as _markov
+from repro.core.gilbert.model import (
+    GilbertMultiHopModel,
+    GilbertMultiHopSolution,
+    GilbertSingleHopModel,
+    GilbertSingleHopSolution,
+    degenerate_multihop_solution,
+    degenerate_singlehop_solution,
+    multihop_solution_from_stationary,
+    singlehop_solution_from_stationary,
+)
+from repro.core.gilbert.transitions import (
+    check_multihop_coverage,
+    check_singlehop_coverage,
+    gilbert_multihop_specs,
+    gilbert_multihop_states,
+    gilbert_multihop_tag_rate,
+    gilbert_singlehop_specs,
+    gilbert_singlehop_states,
+    gilbert_singlehop_tag_rate,
+)
 from repro.core.markov import (
     batched_absorption_times_dense,
     batched_stationary_dense,
@@ -82,19 +103,56 @@ from repro.core.singlehop.transitions import (
     slow_path_recovery_rate as singlehop_recovery_rate,
     state_space,
 )
+from repro.faults.gilbert import GilbertElliottParameters
 
 __all__ = [
+    "GilbertMultiHopTemplate",
+    "GilbertSingleHopTemplate",
     "MultiHopTemplate",
     "SingleHopTemplate",
     "TreeTemplate",
+    "gilbert_multihop_template",
+    "gilbert_singlehop_template",
     "multihop_template",
     "singlehop_template",
+    "solve_gilbert_multihop_tasks",
+    "solve_gilbert_singlehop_tasks",
     "solve_heterogeneous_tasks",
     "solve_multihop_tasks",
     "solve_singlehop_tasks",
     "solve_tree_tasks",
     "tree_template",
 ]
+
+
+_LOGGER = logging.getLogger(__name__)
+
+
+def _sparse_batch(
+    pattern: "_SparseStationaryPattern", rates: np.ndarray, label: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point sparse solves; failed points are flagged and logged.
+
+    A flagged point falls back to the reference model downstream — the
+    fallback must never be silent (see docs/robustness.md).
+    """
+    k = rates.shape[0]
+    pi = np.zeros((k, pattern.n))
+    bad = np.zeros(k, dtype=bool)
+    for point in range(k):
+        solved = pattern.stationary(rates[point])
+        if solved is None:
+            _LOGGER.warning(
+                "sparse template solve failed for %s point %d of %d; "
+                "falling back to the reference model",
+                label,
+                point,
+                k,
+            )
+            bad[point] = True
+        else:
+            pi[point] = solved
+    return pi, bad
 
 
 def _assemble_dense(
@@ -486,7 +544,6 @@ class MultiHopTemplate:
 
     def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(pi, bad)`` for all points, dense-batched or sparse-looped."""
-        k = rates.shape[0]
         ns = self._n_states
         if not self._use_sparse():
             generators = _fill_generator_diagonal(
@@ -495,15 +552,7 @@ class MultiHopTemplate:
             return batched_stationary_dense(generators)
         if self._sparse_pattern is None:
             self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
-        pi = np.zeros((k, ns))
-        bad = np.zeros(k, dtype=bool)
-        for point in range(k):
-            solved = self._sparse_pattern.stationary(rates[point])
-            if solved is None:
-                bad[point] = True
-            else:
-                pi[point] = solved
-        return pi, bad
+        return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
 
     def solve_batch(
         self,
@@ -632,7 +681,6 @@ class TreeTemplate:
         )
 
     def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        k = rates.shape[0]
         ns = self._n_states
         if not self._use_sparse():
             generators = _fill_generator_diagonal(
@@ -641,15 +689,7 @@ class TreeTemplate:
             return batched_stationary_dense(generators)
         if self._sparse_pattern is None:
             self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
-        pi = np.zeros((k, ns))
-        bad = np.zeros(k, dtype=bool)
-        for point in range(k):
-            solved = self._sparse_pattern.stationary(rates[point])
-            if solved is None:
-                bad[point] = True
-            else:
-                pi[point] = solved
-        return pi, bad
+        return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
 
     def solve_batch(self, points: Sequence[MultiHopParameters]) -> list[TreeSolution]:
         """Solve every point; bit-identical to the per-point dense path."""
@@ -693,6 +733,217 @@ class TreeTemplate:
 
 
 # ----------------------------------------------------------------------
+# Gilbert-Elliott product templates (channel state x protocol state)
+# ----------------------------------------------------------------------
+
+
+class GilbertSingleHopTemplate:
+    """Compiled structure of one protocol's single-hop product chain.
+
+    Like :class:`TreeTemplate`, the COO arrays come from the same
+    shared spec list the reference model accumulates its rate dict
+    from (:func:`~repro.core.gilbert.transitions.gilbert_singlehop_specs`)
+    and each tag's rate is computed by the shared
+    :func:`~repro.core.gilbert.transitions.gilbert_singlehop_tag_rate`
+    helper, so dense batches reproduce the per-point dense reference
+    bit for bit.  Degenerate points (``loss_good == loss_bad``) never
+    reach a template — :func:`solve_gilbert_singlehop_tasks` partitions
+    them onto the i.i.d. template path first.
+
+    Use :func:`gilbert_singlehop_template` for the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = Protocol(protocol)
+        self.states = gilbert_singlehop_states(self.protocol)
+        index = {state: i for i, state in enumerate(self.states)}
+        ns = len(self.states)
+        self._n_states = ns
+        specs = gilbert_singlehop_specs(self.protocol)
+        tag_index: dict[tuple, int] = {}
+        features: list[int] = []
+        for _, _, tag in specs:
+            if tag not in tag_index:
+                tag_index[tag] = len(tag_index)
+            features.append(tag_index[tag])
+        self._tags = tuple(tag_index)
+        self.n_features = len(self._tags)
+        self.rows = np.array([index[o] for o, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([index[d] for _, d, _ in specs], dtype=np.intp)
+        self._features = np.array(features, dtype=np.intp)
+        self._flat = self.rows * ns + self.cols
+        self._sparse_pattern: _SparseStationaryPattern | None = None
+
+    def edge_rates(
+        self,
+        points: Sequence[tuple[SignalingParameters, GilbertElliottParameters]],
+    ) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        derived = np.empty((len(points), self.n_features))
+        for k, (params, gilbert) in enumerate(points):
+            check_singlehop_coverage(self.protocol, params, gilbert)
+            for j, tag in enumerate(self._tags):
+                derived[k, j] = gilbert_singlehop_tag_rate(
+                    self.protocol, params, gilbert, tag
+                )
+        return derived[:, self._features]
+
+    def _use_sparse(self) -> bool:
+        return (
+            self._n_states >= _markov.SPARSE_STATE_THRESHOLD
+            and _markov._sparse_modules() is not None
+        )
+
+    def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ns = self._n_states
+        if not self._use_sparse():
+            generators = _fill_generator_diagonal(
+                _assemble_dense(self._flat, rates, ns)
+            )
+            return batched_stationary_dense(generators)
+        if self._sparse_pattern is None:
+            self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
+        return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
+
+    def solve_batch(
+        self,
+        points: Sequence[tuple[SignalingParameters, GilbertElliottParameters]],
+    ) -> list[GilbertSingleHopSolution]:
+        """Solve every point; bit-identical to the per-point dense path."""
+        points = list(points)
+        if not points:
+            return []
+        rates = self.edge_rates(points)
+        try:
+            pi, bad = self._stationary_batch(rates)
+        except np.linalg.LinAlgError:
+            return [self._reference(params, gilbert) for params, gilbert in points]
+        solutions: list[GilbertSingleHopSolution] = []
+        for k, (params, gilbert) in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params, gilbert))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(self.states)
+            }
+            solutions.append(
+                singlehop_solution_from_stationary(
+                    self.protocol, params, gilbert, stationary
+                )
+            )
+        return solutions
+
+    def _reference(
+        self, params: SignalingParameters, gilbert: GilbertElliottParameters
+    ) -> GilbertSingleHopSolution:
+        return GilbertSingleHopModel(self.protocol, params, gilbert).solve()
+
+
+class GilbertMultiHopTemplate:
+    """Compiled structure of the multi-hop product chain.
+
+    Use :func:`gilbert_multihop_template` for the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol, hops: int) -> None:
+        self.protocol = Protocol(protocol)
+        if self.protocol not in Protocol.multihop_family():
+            raise ValueError(
+                f"{self.protocol.value} is not part of the multi-hop analysis"
+            )
+        if hops < 1:
+            raise ValueError(f"hops must be >= 1, got {hops}")
+        self.hops = hops
+        self.states = gilbert_multihop_states(self.protocol, hops)
+        index = {state: i for i, state in enumerate(self.states)}
+        ns = len(self.states)
+        self._n_states = ns
+        specs = gilbert_multihop_specs(self.protocol, hops)
+        tag_index: dict[tuple, int] = {}
+        features: list[int] = []
+        for _, _, tag in specs:
+            if tag not in tag_index:
+                tag_index[tag] = len(tag_index)
+            features.append(tag_index[tag])
+        self._tags = tuple(tag_index)
+        self.n_features = len(self._tags)
+        self.rows = np.array([index[o] for o, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([index[d] for _, d, _ in specs], dtype=np.intp)
+        self._features = np.array(features, dtype=np.intp)
+        self._flat = self.rows * ns + self.cols
+        self._sparse_pattern: _SparseStationaryPattern | None = None
+
+    def edge_rates(
+        self,
+        points: Sequence[tuple[MultiHopParameters, GilbertElliottParameters]],
+    ) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        derived = np.empty((len(points), self.n_features))
+        for k, (params, gilbert) in enumerate(points):
+            check_multihop_coverage(self.protocol, params, gilbert)
+            for j, tag in enumerate(self._tags):
+                derived[k, j] = gilbert_multihop_tag_rate(
+                    self.protocol, params, gilbert, tag
+                )
+        return derived[:, self._features]
+
+    def _use_sparse(self) -> bool:
+        return (
+            self._n_states >= _markov.SPARSE_STATE_THRESHOLD
+            and _markov._sparse_modules() is not None
+        )
+
+    def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ns = self._n_states
+        if not self._use_sparse():
+            generators = _fill_generator_diagonal(
+                _assemble_dense(self._flat, rates, ns)
+            )
+            return batched_stationary_dense(generators)
+        if self._sparse_pattern is None:
+            self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
+        return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
+
+    def solve_batch(
+        self,
+        points: Sequence[tuple[MultiHopParameters, GilbertElliottParameters]],
+    ) -> list[GilbertMultiHopSolution]:
+        """Solve every point; bit-identical to the per-point dense path."""
+        points = list(points)
+        if not points:
+            return []
+        for params, _ in points:
+            if params.hops != self.hops:
+                raise ValueError(
+                    f"task has {params.hops} hops, template compiled for {self.hops}"
+                )
+        rates = self.edge_rates(points)
+        try:
+            pi, bad = self._stationary_batch(rates)
+        except np.linalg.LinAlgError:
+            return [self._reference(params, gilbert) for params, gilbert in points]
+        solutions: list[GilbertMultiHopSolution] = []
+        for k, (params, gilbert) in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params, gilbert))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(self.states)
+            }
+            solutions.append(
+                multihop_solution_from_stationary(
+                    self.protocol, params, gilbert, stationary
+                )
+            )
+        return solutions
+
+    def _reference(
+        self, params: MultiHopParameters, gilbert: GilbertElliottParameters
+    ) -> GilbertMultiHopSolution:
+        return GilbertMultiHopModel(self.protocol, params, gilbert).solve()
+
+
+# ----------------------------------------------------------------------
 # Template registry and task-level entry points
 # ----------------------------------------------------------------------
 
@@ -713,6 +964,18 @@ def multihop_template(protocol: Protocol, hops: int) -> MultiHopTemplate:
 def tree_template(protocol: Protocol, topology: Topology) -> TreeTemplate:
     """The memoized compiled template for ``(protocol, topology)``."""
     return TreeTemplate(protocol, topology)
+
+
+@functools.lru_cache(maxsize=64)
+def gilbert_singlehop_template(protocol: Protocol) -> GilbertSingleHopTemplate:
+    """The memoized compiled Gilbert product template for ``protocol``."""
+    return GilbertSingleHopTemplate(protocol)
+
+
+@functools.lru_cache(maxsize=256)
+def gilbert_multihop_template(protocol: Protocol, hops: int) -> GilbertMultiHopTemplate:
+    """The memoized compiled Gilbert product template for ``(protocol, hops)``."""
+    return GilbertMultiHopTemplate(protocol, hops)
 
 
 def _solve_grouped(tasks, group_key, solve_group):
@@ -778,3 +1041,86 @@ def solve_tree_tasks(
             [params for _, params, _ in group]
         ),
     )
+
+
+def solve_gilbert_singlehop_tasks(
+    tasks: Sequence[tuple[Protocol, SignalingParameters, GilbertElliottParameters]],
+) -> list[GilbertSingleHopSolution]:
+    """Solve ``(protocol, params, gilbert)`` tasks through templates.
+
+    Degenerate channels (``loss_good == loss_bad``) take the i.i.d.
+    template path at the common loss and are wrapped verbatim, so they
+    stay bit-identical to the baseline results; all other points solve
+    through the compiled product templates.
+    """
+    tasks = list(tasks)
+    results: list[GilbertSingleHopSolution | None] = [None] * len(tasks)
+    degenerate = [
+        (position, task) for position, task in enumerate(tasks) if task[2].is_degenerate
+    ]
+    if degenerate:
+        base = solve_singlehop_tasks(
+            [
+                (protocol, params.replace(loss_rate=gilbert.loss_good))
+                for _, (protocol, params, gilbert) in degenerate
+            ]
+        )
+        for (position, (_, params, gilbert)), solution in zip(degenerate, base):
+            results[position] = degenerate_singlehop_solution(
+                params, gilbert, solution
+            )
+    rest = [
+        (position, task)
+        for position, task in enumerate(tasks)
+        if not task[2].is_degenerate
+    ]
+    solved = _solve_grouped(
+        [task for _, task in rest],
+        lambda task: Protocol(task[0]),
+        lambda protocol, group: gilbert_singlehop_template(protocol).solve_batch(
+            [(params, gilbert) for _, params, gilbert in group]
+        ),
+    )
+    for (position, _), solution in zip(rest, solved):
+        results[position] = solution
+    return results
+
+
+def solve_gilbert_multihop_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, GilbertElliottParameters]],
+) -> list[GilbertMultiHopSolution]:
+    """Solve multi-hop ``(protocol, params, gilbert)`` tasks through templates.
+
+    Degenerate channels delegate to the i.i.d. multi-hop template path
+    (bit-identical to baseline); the rest solve through the compiled
+    product templates.
+    """
+    tasks = list(tasks)
+    results: list[GilbertMultiHopSolution | None] = [None] * len(tasks)
+    degenerate = [
+        (position, task) for position, task in enumerate(tasks) if task[2].is_degenerate
+    ]
+    if degenerate:
+        base = solve_multihop_tasks(
+            [
+                (protocol, params.replace(loss_rate=gilbert.loss_good))
+                for _, (protocol, params, gilbert) in degenerate
+            ]
+        )
+        for (position, (_, params, gilbert)), solution in zip(degenerate, base):
+            results[position] = degenerate_multihop_solution(params, gilbert, solution)
+    rest = [
+        (position, task)
+        for position, task in enumerate(tasks)
+        if not task[2].is_degenerate
+    ]
+    solved = _solve_grouped(
+        [task for _, task in rest],
+        lambda task: (Protocol(task[0]), task[1].hops),
+        lambda key, group: gilbert_multihop_template(*key).solve_batch(
+            [(params, gilbert) for _, params, gilbert in group]
+        ),
+    )
+    for (position, _), solution in zip(rest, solved):
+        results[position] = solution
+    return results

@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401 - imported to populate the registr
     fig17,
     fig18,
     fig19,
+    robustness,
     scaling,
     table01,
     trees,

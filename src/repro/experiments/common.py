@@ -20,7 +20,10 @@ from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopSolution
 from repro.experiments.runner import Series
+from repro.faults.gilbert import GilbertElliottParameters
 from repro.runtime import (
+    solve_gilbert_multihop_batch,
+    solve_gilbert_singlehop_batch,
     solve_heterogeneous_batch,
     solve_multihop_batch,
     solve_singlehop_batch,
@@ -30,6 +33,7 @@ from repro.runtime import (
 __all__ = [
     "ALL_PROTOCOLS",
     "MULTIHOP_PROTOCOLS",
+    "gilbert_metric_series",
     "heterogeneous_metric_series",
     "multihop_metric_series",
     "parametric_singlehop_series",
@@ -150,6 +154,49 @@ def tree_metric_series(
         for params, topology in points
     ]
     solutions = solve_tree_batch(tasks, jobs=jobs)
+    return [
+        Series(
+            f"{protocol.value}{label_suffix}",
+            xs,
+            tuple(metric(solution) for solution in group),
+        )
+        for protocol, group in zip(protocols, _chunk(solutions, len(xs)))
+    ]
+
+
+def gilbert_metric_series(
+    xs: Sequence[float],
+    make_point: Callable[
+        [float],
+        tuple[SignalingParameters | MultiHopParameters, GilbertElliottParameters],
+    ],
+    metric: Callable[[object], float],
+    protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+    jobs: int | None = None,
+    label_suffix: str = "",
+) -> list[Series]:
+    """Sweep ``xs`` through a Gilbert-Elliott product-chain model.
+
+    ``make_point(x)`` returns ``(params, gilbert)`` for one sweep value
+    — e.g. a burstiness knob mapped through
+    :meth:`~repro.faults.gilbert.GilbertElliottParameters.matched_average`.
+    The parameter type picks the model: :class:`SignalingParameters`
+    solves the single-hop product chain, :class:`MultiHopParameters` the
+    multi-hop one.  One series per protocol, solved through the
+    compiled-template batch path.
+    """
+    xs = tuple(xs)
+    if not xs:
+        return [Series(f"{p.value}{label_suffix}", (), ()) for p in protocols]
+    points = [make_point(x) for x in xs]
+    tasks = [
+        (protocol, params, gilbert)
+        for protocol in protocols
+        for params, gilbert in points
+    ]
+    multihop = isinstance(points[0][0], MultiHopParameters)
+    solve = solve_gilbert_multihop_batch if multihop else solve_gilbert_singlehop_batch
+    solutions = solve(tasks, jobs=jobs)
     return [
         Series(
             f"{protocol.value}{label_suffix}",

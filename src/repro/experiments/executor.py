@@ -20,7 +20,9 @@ from collections.abc import Mapping, Sequence
 from repro._version import __version__
 from repro.core.protocols import Protocol
 from repro.experiments import spec as _spec
+from repro.core.parameters import MultiHopParameters
 from repro.experiments.common import (
+    gilbert_metric_series,
     heterogeneous_metric_series,
     multihop_metric_series,
     parametric_singlehop_series,
@@ -28,7 +30,12 @@ from repro.experiments.common import (
     tree_metric_series,
 )
 from repro.experiments.runner import ExperimentResult, Panel, Provenance, Series
-from repro.experiments.simsupport import sessions_for_length, simulate_singlehop_batch
+from repro.experiments.simsupport import (
+    sessions_for_length,
+    simulate_faulted_multihop_batch,
+    simulate_gilbert_singlehop_batch,
+    simulate_singlehop_batch,
+)
 from repro.experiments.spec import (
     FULL,
     FidelityProfile,
@@ -212,6 +219,20 @@ def _sweep_series(
             jobs=jobs,
             label_suffix=plan.label_suffix,
         )
+    if spec.family == "burst_loss":
+        return gilbert_metric_series(
+            xs,
+            make,
+            metric,
+            protocols=protocols,
+            jobs=jobs,
+            label_suffix=plan.label_suffix,
+        )
+    if spec.family == "link_flap":
+        raise ScenarioError(
+            f"{spec.scenario_id}: link_flap scenarios have no analytic model; "
+            "use 'sim' series plans"
+        )
     return heterogeneous_metric_series(xs, make, metric, protocols=protocols, jobs=jobs)
 
 
@@ -233,27 +254,45 @@ def _sim_series(
     bind = _spec.binder(plan.binder)
     seed = spec.sim.seed if seed is None else seed
     tasks = []
+    simulate = simulate_singlehop_batch
     for protocol in protocols:
         for x in xs:
-            params = bind(base, x)
-            if spec.sim.sessions_mode == "budget":
-                if profile.sim_budget is None:
-                    raise ScenarioError(
-                        f"{spec.scenario_id}: fidelity {profile.name!r} sets no sim_budget"
+            bound = bind(base, x)
+            if spec.family == "burst_loss":
+                # Binder yields (params, gilbert); the parameter type
+                # picks the harness, mirroring the model dispatch.
+                params, gilbert = bound
+                if isinstance(params, MultiHopParameters):
+                    simulate = simulate_faulted_multihop_batch
+                    horizon = _sim_horizon(spec, profile)
+                    tasks.append(
+                        (protocol, params, gilbert, None, horizon,
+                         profile.replications, seed)
                     )
-                sessions = sessions_for_length(x, profile.sim_budget)
+                else:
+                    simulate = simulate_gilbert_singlehop_batch
+                    sessions = _sim_sessions(spec, profile, x)
+                    tasks.append(
+                        (protocol, params, gilbert, sessions,
+                         profile.replications, seed)
+                    )
+            elif spec.family == "link_flap":
+                # Binder yields (params, fault schedule).
+                params, faults = bound
+                simulate = simulate_faulted_multihop_batch
+                horizon = _sim_horizon(spec, profile)
+                tasks.append(
+                    (protocol, params, None, faults, horizon,
+                     profile.replications, seed)
+                )
             else:
-                if profile.sessions is None:
-                    raise ScenarioError(
-                        f"{spec.scenario_id}: fidelity {profile.name!r} sets no sessions"
-                    )
-                sessions = profile.sessions
-            tasks.append((protocol, params, sessions, profile.replications, seed))
+                sessions = _sim_sessions(spec, profile, x)
+                tasks.append((protocol, bound, sessions, profile.replications, seed))
     # Both panels of a validation figure draw on the same simulated
     # points; memoize per run so each point is simulated once.
     misses = [task for task in tasks if task not in sim_memo]
     if misses:
-        for task, point in zip(misses, simulate_singlehop_batch(misses, jobs=jobs)):
+        for task, point in zip(misses, simulate(misses, jobs=jobs)):
             sim_memo[task] = point
     points = [sim_memo[task] for task in tasks]
     mean_attr, err_attr = _spec.SIM_METRICS[plan.metric]
@@ -269,6 +308,29 @@ def _sim_series(
             )
         )
     return series
+
+
+def _sim_sessions(spec: ScenarioSpec, profile: FidelityProfile, x: float) -> int:
+    if spec.sim.sessions_mode == "budget":
+        if profile.sim_budget is None:
+            raise ScenarioError(
+                f"{spec.scenario_id}: fidelity {profile.name!r} sets no sim_budget"
+            )
+        return sessions_for_length(x, profile.sim_budget)
+    if profile.sessions is None:
+        raise ScenarioError(
+            f"{spec.scenario_id}: fidelity {profile.name!r} sets no sessions"
+        )
+    return profile.sessions
+
+
+def _sim_horizon(spec: ScenarioSpec, profile: FidelityProfile) -> float:
+    """Multi-hop sims run for ``sim_budget`` simulated seconds per point."""
+    if profile.sim_budget is None:
+        raise ScenarioError(
+            f"{spec.scenario_id}: fidelity {profile.name!r} sets no sim_budget"
+        )
+    return profile.sim_budget
 
 
 def _table_series(base, protocols: tuple[Protocol, ...]) -> list[Series]:

@@ -11,8 +11,12 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable
 
-from repro.core.parameters import SignalingParameters
+from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
+from repro.faults.gilbert import GilbertElliottParameters
+from repro.faults.schedule import FaultSchedule
+from repro.multihop.chain import simulate_multihop_replications
+from repro.multihop.config import MultiHopSimConfig
 from repro.protocols.config import SingleHopSimConfig
 from repro.protocols.session import simulate_replications
 from repro.runtime import parallel_map
@@ -21,6 +25,9 @@ from repro.sim.randomness import TimerDiscipline
 __all__ = [
     "SimPoint",
     "sessions_for_length",
+    "simulate_faulted_multihop_batch",
+    "simulate_faulted_multihop_point",
+    "simulate_gilbert_singlehop_batch",
     "simulate_singlehop_batch",
     "simulate_singlehop_point",
 ]
@@ -54,6 +61,7 @@ def simulate_singlehop_point(
     replications: int,
     seed: int,
     timer_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC,
+    gilbert: GilbertElliottParameters | None = None,
 ) -> SimPoint:
     """Run replicated single-hop simulations; return I and M with CIs."""
     config = SingleHopSimConfig(
@@ -62,6 +70,7 @@ def simulate_singlehop_point(
         timer_discipline=timer_discipline,
         sessions=sessions,
         seed=seed,
+        gilbert=gilbert,
     )
     results = simulate_replications(config, replications)
     inconsistency = results.interval("inconsistency_ratio")
@@ -94,3 +103,105 @@ def simulate_singlehop_batch(
     reproduce the serial estimates exactly.
     """
     return parallel_map(_simulate_task, tasks, jobs=jobs)
+
+
+GilbertSimTask = tuple[
+    Protocol, SignalingParameters, GilbertElliottParameters, int, int, int
+]
+
+
+def _simulate_gilbert_task(task: GilbertSimTask) -> SimPoint:
+    protocol, params, gilbert, sessions, replications, seed = task
+    return simulate_singlehop_point(
+        protocol,
+        params,
+        sessions=sessions,
+        replications=replications,
+        seed=seed,
+        gilbert=gilbert,
+    )
+
+
+def simulate_gilbert_singlehop_batch(
+    tasks: Iterable[GilbertSimTask], jobs: int | None = None
+) -> list[SimPoint]:
+    """Run many bursty-channel single-hop points, in task order.
+
+    Tasks are ``(protocol, params, gilbert, sessions, replications,
+    seed)``; the channel modulator is shared by both directions of each
+    simulated session (see :class:`~repro.protocols.config.SingleHopSimConfig`).
+    """
+    return parallel_map(_simulate_gilbert_task, tasks, jobs=jobs)
+
+
+def simulate_faulted_multihop_point(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    gilbert: GilbertElliottParameters | None,
+    faults: FaultSchedule | None,
+    horizon: float,
+    replications: int,
+    seed: int,
+) -> SimPoint:
+    """Run replicated multi-hop chain simulations under injected faults.
+
+    Reports the any-hop inconsistency ratio and the per-link message
+    rate with 95% CIs (reusing :class:`SimPoint`; in the stationary
+    multi-hop regime the message rate is transmissions per second, not
+    the single-hop normalized rate).  ``warmup`` scales with short
+    horizons so smoke-fidelity runs keep a measurement window.
+    """
+    config = MultiHopSimConfig(
+        protocol=protocol,
+        params=params,
+        horizon=horizon,
+        warmup=min(500.0, 0.1 * horizon),
+        seed=seed,
+        gilbert=gilbert,
+        faults=faults,
+    )
+    results = simulate_multihop_replications(config, replications)
+    inconsistency = results.interval("inconsistency_ratio")
+    message_rate = results.interval("message_rate")
+    return SimPoint(
+        inconsistency=inconsistency.mean,
+        inconsistency_err=inconsistency.half_width,
+        message_rate=message_rate.mean,
+        message_rate_err=message_rate.half_width,
+    )
+
+
+MultiHopSimTask = tuple[
+    Protocol,
+    MultiHopParameters,
+    "GilbertElliottParameters | None",
+    "FaultSchedule | None",
+    float,
+    int,
+    int,
+]
+
+
+def _simulate_faulted_multihop_task(task: MultiHopSimTask) -> SimPoint:
+    protocol, params, gilbert, faults, horizon, replications, seed = task
+    return simulate_faulted_multihop_point(
+        protocol,
+        params,
+        gilbert=gilbert,
+        faults=faults,
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+    )
+
+
+def simulate_faulted_multihop_batch(
+    tasks: Iterable[MultiHopSimTask], jobs: int | None = None
+) -> list[SimPoint]:
+    """Run many multi-hop fault-injection points, in task order.
+
+    Tasks are ``(protocol, params, gilbert, faults, horizon,
+    replications, seed)``; ``gilbert`` and ``faults`` may each be
+    ``None`` (clean channel / no schedule).
+    """
+    return parallel_map(_simulate_faulted_multihop_task, tasks, jobs=jobs)

@@ -260,7 +260,14 @@ _PRESETS: dict[str, Callable[[], SignalingParameters | MultiHopParameters]] = {
     "reservation": reservation_defaults,
 }
 
-_FAMILIES = ("singlehop", "multihop", "heterogeneous", "tree")
+_FAMILIES = (
+    "singlehop",
+    "multihop",
+    "heterogeneous",
+    "tree",
+    "burst_loss",
+    "link_flap",
+)
 
 
 @dataclasses.dataclass(frozen=True)

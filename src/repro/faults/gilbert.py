@@ -1,0 +1,128 @@
+"""Gilbert-Elliott bursty-loss channel parameters.
+
+The Gilbert-Elliott channel is a two-state continuous-time modulator:
+the channel sits in a *good* or a *bad* state, flips between them at
+exponential rates, and every message sent while the channel is in state
+``c`` is lost independently with that state's loss probability.  With
+``loss_bad > loss_good`` losses cluster into bursts; with
+``loss_good == loss_bad`` the modulator is invisible and the channel
+degenerates to the baseline i.i.d. Bernoulli loss — the anchor both the
+analytic product chain and the simulator must reproduce bit for bit.
+
+:meth:`GilbertElliottParameters.matched_average` builds the channel the
+``burst_loss`` scenarios sweep: hold the *average* loss probability
+fixed and turn a single ``burstiness`` knob from 0 (i.i.d.) to 1
+(maximally concentrated into the bad state), so any difference between
+curves is attributable to loss *correlation* alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GilbertElliottParameters"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GilbertElliottParameters:
+    """A two-state (good/bad) loss modulator with per-state loss rates.
+
+    ``good_to_bad`` / ``bad_to_good`` are the CTMC flip rates (1/s); a
+    flip rate of 0 pins the channel in its current state forever.
+    """
+
+    loss_good: float
+    loss_bad: float
+    good_to_bad: float
+    bad_to_good: float
+
+    def __post_init__(self) -> None:
+        for name in ("loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("good_to_bad", "bad_to_good"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of time spent in the bad state."""
+        total = self.good_to_bad + self.bad_to_good
+        if total == 0.0:
+            return 0.0
+        return self.good_to_bad / total
+
+    @property
+    def stationary_good(self) -> float:
+        """Long-run fraction of time spent in the good state."""
+        return 1.0 - self.stationary_bad
+
+    @property
+    def average_loss(self) -> float:
+        """Time-averaged per-message loss probability."""
+        return (
+            self.stationary_good * self.loss_good
+            + self.stationary_bad * self.loss_bad
+        )
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Whether the modulator is invisible (both states lose alike).
+
+        Degenerate channels must reproduce the i.i.d. Bernoulli results
+        exactly — the models short-circuit to the baseline path on this
+        predicate, so it is a strict float equality on purpose.
+        """
+        return self.loss_good == self.loss_bad
+
+    def replace(self, **changes: float) -> "GilbertElliottParameters":
+        """A copy with the given fields changed (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def matched_average(
+        cls,
+        average_loss: float,
+        burstiness: float,
+        stationary_bad: float = 0.1,
+        mean_bad_duration: float = 1.0,
+    ) -> "GilbertElliottParameters":
+        """A channel with the given average loss and burst concentration.
+
+        ``burstiness`` interpolates the bad-state loss probability from
+        the average (``0``: both states lose at ``average_loss``, i.e.
+        exactly i.i.d.) up to its matched-average ceiling (``1``: the
+        bad state absorbs as much of the loss as ``stationary_bad``
+        allows, capped at certain loss).  The good-state probability is
+        then whatever keeps the time average at ``average_loss``.
+        ``mean_bad_duration`` sets the burst timescale (1/``bad_to_good``),
+        and the flip rates are balanced to hold ``stationary_bad``.
+        """
+        if not 0.0 <= average_loss <= 1.0:
+            raise ValueError(f"average_loss must be in [0, 1], got {average_loss}")
+        if not 0.0 <= burstiness <= 1.0:
+            raise ValueError(f"burstiness must be in [0, 1], got {burstiness}")
+        if not 0.0 < stationary_bad < 1.0:
+            raise ValueError(
+                f"stationary_bad must be in (0, 1), got {stationary_bad}"
+            )
+        if mean_bad_duration <= 0:
+            raise ValueError(
+                f"mean_bad_duration must be positive, got {mean_bad_duration}"
+            )
+        bad_to_good = 1.0 / mean_bad_duration
+        good_to_bad = bad_to_good * stationary_bad / (1.0 - stationary_bad)
+        if burstiness == 0.0:
+            # Exact degeneracy: both losses are the *same float*, so the
+            # i.i.d. short-circuit triggers and results match the
+            # baseline bit for bit.
+            return cls(average_loss, average_loss, good_to_bad, bad_to_good)
+        ceiling = min(1.0, average_loss / stationary_bad)
+        loss_bad = average_loss + burstiness * (ceiling - average_loss)
+        loss_good = (average_loss - stationary_bad * loss_bad) / (
+            1.0 - stationary_bad
+        )
+        loss_good = min(1.0, max(0.0, loss_good))
+        return cls(loss_good, loss_bad, good_to_bad, bad_to_good)

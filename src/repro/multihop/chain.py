@@ -18,10 +18,11 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.protocols import Protocol
+from repro.faults.schedule import LinkFlap, NodeCrash
 from repro.multihop.config import MultiHopSimConfig
 from repro.multihop.nodes import ChainSender, RelayNode
 from repro.protocols.messages import Message
-from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage, GilbertElliottProcess
 from repro.sim.engine import Environment
 from repro.sim.monitor import StateFractionMonitor
 from repro.sim.randomness import RandomStreams, Timer
@@ -86,6 +87,19 @@ class MultiHopSimulation:
             mean_delay=params.delay,
             delay_discipline=config.delay_discipline,
         )
+        # One bursty-loss process shared by every hop channel (the
+        # product-chain models assume a single path-wide channel state),
+        # drawing from its own named stream so enabling it never shifts
+        # the per-channel loss streams.
+        self._loss_process = None
+        if config.gilbert is not None:
+            self._loss_process = GilbertElliottProcess(
+                config.gilbert.loss_good,
+                config.gilbert.loss_bad,
+                config.gilbert.good_to_bad,
+                config.gilbert.bad_to_good,
+                streams.stream("gilbert-channel"),
+            )
 
         def timer(mean: float, key: str) -> Timer:
             return Timer(mean, config.timer_discipline, streams.stream(key))
@@ -140,6 +154,7 @@ class MultiHopSimulation:
                 streams.stream(f"fwd-{index}"),
                 self._make_forward_delivery(node),
                 name=f"link-{index + 1}-fwd",
+                loss_process=self._loss_process,
             )
             upstream_handler = (
                 self.sender.on_message
@@ -152,7 +167,11 @@ class MultiHopSimulation:
                 streams.stream(f"rev-{index}"),
                 (lambda handler: lambda d: handler(d.payload))(upstream_handler),
                 name=f"link-{index + 1}-rev",
+                loss_process=self._loss_process,
             )
+
+        if config.faults is not None and not config.faults.is_empty:
+            self._install_faults(forward_channels, reverse_channels)
 
         self._hop_monitors = [
             StateFractionMonitor(self.env, initial=True) for _ in range(n)
@@ -188,6 +207,45 @@ class MultiHopSimulation:
             self._refresh_consistency()
 
         return hook
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults.schedule)
+    # ------------------------------------------------------------------
+
+    def _install_faults(
+        self,
+        forward_channels: list[Channel],
+        reverse_channels: list[Channel],
+    ) -> None:
+        faults = self.config.faults
+        for flap in faults.flaps:
+            channels = (
+                forward_channels[flap.link - 1],
+                reverse_channels[flap.link - 1],
+            )
+            self.env.process(
+                self._flap_process(flap, channels), name=f"flap-{flap.link}"
+            )
+        for crash in faults.crashes:
+            self.env.process(
+                self._crash_process(crash, self.nodes[crash.node - 1]),
+                name=f"crash-{crash.node}",
+            )
+
+    def _flap_process(self, flap: LinkFlap, channels: tuple[Channel, ...]):
+        for down_at, up_at in flap.windows(self.config.horizon):
+            yield self.env.timeout(down_at - self.env.now)
+            for channel in channels:
+                channel.down = True
+            yield self.env.timeout(up_at - self.env.now)
+            for channel in channels:
+                channel.down = False
+
+    def _crash_process(self, crash: NodeCrash, node: RelayNode):
+        yield self.env.timeout(crash.at - self.env.now)
+        node.crash()
+        yield self.env.timeout(crash.restart_after)
+        node.restart()
 
     def _on_sender_change(self) -> None:
         self._refresh_consistency()

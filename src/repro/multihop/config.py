@@ -6,6 +6,8 @@ import dataclasses
 
 from repro.core.parameters import MultiHopParameters
 from repro.core.protocols import Protocol
+from repro.faults.gilbert import GilbertElliottParameters
+from repro.faults.schedule import FaultSchedule
 from repro.sim.randomness import TimerDiscipline
 
 __all__ = ["MultiHopSimConfig"]
@@ -19,6 +21,13 @@ class MultiHopSimConfig:
     updates), so the run is bounded by ``horizon`` simulated seconds
     rather than a session count.  ``warmup`` seconds are discarded
     before measurement starts.
+
+    Fault injection (see :mod:`repro.faults`): ``gilbert`` replaces the
+    i.i.d. Bernoulli loss with a bursty Gilbert-Elliott modulator shared
+    by every hop channel (one path-wide channel state, matching the
+    product-chain models); ``faults`` is a deterministic schedule of
+    link flaps and node crash/restart events, realized as simulation
+    processes by the harness.
     """
 
     protocol: Protocol
@@ -28,6 +37,8 @@ class MultiHopSimConfig:
     timer_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
     delay_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
     seed: int = 20030825
+    gilbert: GilbertElliottParameters | None = None
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in Protocol.multihop_family():
@@ -41,6 +52,18 @@ class MultiHopSimConfig:
             raise ValueError(
                 f"warmup must be in [0, horizon), got {self.warmup} vs {self.horizon}"
             )
+        if self.faults is not None:
+            hops = self.params.hops
+            for flap in self.faults.flaps:
+                if not 1 <= flap.link <= hops:
+                    raise ValueError(
+                        f"flap link must be in [1, {hops}], got {flap.link}"
+                    )
+            for crash in self.faults.crashes:
+                if not 1 <= crash.node <= hops:
+                    raise ValueError(
+                        f"crash node must be in [1, {hops}], got {crash.node}"
+                    )
 
     def replace(self, **changes: object) -> "MultiHopSimConfig":
         """A copy with the given fields changed."""

@@ -193,6 +193,7 @@ class RelayNode:
         self.is_last = is_last
         self.value: int | None = None
         self.version = 0
+        self.crashed = False
         self.timeout_removals = 0
         self.false_signal_removals = 0
         self._timeout_timer = timeout_timer
@@ -212,6 +213,8 @@ class RelayNode:
 
     def on_message_from_upstream(self, message: Message) -> None:
         """Handle TRIGGER / REFRESH / REMOVAL arriving from the sender side."""
+        if self.crashed:
+            return
         if message.carries_state:
             if message.version >= self.version:
                 self._install(message.version, message.value)
@@ -234,6 +237,8 @@ class RelayNode:
 
     def on_message_from_downstream(self, message: Message) -> None:
         """Handle ACK / NOTIFY arriving from the receiver side."""
+        if self.crashed:
+            return
         if message.kind is MessageKind.ACK:
             if self._hop is not None:
                 self._hop.on_ack(message.version)
@@ -255,13 +260,34 @@ class RelayNode:
 
     def false_remove(self) -> None:
         """HS external failure signal fired spuriously at this node."""
-        if self.value is None:
+        if self.crashed or self.value is None:
             return
         self.false_signal_removals += 1
         self._remove()
         self._transmit_up(Message(MessageKind.NOTIFY, self.version))
         if self._transmit_down is not None:
             self._transmit_down(Message(MessageKind.REMOVAL, self.version))
+
+    def crash(self) -> None:
+        """Node failure with state loss (see :mod:`repro.faults.schedule`).
+
+        All installed soft state and timers are dropped *silently* — a
+        dead node cannot signal its neighbors — and incoming messages
+        are discarded until :meth:`restart`.  Resetting ``version`` to 0
+        means any state message seen after the restart re-installs.
+        """
+        self.crashed = True
+        self.version = 0
+        self._cancel_timeout()
+        if self._hop is not None:
+            self._hop.cancel()
+        if self.value is not None:
+            self.value = None
+            self._on_value_change()
+
+    def restart(self) -> None:
+        """Resume message processing with empty state after a crash."""
+        self.crashed = False
 
     # ------------------------------------------------------------------
     # Internals

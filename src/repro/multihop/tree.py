@@ -21,10 +21,11 @@ import dataclasses
 
 from repro.core.multihop.topology import Topology
 from repro.core.protocols import Protocol
+from repro.faults.schedule import LinkFlap, NodeCrash
 from repro.multihop.config import MultiHopSimConfig
 from repro.multihop.nodes import _ReliableHop
 from repro.protocols.messages import Message, MessageKind
-from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.channel import Channel, ChannelConfig, GilbertElliottProcess
 from repro.sim.engine import Environment, Interrupt, Process
 from repro.sim.monitor import StateFractionMonitor
 from repro.sim.randomness import RandomStreams, Timer
@@ -181,6 +182,7 @@ class TreeRelayNode:
         self.index = index
         self.value: int | None = None
         self.version = 0
+        self.crashed = False
         self.timeout_removals = 0
         self.false_signal_removals = 0
         self._timeout_timer = timeout_timer
@@ -201,6 +203,8 @@ class TreeRelayNode:
 
     def on_message_from_upstream(self, message: Message) -> None:
         """Handle TRIGGER / REFRESH / REMOVAL arriving from the parent."""
+        if self.crashed:
+            return
         if message.carries_state:
             if message.version >= self.version:
                 self._install(message.version, message.value)
@@ -221,6 +225,8 @@ class TreeRelayNode:
 
     def on_message_from_child(self, child_slot: int, message: Message) -> None:
         """Handle ACK / NOTIFY arriving from one child edge."""
+        if self.crashed:
+            return
         if message.kind is MessageKind.ACK:
             hop = self._hops[child_slot]
             if hop is not None:
@@ -244,7 +250,7 @@ class TreeRelayNode:
 
     def false_remove(self) -> None:
         """HS external failure signal fired spuriously at this node."""
-        if self.value is None:
+        if self.crashed or self.value is None:
             return
         self.false_signal_removals += 1
         self._remove()
@@ -252,6 +258,27 @@ class TreeRelayNode:
         removal = Message(MessageKind.REMOVAL, self.version)
         for transmit in self._transmits:
             transmit(removal)
+
+    def crash(self) -> None:
+        """Node failure with state loss (see :mod:`repro.faults.schedule`).
+
+        Mirrors :meth:`repro.multihop.nodes.RelayNode.crash`: state,
+        timers and per-child retransmission loops are dropped silently,
+        and incoming messages are discarded until :meth:`restart`.
+        """
+        self.crashed = True
+        self.version = 0
+        self._cancel_timeout()
+        for hop in self._hops:
+            if hop is not None:
+                hop.cancel()
+        if self.value is not None:
+            self.value = None
+            self._on_value_change()
+
+    def restart(self) -> None:
+        """Resume message processing with empty state after a crash."""
+        self.crashed = False
 
     # -- internals ------------------------------------------------------
 
@@ -328,6 +355,19 @@ class TreeSimulation:
             mean_delay=params.delay,
             delay_discipline=config.delay_discipline,
         )
+        # One bursty-loss process shared by every edge channel (a single
+        # tree-wide channel state, matching the product-chain models),
+        # drawing from its own named stream so enabling it never shifts
+        # the per-channel loss streams.
+        self._loss_process = None
+        if config.gilbert is not None:
+            self._loss_process = GilbertElliottProcess(
+                config.gilbert.loss_good,
+                config.gilbert.loss_bad,
+                config.gilbert.good_to_bad,
+                config.gilbert.bad_to_good,
+                streams.stream("gilbert-channel"),
+            )
 
         def timer(mean: float, key: str) -> Timer:
             return Timer(mean, config.timer_discipline, streams.stream(key))
@@ -391,6 +431,7 @@ class TreeSimulation:
                 streams.stream(f"fwd-{child}"),
                 (lambda n: lambda d: n.on_message_from_upstream(d.payload))(node),
                 name=f"edge-{child}-fwd",
+                loss_process=self._loss_process,
             )
             slot = topology.children(parent).index(child)
             if parent == 0:
@@ -409,7 +450,11 @@ class TreeSimulation:
                 streams.stream(f"rev-{child}"),
                 handler,
                 name=f"edge-{child}-rev",
+                loss_process=self._loss_process,
             )
+
+        if config.faults is not None and not config.faults.is_empty:
+            self._install_faults(forward_channels, reverse_channels)
 
         self._node_monitors = {
             node: StateFractionMonitor(self.env, initial=True)
@@ -425,6 +470,40 @@ class TreeSimulation:
                 self.env.process(
                     self._false_signal_source(node), name=f"signal-{node.index}"
                 )
+
+    # -- fault injection (see repro.faults.schedule) --------------------
+
+    def _install_faults(
+        self,
+        forward_channels: dict[int, Channel],
+        reverse_channels: dict[int, Channel],
+    ) -> None:
+        faults = self.config.faults
+        for flap in faults.flaps:
+            channels = (forward_channels[flap.link], reverse_channels[flap.link])
+            self.env.process(
+                self._flap_process(flap, channels), name=f"flap-{flap.link}"
+            )
+        for crash in faults.crashes:
+            self.env.process(
+                self._crash_process(crash, self.nodes[crash.node]),
+                name=f"crash-{crash.node}",
+            )
+
+    def _flap_process(self, flap: LinkFlap, channels: tuple[Channel, ...]):
+        for down_at, up_at in flap.windows(self.config.horizon):
+            yield self.env.timeout(down_at - self.env.now)
+            for channel in channels:
+                channel.down = True
+            yield self.env.timeout(up_at - self.env.now)
+            for channel in channels:
+                channel.down = False
+
+    def _crash_process(self, crash: NodeCrash, node: TreeRelayNode):
+        yield self.env.timeout(crash.at - self.env.now)
+        node.crash()
+        yield self.env.timeout(crash.restart_after)
+        node.restart()
 
     # -- wiring helpers -------------------------------------------------
 

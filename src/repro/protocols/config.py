@@ -6,6 +6,7 @@ import dataclasses
 
 from repro.core.parameters import SignalingParameters
 from repro.core.protocols import Protocol
+from repro.faults.gilbert import GilbertElliottParameters
 from repro.sim.randomness import TimerDiscipline
 
 __all__ = ["SingleHopSimConfig"]
@@ -20,6 +21,11 @@ class SingleHopSimConfig:
     assumption; ``timer_discipline`` switches between the two.  The
     workload (session length, update arrivals) is exponential/Poisson
     in both cases — it is part of the model, not a protocol timer.
+
+    ``gilbert`` (optional) replaces the i.i.d. Bernoulli channel loss
+    with a bursty Gilbert-Elliott modulator shared by both directions
+    (the product-chain models assume one path-wide channel state); the
+    constant ``params.loss_rate`` is ignored while it is set.
     """
 
     protocol: Protocol
@@ -28,6 +34,7 @@ class SingleHopSimConfig:
     delay_discipline: TimerDiscipline = TimerDiscipline.DETERMINISTIC
     sessions: int = 500
     seed: int = 20030825
+    gilbert: GilbertElliottParameters | None = None
 
     def __post_init__(self) -> None:
         if self.sessions < 1:

@@ -25,7 +25,7 @@ from repro.protocols.config import SingleHopSimConfig
 from repro.protocols.messages import Message
 from repro.protocols.receiver import SignalingReceiver
 from repro.protocols.sender import SignalingSender
-from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage
+from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage, GilbertElliottProcess
 from repro.sim.engine import Environment
 from repro.sim.monitor import StateFractionMonitor
 from repro.sim.randomness import RandomStreams, Timer
@@ -99,12 +99,26 @@ class SingleHopSimulation:
             mean_delay=params.delay,
             delay_discipline=config.delay_discipline,
         )
+        # One shared bursty-loss process for both directions (the
+        # product-chain models assume a single path-wide channel state);
+        # it draws from its own named stream so enabling it never shifts
+        # the per-channel loss streams.
+        loss_process = None
+        if config.gilbert is not None:
+            loss_process = GilbertElliottProcess(
+                config.gilbert.loss_good,
+                config.gilbert.loss_bad,
+                config.gilbert.good_to_bad,
+                config.gilbert.bad_to_good,
+                streams.stream("gilbert-channel"),
+            )
         self._forward = Channel(
             self.env,
             channel_config,
             streams.stream("forward-channel"),
             self._deliver_to_receiver,
             name="sender->receiver",
+            loss_process=loss_process,
         )
         self._reverse = Channel(
             self.env,
@@ -112,6 +126,7 @@ class SingleHopSimulation:
             streams.stream("reverse-channel"),
             self._deliver_to_sender,
             name="receiver->sender",
+            loss_process=loss_process,
         )
 
         def timer(mean: float, key: str) -> Timer:

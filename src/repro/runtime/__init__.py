@@ -23,14 +23,23 @@ all agree.
 
 from repro.runtime.cache import SolveCache, global_cache
 from repro.runtime.executor import (
+    FailureReport,
     configure,
+    configure_tolerance,
     effective_jobs,
+    effective_max_retries,
+    effective_task_timeout,
+    failure_report,
     parallel_map,
     using_jobs,
+    using_tolerance,
 )
 from repro.runtime.solvers import (
     run_experiment_task,
     run_experiments,
+    solve_chain_stationary,
+    solve_gilbert_multihop_batch,
+    solve_gilbert_singlehop_batch,
     solve_heterogeneous_batch,
     solve_multihop_batch,
     solve_protocol_suite,
@@ -40,13 +49,21 @@ from repro.runtime.solvers import (
 )
 
 __all__ = [
+    "FailureReport",
     "SolveCache",
     "configure",
+    "configure_tolerance",
     "effective_jobs",
+    "effective_max_retries",
+    "effective_task_timeout",
+    "failure_report",
     "global_cache",
     "parallel_map",
     "run_experiment_task",
     "run_experiments",
+    "solve_chain_stationary",
+    "solve_gilbert_multihop_batch",
+    "solve_gilbert_singlehop_batch",
     "solve_heterogeneous_batch",
     "solve_multihop_batch",
     "solve_protocol_suite",
@@ -54,4 +71,5 @@ __all__ = [
     "solve_tree_batch",
     "templates_enabled",
     "using_jobs",
+    "using_tolerance",
 ]

@@ -19,10 +19,20 @@ reference solvers (an escape hatch for debugging the fast path).
 
 from __future__ import annotations
 
+import logging
 import os
 from collections.abc import Iterable, Sequence
 
 from repro.core import templates as _templates
+from repro.core.gilbert.model import (
+    GilbertMultiHopModel,
+    GilbertMultiHopSolution,
+    GilbertSingleHopModel,
+    GilbertSingleHopSolution,
+    multihop_solution_from_stationary,
+    singlehop_solution_from_stationary,
+)
+from repro.core.markov import ContinuousTimeMarkovChain, State
 from repro.core.multihop import MultiHopModel, MultiHopSolution
 from repro.core.multihop.heterogeneous import HeterogeneousHop, HeterogeneousMultiHopModel
 from repro.core.multihop.topology import Topology
@@ -30,12 +40,25 @@ from repro.core.multihop.tree_model import TreeModel, TreeSolution
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel, SingleHopSolution
+from repro.faults.gilbert import GilbertElliottParameters
 from repro.runtime.cache import cache_key, global_cache
-from repro.runtime.executor import effective_jobs, parallel_map, using_jobs
+from repro.runtime.executor import (
+    effective_jobs,
+    failure_report,
+    parallel_map,
+    using_jobs,
+)
 
 __all__ = [
     "run_experiment_task",
     "run_experiments",
+    "solve_chain_stationary",
+    "solve_gilbert_multihop_batch",
+    "solve_gilbert_multihop_point",
+    "solve_gilbert_multihop_template_chunk",
+    "solve_gilbert_singlehop_batch",
+    "solve_gilbert_singlehop_point",
+    "solve_gilbert_singlehop_template_chunk",
     "solve_heterogeneous_batch",
     "solve_heterogeneous_point",
     "solve_heterogeneous_template_chunk",
@@ -52,6 +75,8 @@ __all__ = [
     "templates_enabled",
 ]
 
+_LOGGER = logging.getLogger(__name__)
+
 _MISSING = object()
 
 _TEMPLATES_ENV = "REPRO_TEMPLATES"
@@ -60,6 +85,32 @@ SingleHopTask = tuple[Protocol, SignalingParameters]
 MultiHopTask = tuple[Protocol, MultiHopParameters]
 HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
 TreeTask = tuple[Protocol, MultiHopParameters, Topology]
+GilbertSingleHopTask = tuple[Protocol, SignalingParameters, GilbertElliottParameters]
+GilbertMultiHopTask = tuple[Protocol, MultiHopParameters, GilbertElliottParameters]
+
+
+def solve_chain_stationary(chain: ContinuousTimeMarkovChain) -> dict[State, float]:
+    """Stationary distribution with a logged dense fallback.
+
+    The chain's configured solver (usually ``"auto"``, which picks the
+    sparse backend for large chains) is tried first.  If it fails — a
+    singular sparse factorization, a non-finite solution — the chain is
+    re-solved with the dense backend.  The fallback is logged and
+    counted in :func:`repro.runtime.executor.failure_report`, never
+    silent; a dense failure is a genuine modeling error and propagates.
+    """
+    try:
+        return chain.stationary_distribution()
+    except ValueError:
+        if chain.solver == "dense":
+            raise
+        _LOGGER.warning(
+            "%s stationary solve failed for a %d-state chain; recomputing densely",
+            chain.solver,
+            len(chain.states),
+        )
+        failure_report().solver_fallbacks += 1
+        return chain.with_solver("dense").stationary_distribution()
 
 
 def templates_enabled() -> bool:
@@ -97,6 +148,16 @@ def _tree_key(task: TreeTask) -> tuple:
     return cache_key("tree", protocol, params, topology.parents)
 
 
+def _gilbert_singlehop_key(task: GilbertSingleHopTask) -> tuple:
+    protocol, params, gilbert = task
+    return cache_key("gilbert-singlehop", protocol, params, gilbert)
+
+
+def _gilbert_multihop_key(task: GilbertMultiHopTask) -> tuple:
+    protocol, params, gilbert = task
+    return cache_key("gilbert-multihop", protocol, params, gilbert)
+
+
 def _memoized(key: tuple, compute):
     cache = global_cache()
     value = cache.get(key, _MISSING)
@@ -126,6 +187,24 @@ def _compute_tree(task: TreeTask) -> TreeSolution:
     return TreeModel(protocol, params, topology).solve()
 
 
+def _compute_gilbert_singlehop(task: GilbertSingleHopTask) -> GilbertSingleHopSolution:
+    protocol, params, gilbert = task
+    model = GilbertSingleHopModel(protocol, params, gilbert)
+    if gilbert.is_degenerate:
+        return model.solve()
+    stationary = solve_chain_stationary(model.chain())
+    return singlehop_solution_from_stationary(protocol, params, gilbert, stationary)
+
+
+def _compute_gilbert_multihop(task: GilbertMultiHopTask) -> GilbertMultiHopSolution:
+    protocol, params, gilbert = task
+    model = GilbertMultiHopModel(protocol, params, gilbert)
+    if gilbert.is_degenerate:
+        return model.solve()
+    stationary = solve_chain_stationary(model.chain())
+    return multihop_solution_from_stationary(protocol, params, gilbert, stationary)
+
+
 def solve_singlehop_point(task: SingleHopTask) -> SingleHopSolution:
     """Solve one single-hop ``(protocol, params)`` point (memoized)."""
     return _memoized(_singlehop_key(task), lambda: _compute_singlehop(task))
@@ -144,6 +223,16 @@ def solve_heterogeneous_point(task: HeterogeneousTask) -> MultiHopSolution:
 def solve_tree_point(task: TreeTask) -> TreeSolution:
     """Solve one tree ``(protocol, params, topology)`` point (memoized)."""
     return _memoized(_tree_key(task), lambda: _compute_tree(task))
+
+
+def solve_gilbert_singlehop_point(task: GilbertSingleHopTask) -> GilbertSingleHopSolution:
+    """Solve one ``(protocol, params, gilbert)`` product point (memoized)."""
+    return _memoized(_gilbert_singlehop_key(task), lambda: _compute_gilbert_singlehop(task))
+
+
+def solve_gilbert_multihop_point(task: GilbertMultiHopTask) -> GilbertMultiHopSolution:
+    """Solve one multi-hop ``(protocol, params, gilbert)`` point (memoized)."""
+    return _memoized(_gilbert_multihop_key(task), lambda: _compute_gilbert_multihop(task))
 
 
 def solve_protocol_suite(
@@ -186,6 +275,20 @@ def solve_heterogeneous_template_chunk(
 def solve_tree_template_chunk(tasks: Sequence[TreeTask]) -> list[TreeSolution]:
     """Solve a chunk of tree tasks through compiled templates."""
     return _templates.solve_tree_tasks(list(tasks))
+
+
+def solve_gilbert_singlehop_template_chunk(
+    tasks: Sequence[GilbertSingleHopTask],
+) -> list[GilbertSingleHopSolution]:
+    """Solve a chunk of single-hop Gilbert-Elliott tasks through templates."""
+    return _templates.solve_gilbert_singlehop_tasks(list(tasks))
+
+
+def solve_gilbert_multihop_template_chunk(
+    tasks: Sequence[GilbertMultiHopTask],
+) -> list[GilbertMultiHopSolution]:
+    """Solve a chunk of multi-hop Gilbert-Elliott tasks through templates."""
+    return _templates.solve_gilbert_multihop_tasks(list(tasks))
 
 
 def _fan_chunks(chunk_fn, tasks: list, jobs: int | None) -> list:
@@ -282,6 +385,32 @@ def solve_tree_batch(
         _compute_tree,
         solve_tree_template_chunk,
         _tree_key,
+        tasks,
+        jobs,
+    )
+
+
+def solve_gilbert_singlehop_batch(
+    tasks: Iterable[GilbertSingleHopTask], jobs: int | None = None
+) -> list[GilbertSingleHopSolution]:
+    """Solve many single-hop Gilbert-Elliott points; results in task order."""
+    return _solve_batch(
+        _compute_gilbert_singlehop,
+        solve_gilbert_singlehop_template_chunk,
+        _gilbert_singlehop_key,
+        tasks,
+        jobs,
+    )
+
+
+def solve_gilbert_multihop_batch(
+    tasks: Iterable[GilbertMultiHopTask], jobs: int | None = None
+) -> list[GilbertMultiHopSolution]:
+    """Solve many multi-hop Gilbert-Elliott points; results in task order."""
+    return _solve_batch(
+        _compute_gilbert_multihop,
+        solve_gilbert_multihop_template_chunk,
+        _gilbert_multihop_key,
         tasks,
         jobs,
     )

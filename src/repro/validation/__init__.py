@@ -52,6 +52,9 @@ from repro.validation.equivalence import (
 )
 from repro.validation.parity import (
     BACKENDS,
+    gilbert_multihop_parity_checks,
+    gilbert_parity_channels,
+    gilbert_singlehop_parity_checks,
     heterogeneous_parity_check,
     multihop_parity_checks,
     parity_parameter_points,
@@ -86,6 +89,9 @@ __all__ = [
     "build_plan",
     "equivalence_point",
     "execute_plan",
+    "gilbert_multihop_parity_checks",
+    "gilbert_parity_channels",
+    "gilbert_singlehop_parity_checks",
     "heterogeneous_parity_check",
     "multihop_parity_checks",
     "parity_parameter_points",

@@ -44,6 +44,7 @@ from repro.core.multihop.heterogeneous import (
     HeterogeneousMultiHopModel,
     hops_from_parameters,
 )
+from repro.core.gilbert.model import GilbertMultiHopModel, GilbertSingleHopModel
 from repro.core.multihop.model import MultiHopModel
 from repro.core.multihop.topology import Topology
 from repro.core.multihop.tree_model import TreeModel
@@ -51,6 +52,7 @@ from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop.model import SingleHopModel
 from repro.core.singlehop.states import SingleHopState as S
+from repro.faults.gilbert import GilbertElliottParameters
 from repro.validation.report import CheckResult, PointCheck
 
 __all__ = [
@@ -58,6 +60,9 @@ __all__ = [
     "PARITY_CLASSES",
     "SPARSE_REL_TOL",
     "SPARSE_ABS_TOL",
+    "gilbert_multihop_parity_checks",
+    "gilbert_parity_channels",
+    "gilbert_singlehop_parity_checks",
     "heterogeneous_parity_check",
     "multihop_parity_checks",
     "parity_parameter_points",
@@ -81,6 +86,8 @@ PARITY_CLASSES: dict[str, str] = {
     "solve_multihop_tasks": "exact",
     "solve_heterogeneous_tasks": "exact",
     "solve_tree_tasks": "exact",
+    "solve_gilbert_singlehop_tasks": "exact",
+    "solve_gilbert_multihop_tasks": "exact",
     "batched_stationary_dense": "exact",
     "batched_absorption_times_dense": "exact",
 }
@@ -508,6 +515,221 @@ def tree_parity_checks(
                 f"tree {protocol.value}: dense~sparse",
                 sparse_points,
                 detail=f"shapes {shape_list}, splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+def gilbert_parity_channels(
+    base, fidelity: str = "smoke"
+) -> list[tuple[str, GilbertElliottParameters]]:
+    """Labelled Gilbert-Elliott channels for one fidelity.
+
+    All channels hold the base preset's average loss; the degenerate
+    channel (burstiness 0) anchors the i.i.d. reduction, the bursty
+    ones exercise the real product chains.
+    """
+    average = base.loss_rate
+    channels = [
+        ("degenerate", GilbertElliottParameters.matched_average(average, 0.0)),
+        ("bursty", GilbertElliottParameters.matched_average(average, 1.0)),
+    ]
+    if fidelity == "smoke":
+        return channels
+    channels.append(
+        ("half-burst", GilbertElliottParameters.matched_average(average, 0.5))
+    )
+    if fidelity == "fast":
+        return channels
+    channels.append(
+        (
+            "slow-burst",
+            GilbertElliottParameters.matched_average(
+                average, 1.0, mean_bad_duration=10.0
+            ),
+        )
+    )
+    return channels
+
+
+_GILBERT_SINGLEHOP_METRICS = (
+    "inconsistency_ratio",
+    "expected_receiver_lifetime",
+    "message_rate",
+    "normalized_message_rate",
+)
+
+
+def gilbert_singlehop_parity_checks(
+    params: SignalingParameters,
+    protocols: Sequence[Protocol] = tuple(Protocol),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The single-hop Gilbert-Elliott slice of the parity matrix.
+
+    Three assertions per protocol:
+
+    * **dense==template** — the compiled product-chain templates agree
+      exactly with the per-point :class:`GilbertSingleHopModel`;
+    * **degenerate==iid** — the burstiness-0 channel reproduces the
+      i.i.d. :class:`SingleHopModel` *bit for bit* (the models promise
+      verbatim metric floats, not merely close ones);
+    * **dense~sparse** — the bursty product chain re-solved through
+      splu agrees within the repo's sparse tolerance.
+    """
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        template_points: list[PointCheck] = []
+        degenerate_points: list[PointCheck] = []
+        sparse_points: list[PointCheck] = []
+        for label, gilbert in gilbert_parity_channels(params, fidelity):
+            model = GilbertSingleHopModel(protocol, params, gilbert)
+            reference = model.solve()
+            template = _templates.solve_gilbert_singlehop_tasks(
+                [(protocol, params, gilbert)]
+            )[0]
+            for metric in _GILBERT_SINGLEHOP_METRICS:
+                template_points.append(
+                    _exact_point(
+                        f"{label} {metric}",
+                        getattr(reference, metric),
+                        getattr(template, metric),
+                    )
+                )
+            if gilbert.is_degenerate:
+                iid = SingleHopModel(
+                    protocol, params.replace(loss_rate=gilbert.loss_good)
+                ).solve()
+                for metric in _GILBERT_SINGLEHOP_METRICS:
+                    degenerate_points.append(
+                        _exact_point(
+                            f"{label} {metric}",
+                            getattr(iid, metric),
+                            getattr(reference, metric),
+                        )
+                    )
+                for key, expected in iid.message_breakdown.items():
+                    degenerate_points.append(
+                        _exact_point(
+                            f"{label} breakdown[{key}]",
+                            expected,
+                            reference.message_breakdown.get(key, float("nan")),
+                        )
+                    )
+            else:
+                sparse_points.extend(
+                    _sparse_stationary_points(
+                        model.chain(), reference.stationary, label
+                    )
+                )
+        checks.append(
+            _check(
+                f"gilbert singlehop {protocol.value}: dense==template",
+                template_points,
+                detail="compiled product-chain templates, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"gilbert singlehop {protocol.value}: degenerate==iid",
+                degenerate_points,
+                detail="burstiness-0 channel vs the i.i.d. model, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"gilbert singlehop {protocol.value}: dense~sparse",
+                sparse_points,
+                detail=f"splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+def gilbert_multihop_parity_checks(
+    params: MultiHopParameters,
+    hop_counts: Sequence[int],
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The multi-hop Gilbert-Elliott slice of the parity matrix.
+
+    Mirrors :func:`gilbert_singlehop_parity_checks` on the path-wide
+    product chain: dense==template exactly, the degenerate channel
+    reproduces :class:`MultiHopModel` bit for bit, and the bursty
+    chain's splu solve stays within the sparse tolerance.
+    """
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        template_points: list[PointCheck] = []
+        degenerate_points: list[PointCheck] = []
+        sparse_points: list[PointCheck] = []
+        for hops in hop_counts:
+            hop_params = params.replace(hops=int(hops))
+            for label, gilbert in gilbert_parity_channels(hop_params, fidelity):
+                label = f"N={hops} {label}"
+                model = GilbertMultiHopModel(protocol, hop_params, gilbert)
+                reference = model.solve()
+                template = _templates.solve_gilbert_multihop_tasks(
+                    [(protocol, hop_params, gilbert)]
+                )[0]
+                for metric in ("inconsistency_ratio", "message_rate"):
+                    template_points.append(
+                        _exact_point(
+                            f"{label} {metric}",
+                            getattr(reference, metric),
+                            getattr(template, metric),
+                        )
+                    )
+                if gilbert.is_degenerate:
+                    iid = MultiHopModel(
+                        protocol, hop_params.replace(loss_rate=gilbert.loss_good)
+                    ).solve()
+                    for metric in ("inconsistency_ratio", "message_rate"):
+                        degenerate_points.append(
+                            _exact_point(
+                                f"{label} {metric}",
+                                getattr(iid, metric),
+                                getattr(reference, metric),
+                            )
+                        )
+                    # Hop profiles are *recomputed* from the product-form
+                    # stationary distribution (channel weights re-summed),
+                    # so they are close, not verbatim copies.
+                    for hop in range(1, int(hops) + 1):
+                        degenerate_points.append(
+                            _close_point(
+                                f"{label} hop_inconsistency({hop})",
+                                iid.hop_inconsistency(hop),
+                                reference.hop_inconsistency(hop),
+                            )
+                        )
+                else:
+                    sparse_points.extend(
+                        _sparse_stationary_points(
+                            model.chain(), reference.stationary, label
+                        )
+                    )
+        hop_list = ",".join(str(h) for h in hop_counts)
+        checks.append(
+            _check(
+                f"gilbert multihop {protocol.value}: dense==template",
+                template_points,
+                detail=f"hops {hop_list}, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"gilbert multihop {protocol.value}: degenerate==iid",
+                degenerate_points,
+                detail=f"hops {hop_list}, burstiness-0 vs the i.i.d. model, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"gilbert multihop {protocol.value}: dense~sparse",
+                sparse_points,
+                detail=f"hops {hop_list}, splu within rel {SPARSE_REL_TOL:g}",
             )
         )
     return checks

@@ -40,13 +40,23 @@ from repro.experiments import spec as _spec
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.spec import ScenarioSpec, SeriesPlan
 from repro.core.multihop.topology import Topology
-from repro.runtime import solve_multihop_batch, solve_singlehop_batch, solve_tree_batch
+from repro.core.parameters import MultiHopParameters
+from repro.faults.gilbert import GilbertElliottParameters
+from repro.runtime import (
+    solve_gilbert_multihop_batch,
+    solve_gilbert_singlehop_batch,
+    solve_multihop_batch,
+    solve_singlehop_batch,
+    solve_tree_batch,
+)
 from repro.validation.equivalence import (
     SIM_EQUIVALENCE_CRITERIA,
     equivalence_point,
 )
 from repro.validation.parity import (
     BACKENDS,
+    gilbert_multihop_parity_checks,
+    gilbert_singlehop_parity_checks,
     heterogeneous_parity_check,
     multihop_parity_checks,
     singlehop_parity_checks,
@@ -97,6 +107,10 @@ def _parity_hop_counts(spec: ScenarioSpec) -> tuple[int, ...]:
     if spec.family in ("singlehop", "tree"):
         return ()
     base = _spec.base_parameters(spec)
+    if not isinstance(base, MultiHopParameters):
+        # A single-hop preset in a hop-agnostic family (e.g. the
+        # single-hop burst_loss scenario) has no chain length to sweep.
+        return ()
     # Two hop counts in the dense regime: the scenario's own chain
     # length plus a short contrast chain.  Exact dense==template==
     # batched parity is only guaranteed below the sparse crossover
@@ -118,6 +132,23 @@ def build_plan(scenario: str | ScenarioSpec, fidelity: str = "smoke") -> Validat
         protocols = spec.protocols
     elif spec.family == "tree":
         families = ("tree",)
+        multihop = Protocol.multihop_family()
+        protocols = tuple(p for p in spec.protocols if p in multihop)
+    elif spec.family == "burst_loss":
+        # The parameter preset picks the product chain; both variants
+        # also validate their i.i.d. anchor slice (the degenerate
+        # channel must reproduce it bit for bit).
+        if isinstance(_spec.base_parameters(spec), MultiHopParameters):
+            families = ("multihop", "gilbert_multihop")
+            multihop = Protocol.multihop_family()
+            protocols = tuple(p for p in spec.protocols if p in multihop)
+        else:
+            families = ("singlehop", "gilbert_singlehop")
+            protocols = spec.protocols
+    elif spec.family == "link_flap":
+        # No analytic flap model exists; parity covers the clean
+        # baseline chain the faulted simulations perturb.
+        families = ("multihop",)
         multihop = Protocol.multihop_family()
         protocols = tuple(p for p in spec.protocols if p in multihop)
     else:
@@ -199,6 +230,15 @@ def _invariant_checks(plan: ValidationPlan) -> CheckResult:
         solutions = solve_tree_batch(
             [(p, tree_base, topology) for p in plan.protocols]
         )
+    elif spec.family == "burst_loss":
+        # Invariants on the maximally bursty product chain — the
+        # degenerate anchor is already covered by the parity slice.
+        gilbert = GilbertElliottParameters.matched_average(base.loss_rate, 1.0)
+        tasks = [(p, base, gilbert) for p in plan.protocols]
+        if isinstance(base, MultiHopParameters):
+            solutions = solve_gilbert_multihop_batch(tasks)
+        else:
+            solutions = solve_gilbert_singlehop_batch(tasks)
     else:
         solutions = solve_multihop_batch([(p, base) for p in plan.protocols])
     for protocol, solution in zip(plan.protocols, solutions):
@@ -257,6 +297,10 @@ def _sim_model_checks(
     """Pair each simulated series with its analytic twin, point by point."""
     checks: list[CheckResult] = []
     spec = plan.spec
+    if spec.family == "link_flap":
+        # Flap scenarios are simulation-only by design: there is no
+        # analytic twin to differ from.
+        return checks
     for panel_spec in spec.panels:
         sim_plans = [p for p in panel_spec.plans if p.kind == "sim"]
         if not sim_plans:
@@ -340,6 +384,16 @@ def _cached_parity_slice(
         )
     if family == "tree":
         return tuple(tree_parity_checks(base, protocols, fidelity=fidelity))
+    if family == "gilbert_singlehop":
+        return tuple(
+            gilbert_singlehop_parity_checks(base, protocols, fidelity=fidelity)
+        )
+    if family == "gilbert_multihop":
+        return tuple(
+            gilbert_multihop_parity_checks(
+                base, hop_counts, protocols, fidelity=fidelity
+            )
+        )
     return (heterogeneous_parity_check(base, protocols),)
 
 

@@ -28,7 +28,7 @@ class TestSignalingParameters:
         "field,value",
         [
             ("loss_rate", -0.1),
-            ("loss_rate", 1.0),
+            ("loss_rate", 1.5),
             ("delay", 0.0),
             ("refresh_interval", -1.0),
             ("timeout_interval", 0.0),
@@ -94,7 +94,7 @@ class TestMultiHopParameters:
         [
             ("hops", 0),
             ("hops", -3),
-            ("loss_rate", 1.0),
+            ("loss_rate", 1.5),
             ("delay", 0.0),
             ("update_rate", 0.0),
             ("refresh_interval", 0.0),

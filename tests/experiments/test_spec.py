@@ -74,6 +74,9 @@ class TestRegistry:
             "scaling",
             "tree_fanout",
             "tree_depth",
+            "burst_loss",
+            "burst_loss_hops",
+            "link_flap",
         }
 
     def test_registry_holds_frozen_specs(self):

@@ -1,0 +1,132 @@
+"""Tests for the Gilbert-Elliott channel parameterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import GilbertElliottParameters
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["loss_good", "loss_bad"])
+    @pytest.mark.parametrize("value", [-0.1, 1.0001])
+    def test_loss_probabilities_bounded(self, field, value):
+        kwargs = dict(loss_good=0.0, loss_bad=0.2, good_to_bad=0.1, bad_to_good=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError, match=field):
+            GilbertElliottParameters(**kwargs)
+
+    @pytest.mark.parametrize("field", ["good_to_bad", "bad_to_good"])
+    def test_flip_rates_non_negative(self, field):
+        kwargs = dict(loss_good=0.0, loss_bad=0.2, good_to_bad=0.1, bad_to_good=1.0)
+        kwargs[field] = -0.5
+        with pytest.raises(ValueError, match=field):
+            GilbertElliottParameters(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        params = GilbertElliottParameters(
+            loss_good=0.0, loss_bad=1.0, good_to_bad=0.0, bad_to_good=0.0
+        )
+        assert params.loss_bad == 1.0
+
+
+class TestStationary:
+    def test_stationary_split(self):
+        params = GilbertElliottParameters(
+            loss_good=0.0, loss_bad=0.2, good_to_bad=1.0, bad_to_good=3.0
+        )
+        assert params.stationary_bad == pytest.approx(0.25)
+        assert params.stationary_good == pytest.approx(0.75)
+
+    def test_pinned_channel_is_all_good(self):
+        params = GilbertElliottParameters(
+            loss_good=0.05, loss_bad=0.9, good_to_bad=0.0, bad_to_good=0.0
+        )
+        assert params.stationary_bad == 0.0
+        assert params.average_loss == pytest.approx(0.05)
+
+    def test_average_loss_mixes_states(self):
+        params = GilbertElliottParameters(
+            loss_good=0.0, loss_bad=0.2, good_to_bad=1.0, bad_to_good=9.0
+        )
+        # 10% of the time in the bad state losing 20%.
+        assert params.average_loss == pytest.approx(0.02)
+
+
+class TestDegeneracy:
+    def test_equal_losses_degenerate(self):
+        params = GilbertElliottParameters(
+            loss_good=0.02, loss_bad=0.02, good_to_bad=0.1, bad_to_good=1.0
+        )
+        assert params.is_degenerate
+
+    def test_unequal_losses_not_degenerate(self):
+        params = GilbertElliottParameters(
+            loss_good=0.02, loss_bad=0.02 + 1e-12, good_to_bad=0.1, bad_to_good=1.0
+        )
+        assert not params.is_degenerate
+
+
+class TestMatchedAverage:
+    @pytest.mark.parametrize("burstiness", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_average_loss_held_fixed(self, burstiness):
+        params = GilbertElliottParameters.matched_average(0.02, burstiness)
+        assert params.average_loss == pytest.approx(0.02, rel=1e-12)
+
+    def test_zero_burstiness_is_exactly_degenerate(self):
+        params = GilbertElliottParameters.matched_average(0.02, 0.0)
+        assert params.is_degenerate
+        assert params.loss_good == 0.02
+        assert params.loss_bad == 0.02
+
+    def test_full_burstiness_concentrates_loss_in_bad_state(self):
+        params = GilbertElliottParameters.matched_average(
+            0.02, 1.0, stationary_bad=0.1, mean_bad_duration=1.0
+        )
+        assert params.loss_bad == pytest.approx(0.2)
+        assert params.loss_good == pytest.approx(0.0, abs=1e-15)
+        assert params.bad_to_good == pytest.approx(1.0)
+        assert params.good_to_bad == pytest.approx(1.0 / 9.0)
+
+    def test_bad_loss_capped_at_certain_loss(self):
+        # average_loss / stationary_bad > 1: the bad state saturates and
+        # the good state keeps the remainder.
+        params = GilbertElliottParameters.matched_average(
+            0.5, 1.0, stationary_bad=0.1
+        )
+        assert params.loss_bad == 1.0
+        assert params.loss_good == pytest.approx((0.5 - 0.1) / 0.9)
+        assert params.average_loss == pytest.approx(0.5)
+
+    def test_mean_bad_duration_sets_burst_timescale(self):
+        fast = GilbertElliottParameters.matched_average(0.02, 0.5, mean_bad_duration=1.0)
+        slow = GilbertElliottParameters.matched_average(0.02, 0.5, mean_bad_duration=10.0)
+        assert slow.bad_to_good == pytest.approx(fast.bad_to_good / 10.0)
+        # The stationary split (and hence the loss split) is unchanged.
+        assert slow.stationary_bad == pytest.approx(fast.stationary_bad)
+        assert slow.loss_bad == fast.loss_bad
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(average_loss=-0.1, burstiness=0.5), "average_loss"),
+            (dict(average_loss=1.1, burstiness=0.5), "average_loss"),
+            (dict(average_loss=0.02, burstiness=-0.1), "burstiness"),
+            (dict(average_loss=0.02, burstiness=1.5), "burstiness"),
+            (dict(average_loss=0.02, burstiness=0.5, stationary_bad=0.0), "stationary_bad"),
+            (dict(average_loss=0.02, burstiness=0.5, stationary_bad=1.0), "stationary_bad"),
+            (dict(average_loss=0.02, burstiness=0.5, mean_bad_duration=0.0), "mean_bad_duration"),
+        ],
+    )
+    def test_argument_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            GilbertElliottParameters.matched_average(**kwargs)
+
+
+class TestReplace:
+    def test_replace_returns_modified_copy(self):
+        base = GilbertElliottParameters.matched_average(0.02, 0.5)
+        bumped = base.replace(loss_bad=0.3)
+        assert bumped.loss_bad == 0.3
+        assert bumped.loss_good == base.loss_good
+        assert base.loss_bad != 0.3

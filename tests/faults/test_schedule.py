@@ -1,0 +1,86 @@
+"""Tests for deterministic fault schedules (flaps and crashes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultSchedule, LinkFlap, NodeCrash
+
+
+class TestLinkFlap:
+    def test_windows_are_periodic(self):
+        flap = LinkFlap(link=1, period=10.0, down_duration=2.0, offset=1.0)
+        assert list(flap.windows(25.0)) == [(1.0, 3.0), (11.0, 13.0), (21.0, 23.0)]
+
+    def test_windows_empty_before_offset(self):
+        flap = LinkFlap(link=1, period=10.0, down_duration=2.0, offset=50.0)
+        assert list(flap.windows(50.0)) == []
+
+    def test_is_down_inside_and_outside_windows(self):
+        flap = LinkFlap(link=1, period=10.0, down_duration=2.0, offset=1.0)
+        assert not flap.is_down(0.5)  # before the first outage
+        assert flap.is_down(1.0)  # outage start is inclusive
+        assert flap.is_down(2.999)
+        assert not flap.is_down(3.0)  # outage end is exclusive
+        assert flap.is_down(11.5)  # second period
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(link=1, period=0.0, down_duration=1.0), "period"),
+            (dict(link=1, period=-5.0, down_duration=1.0), "period"),
+            (dict(link=1, period=10.0, down_duration=0.0), "down_duration"),
+            (dict(link=1, period=10.0, down_duration=10.0), "down_duration"),
+            (dict(link=1, period=10.0, down_duration=1.0, offset=-1.0), "offset"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            LinkFlap(**kwargs)
+
+
+class TestNodeCrash:
+    def test_restart_at(self):
+        crash = NodeCrash(node=2, at=100.0, restart_after=30.0)
+        assert crash.restart_at == 130.0
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(node=1, at=-1.0, restart_after=10.0), "at"),
+            (dict(node=1, at=float("nan"), restart_after=10.0), "at"),
+            (dict(node=1, at=0.0, restart_after=0.0), "restart_after"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            NodeCrash(**kwargs)
+
+
+class TestFaultSchedule:
+    def test_empty_by_default(self):
+        assert FaultSchedule().is_empty
+
+    def test_sequences_coerced_to_tuples(self):
+        schedule = FaultSchedule(
+            flaps=[LinkFlap(link=1, period=10.0, down_duration=1.0)],
+            crashes=[NodeCrash(node=1, at=5.0, restart_after=1.0)],
+        )
+        assert isinstance(schedule.flaps, tuple)
+        assert isinstance(schedule.crashes, tuple)
+        assert not schedule.is_empty
+
+    def test_flaps_for_filters_by_link(self):
+        one = LinkFlap(link=1, period=10.0, down_duration=1.0)
+        two = LinkFlap(link=2, period=20.0, down_duration=2.0)
+        schedule = FaultSchedule(flaps=(one, two, one))
+        assert schedule.flaps_for(1) == (one, one)
+        assert schedule.flaps_for(3) == ()
+
+    def test_crashes_for_sorted_by_time(self):
+        late = NodeCrash(node=1, at=200.0, restart_after=10.0)
+        early = NodeCrash(node=1, at=50.0, restart_after=10.0)
+        other = NodeCrash(node=2, at=1.0, restart_after=10.0)
+        schedule = FaultSchedule(crashes=(late, other, early))
+        assert schedule.crashes_for(1) == (early, late)
+        assert schedule.crashes_for(2) == (other,)

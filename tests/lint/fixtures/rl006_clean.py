@@ -1,0 +1,19 @@
+"""RL006 fixture: failures are recorded — broad handlers with real
+bodies and narrow handlers pass."""
+
+failures = []
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def probe(callback):
+    try:
+        callback()
+    except Exception as error:
+        failures.append(error)
+        raise

@@ -1,0 +1,20 @@
+"""RL006 fixture: swallowed failures — a bare ``except:`` and broad
+handlers whose bodies do nothing."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722
+        return None
+
+
+def probe(callback):
+    try:
+        callback()
+    except Exception:
+        pass
+    try:
+        callback()
+    except (ValueError, BaseException):
+        ...

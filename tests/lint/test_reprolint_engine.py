@@ -41,6 +41,7 @@ class TestReports:
             "RL003",
             "RL004",
             "RL005",
+            "RL006",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"rule", "path", "line", "message"}

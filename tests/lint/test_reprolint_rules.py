@@ -107,3 +107,37 @@ class TestRL005WorkerSafety:
     def test_module_level_worker_passes(self, lint):
         report = lint({"src/pkg/experiments/driver.py": "rl005_clean.py"})
         assert report.passed
+
+
+class TestRL006SilentFailure:
+    def test_swallowed_exceptions_flagged(self, lint):
+        report = lint({"src/pkg/core/loader.py": "rl006_violation.py"})
+        findings = by_rule(report, "RL006")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "bare `except:`" in messages
+        assert "`except Exception`" in messages
+        assert "`except BaseException`" in messages
+
+    def test_recorded_failures_pass(self, lint):
+        report = lint({"src/pkg/core/loader.py": "rl006_clean.py"})
+        assert report.passed
+
+    def test_extra_paths_sweep_covers_tools(self, lint):
+        # The file sits under tools/, outside the linted src tree; the
+        # [rules.RL006] extra_paths sweep must still reach it.
+        report = lint({"tools/helper.py": "rl006_violation.py"})
+        findings = by_rule(report, "RL006")
+        assert len(findings) == 3
+        assert all(f.path == "tools/helper.py" for f in findings)
+
+    def test_extra_paths_do_not_double_report(self, lint):
+        # tools/ both named on the command line and in extra_paths:
+        # each handler is still reported exactly once.
+        from pathlib import Path
+
+        report = lint(
+            {"tools/helper.py": "rl006_violation.py"},
+            paths=[Path("src"), Path("tools")],
+        )
+        assert len(by_rule(report, "RL006")) == 3

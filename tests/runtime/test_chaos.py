@@ -1,0 +1,241 @@
+"""Chaos suite: the executor under killed, hung, and raising workers.
+
+These tests inject *real* process-level faults — SIGKILL a pool child,
+park a task past the progress timeout, raise from inside a task — and
+assert the contract from ``docs/robustness.md``: the returned list is
+complete, in input order, and bit-identical to an undisturbed serial
+run, with every fault event counted in the :class:`FailureReport`.
+
+The fault tasks misbehave only on their *first* attempt, keyed on a
+marker file under ``tmp_path``: attempt one writes the marker and
+misbehaves, every retry sees the marker and computes normally.  That
+makes each test deterministic without cooperation from the scheduler.
+
+Marked ``chaos`` and excluded from tier-1 (``addopts`` in
+pyproject.toml): killing and hanging workers is deliberately hostile to
+shared runners.  Run with ``pytest -m chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.runtime import (
+    configure,
+    configure_tolerance,
+    failure_report,
+    parallel_map,
+)
+from repro.runtime import executor as executor_module
+from repro.runtime.executor import process_pool_usable
+
+pytestmark = pytest.mark.chaos
+
+needs_pool = pytest.mark.skipif(
+    not process_pool_usable(), reason="platform cannot spawn worker pools"
+)
+
+
+@pytest.fixture(autouse=True)
+def chaos_environment(monkeypatch):
+    """Fast, isolated fault handling: no backoff, fresh defaults/counters."""
+    monkeypatch.setattr(executor_module, "_BACKOFF_BASE", 0.0)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+    configure(None)
+    configure_tolerance(None, None)
+    failure_report().reset()
+    yield
+    configure(None)
+    configure_tolerance(None, None)
+    failure_report().reset()
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+# Each task argument is ``(x, marker_path)``; ``marker_path`` is empty
+# for well-behaved items.  First attempt on a faulty item writes the
+# marker, then misbehaves; retries see the marker and behave.
+
+
+def _first_attempt(marker: str) -> bool:
+    if not marker:
+        return False
+    path = pathlib.Path(marker)
+    if path.exists():
+        return False
+    path.write_text("attempted")
+    return True
+
+
+def _kill_once_then_square(arg: tuple[int, str]) -> int:
+    x, marker = arg
+    if _first_attempt(marker):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def _hang_once_then_square(arg: tuple[int, str]) -> int:
+    x, marker = arg
+    if _first_attempt(marker):
+        time.sleep(300.0)
+    return x * x
+
+
+def _raise_once_then_square(arg: tuple[int, str]) -> int:
+    x, marker = arg
+    if _first_attempt(marker):
+        raise RuntimeError(f"injected fault on item {x}")
+    return x * x
+
+
+def _always_raise(arg: tuple[int, str]) -> int:
+    raise ValueError(f"permanent fault on item {arg[0]}")
+
+
+def _args(n: int, faulty: dict[int, pathlib.Path]) -> list[tuple[int, str]]:
+    return [(x, str(faulty.get(x, ""))) for x in range(n)]
+
+
+@needs_pool
+class TestKilledWorker:
+    def test_sigkill_child_recovers_and_matches_serial(self, tmp_path):
+        items = _args(12, {5: tmp_path / "kill-5"})
+        chaotic = parallel_map(_kill_once_then_square, items, jobs=3)
+        assert chaotic == [x * x for x in range(12)]
+        report = failure_report()
+        assert report.worker_crashes >= 1
+        # The undisturbed serial rerun (marker now present) is bit-identical.
+        assert chaotic == parallel_map(_kill_once_then_square, items, jobs=1)
+
+    def test_multiple_kills_within_rebuild_budget(self, tmp_path):
+        faulty = {2: tmp_path / "kill-2", 9: tmp_path / "kill-9"}
+        items = _args(12, faulty)
+        assert parallel_map(_kill_once_then_square, items, jobs=2) == [
+            x * x for x in range(12)
+        ]
+        # Both faults demonstrably fired (markers written by attempt 1);
+        # one teardown can absorb both kills, so the counter is >= 1.
+        assert all(marker.exists() for marker in faulty.values())
+        assert failure_report().worker_crashes >= 1
+
+    def test_crash_charges_retry_budget(self, tmp_path):
+        # A task whose worker dies on every attempt must eventually
+        # surface the failure instead of rebuilding pools forever.
+        marker = tmp_path / "kill-forever"
+        items = [(0, ""), (1, str(marker))]
+        with pytest.raises(BaseException):  # noqa: B017 - pool death surfaces
+            # max_retries=0: the first crash exhausts the budget.
+            parallel_map(_always_kill, items, jobs=2, max_retries=0)
+        assert failure_report().worker_crashes >= 1
+
+
+def _always_kill(arg: tuple[int, str]) -> int:
+    x, marker = arg
+    if marker:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+@needs_pool
+class TestHungTask:
+    def test_hung_task_times_out_and_recovers(self, tmp_path):
+        items = _args(8, {3: tmp_path / "hang-3"})
+        chaotic = parallel_map(
+            _hang_once_then_square, items, jobs=2, task_timeout=1.0
+        )
+        assert chaotic == [x * x for x in range(8)]
+        assert failure_report().timeouts >= 1
+
+    def test_hung_task_result_matches_serial(self, tmp_path):
+        items = _args(6, {0: tmp_path / "hang-0"})
+        chaotic = parallel_map(
+            _hang_once_then_square, items, jobs=2, task_timeout=1.0
+        )
+        serial = parallel_map(_square, list(range(6)), jobs=1)
+        assert chaotic == serial
+
+    def test_timeout_resolves_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.0")
+        items = _args(6, {2: tmp_path / "hang-env"})
+        assert parallel_map(_hang_once_then_square, items, jobs=2) == [
+            x * x for x in range(6)
+        ]
+        assert failure_report().timeouts >= 1
+
+
+class TestRaisingTask:
+    def test_raise_once_is_retried_serial(self, tmp_path):
+        items = _args(6, {4: tmp_path / "raise-4"})
+        assert parallel_map(_raise_once_then_square, items, jobs=1) == [
+            x * x for x in range(6)
+        ]
+        assert failure_report().retries == 1
+
+    @needs_pool
+    def test_raise_once_is_retried_pooled(self, tmp_path):
+        items = _args(10, {1: tmp_path / "raise-1", 7: tmp_path / "raise-7"})
+        chaotic = parallel_map(_raise_once_then_square, items, jobs=3)
+        assert chaotic == [x * x for x in range(10)]
+        assert failure_report().retries >= 2
+
+    def test_permanent_failure_surfaces_original_exception(self):
+        with pytest.raises(ValueError, match="permanent fault on item 0"):
+            parallel_map(_always_raise, _args(4, {}), jobs=1, max_retries=1)
+        # Budget was spent before giving up: initial attempt + 1 retry.
+        assert failure_report().retries == 1
+
+    @needs_pool
+    def test_permanent_failure_surfaces_pooled(self):
+        with pytest.raises(ValueError, match="permanent fault"):
+            parallel_map(_always_raise, _args(4, {}), jobs=2, max_retries=1)
+
+
+@needs_pool
+class TestMixedChaos:
+    def test_kill_hang_and_raise_together(self, tmp_path):
+        """All three fault kinds in one sweep still yield the serial answer."""
+        faulty = {
+            2: tmp_path / "mixed-kill",
+            6: tmp_path / "mixed-hang",
+            10: tmp_path / "mixed-raise",
+        }
+        items = [
+            (x, str(faulty.get(x, "")), _KIND.get(x, "ok")) for x in range(14)
+        ]
+        chaotic = parallel_map(_mixed_fault, items, jobs=3, task_timeout=1.0)
+        assert chaotic == [x * x for x in range(14)]
+        # Every fault demonstrably fired (marker written on attempt 1).
+        # The SIGKILL teardown is always counted; the hang and the raise
+        # may be absorbed by it (their workers die with the pool before
+        # the timeout or the retry path observes them), so only the
+        # aggregate is asserted beyond the guaranteed crash.
+        assert all(marker.exists() for marker in faulty.values())
+        report = failure_report()
+        assert report.worker_crashes >= 1
+        assert report.total >= 1
+        # Rerun (markers present, all tasks now clean) is bit-identical.
+        assert chaotic == parallel_map(_mixed_fault, items, jobs=1)
+
+
+_KIND = {2: "kill", 6: "hang", 10: "raise"}
+
+
+def _mixed_fault(arg: tuple[int, str, str]) -> int:
+    x, marker, kind = arg
+    if _first_attempt(marker):
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            time.sleep(300.0)
+        elif kind == "raise":
+            raise RuntimeError(f"injected fault on item {x}")
+    return x * x

@@ -2,19 +2,22 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro.core.parameters import kazaa_defaults, reservation_defaults
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel
 from repro.runtime import (
+    failure_report,
     global_cache,
     run_experiments,
     solve_multihop_batch,
     solve_protocol_suite,
     solve_singlehop_batch,
 )
-from repro.runtime.solvers import solve_singlehop_point
+from repro.runtime.solvers import solve_chain_stationary, solve_singlehop_point
 
 
 @pytest.fixture(autouse=True)
@@ -143,3 +146,54 @@ class TestRunExperiments:
         serial = run_experiments(["fig17", "table1"], fast=True, jobs=1)
         parallel = run_experiments(["fig17", "table1"], fast=True, jobs=2)
         assert [r.to_text() for r in serial] == [r.to_text() for r in parallel]
+
+
+class _FakeChain:
+    """Duck-typed stand-in for ContinuousTimeMarkovChain in fallback tests."""
+
+    def __init__(self, solver, failing=("sparse",)):
+        self.solver = solver
+        self.states = ("a", "b")
+        self._failing = failing
+
+    def stationary_distribution(self):
+        if self.solver in self._failing:
+            raise ValueError(f"{self.solver} factorization is singular")
+        return {"a": 0.5, "b": 0.5}
+
+    def with_solver(self, solver):
+        return _FakeChain(solver, self._failing)
+
+
+class TestStationarySolverFallback:
+    @pytest.fixture(autouse=True)
+    def fresh_report(self):
+        failure_report().reset()
+        yield
+        failure_report().reset()
+
+    def test_sparse_failure_falls_back_to_dense(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.solvers"):
+            result = solve_chain_stationary(_FakeChain("sparse"))
+        assert result == {"a": 0.5, "b": 0.5}
+        assert failure_report().solver_fallbacks == 1
+        assert any("recomputing densely" in record.message for record in caplog.records)
+
+    def test_successful_solve_is_not_counted(self):
+        assert solve_chain_stationary(_FakeChain("sparse", failing=())) == {
+            "a": 0.5,
+            "b": 0.5,
+        }
+        assert failure_report().solver_fallbacks == 0
+
+    def test_dense_failure_propagates(self):
+        with pytest.raises(ValueError, match="dense factorization"):
+            solve_chain_stationary(_FakeChain("dense", failing=("dense",)))
+        assert failure_report().solver_fallbacks == 0
+
+    def test_fallback_failure_propagates_after_counting(self):
+        # Sparse fails, dense also fails: the dense error surfaces and
+        # the attempted fallback is still on the record.
+        with pytest.raises(ValueError, match="dense factorization"):
+            solve_chain_stationary(_FakeChain("sparse", failing=("sparse", "dense")))
+        assert failure_report().solver_fallbacks == 1

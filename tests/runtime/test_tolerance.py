@@ -1,0 +1,185 @@
+"""Tests for the fault-tolerance knobs and the failure report.
+
+The chaos suite (``test_chaos.py``, ``-m chaos``) exercises real
+process-level faults; these tests cover the in-process surface — knob
+resolution precedence, context managers, retry accounting, and the
+report — and run in tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    FailureReport,
+    configure_tolerance,
+    effective_max_retries,
+    effective_task_timeout,
+    failure_report,
+    parallel_map,
+    using_tolerance,
+)
+from repro.runtime import executor as executor_module
+
+
+@pytest.fixture(autouse=True)
+def clean_tolerance(monkeypatch):
+    monkeypatch.setattr(executor_module, "_BACKOFF_BASE", 0.0)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+    configure_tolerance(None, None)
+    failure_report().reset()
+    yield
+    configure_tolerance(None, None)
+    failure_report().reset()
+
+
+class TestTaskTimeoutResolution:
+    def test_defaults_to_no_timeout(self):
+        assert effective_task_timeout() is None
+
+    def test_explicit_argument_wins(self):
+        configure_tolerance(task_timeout=30.0)
+        assert effective_task_timeout(5.0) == 5.0
+
+    def test_configured_default_applies(self):
+        configure_tolerance(task_timeout=30.0)
+        assert effective_task_timeout() == 30.0
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
+        assert effective_task_timeout() == 12.5
+
+    def test_zero_disables_even_against_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
+        assert effective_task_timeout(0.0) is None
+        configure_tolerance(task_timeout=0.0)
+        assert effective_task_timeout() is None
+
+    def test_infinite_timeout_means_none(self):
+        assert effective_task_timeout(float("inf")) is None
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_invalid_timeout_rejected(self, bad):
+        with pytest.raises(ValueError):
+            effective_task_timeout(bad)
+
+    def test_invalid_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_TASK_TIMEOUT"):
+            effective_task_timeout()
+
+
+class TestMaxRetriesResolution:
+    def test_built_in_default(self):
+        assert effective_max_retries() == 2
+
+    def test_explicit_argument_wins(self):
+        configure_tolerance(max_retries=5)
+        assert effective_max_retries(0) == 0
+
+    def test_configured_default_applies(self):
+        configure_tolerance(max_retries=5)
+        assert effective_max_retries() == 5
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "7")
+        assert effective_max_retries() == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            effective_max_retries(-1)
+
+    def test_invalid_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "lots")
+        with pytest.raises(ValueError, match="REPRO_MAX_RETRIES"):
+            effective_max_retries()
+
+
+class TestConfigureSentinel:
+    def test_setting_one_knob_leaves_the_other(self):
+        configure_tolerance(task_timeout=30.0, max_retries=5)
+        configure_tolerance(max_retries=1)
+        assert effective_task_timeout() == 30.0
+        assert effective_max_retries() == 1
+
+    def test_none_resets_to_environment(self, monkeypatch):
+        configure_tolerance(task_timeout=30.0)
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7.0")
+        configure_tolerance(task_timeout=None)
+        assert effective_task_timeout() == 7.0
+
+    def test_using_tolerance_restores(self):
+        configure_tolerance(task_timeout=30.0, max_retries=5)
+        with using_tolerance(task_timeout=1.0, max_retries=0):
+            assert effective_task_timeout() == 1.0
+            assert effective_max_retries() == 0
+        assert effective_task_timeout() == 30.0
+        assert effective_max_retries() == 5
+
+    def test_using_tolerance_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with using_tolerance(task_timeout=1.0):
+                raise RuntimeError("boom")
+        assert effective_task_timeout() is None
+
+
+class _FlakyTask:
+    """Raises on the first ``failures`` calls per item, then computes."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.calls: dict[int, int] = {}
+
+    def __call__(self, x: int) -> int:
+        self.calls[x] = self.calls.get(x, 0) + 1
+        if self.calls[x] <= self.failures:
+            raise RuntimeError(f"transient fault on {x}")
+        return x * x
+
+
+class TestSerialRetry:
+    def test_transient_failures_absorbed(self):
+        task = _FlakyTask(failures=2)
+        assert parallel_map(task, [1, 2, 3], jobs=1, max_retries=2) == [1, 4, 9]
+        assert failure_report().retries == 6
+
+    def test_budget_exhaustion_raises_original_error(self):
+        task = _FlakyTask(failures=3)
+        with pytest.raises(RuntimeError, match="transient fault on 1"):
+            parallel_map(task, [1], jobs=1, max_retries=2)
+
+    def test_zero_retries_fails_fast(self):
+        task = _FlakyTask(failures=1)
+        with pytest.raises(RuntimeError):
+            parallel_map(task, [1], jobs=1, max_retries=0)
+        assert task.calls == {1: 1}
+        assert failure_report().retries == 0
+
+
+class TestFailureReport:
+    def test_total_sums_all_counters(self):
+        report = FailureReport(
+            timeouts=1, retries=2, worker_crashes=3, degradations=4, solver_fallbacks=5
+        )
+        assert report.total == 15
+
+    def test_reset_zeroes_everything(self):
+        report = FailureReport(timeouts=1, retries=2)
+        report.reset()
+        assert report.total == 0
+
+    def test_summary_mentions_every_counter(self):
+        text = FailureReport().summary()
+        for counter in (
+            "timeouts",
+            "retries",
+            "worker_crashes",
+            "degradations",
+            "solver_fallbacks",
+        ):
+            assert f"{counter}=0" in text
+
+    def test_process_wide_report_is_shared(self):
+        failure_report().retries += 1
+        assert failure_report().retries == 1

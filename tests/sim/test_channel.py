@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.channel import Channel, ChannelConfig
+from repro.sim.channel import Channel, ChannelConfig, GilbertElliottProcess
 from repro.sim.engine import Environment
 from repro.sim.randomness import RandomStreams, TimerDiscipline
 
@@ -24,15 +24,21 @@ def make_channel(loss=0.0, delay=0.1, discipline=TimerDiscipline.DETERMINISTIC, 
 
 
 class TestChannelConfig:
-    @pytest.mark.parametrize("loss", [-0.1, 1.0, 1.5])
+    @pytest.mark.parametrize("loss", [-0.1, 1.5])
     def test_invalid_loss_rejected(self, loss):
         with pytest.raises(ValueError):
             ChannelConfig(loss_rate=loss, mean_delay=0.1)
 
-    @pytest.mark.parametrize("delay", [0.0, -0.5])
+    @pytest.mark.parametrize("delay", [-0.5, float("-inf")])
     def test_invalid_delay_rejected(self, delay):
         with pytest.raises(ValueError):
             ChannelConfig(loss_rate=0.0, mean_delay=delay)
+
+    @pytest.mark.parametrize("loss,delay", [(1.0, 0.1), (0.0, 0.0), (1.0, 0.0)])
+    def test_boundary_configs_accepted(self, loss, delay):
+        config = ChannelConfig(loss_rate=loss, mean_delay=delay)
+        assert config.loss_rate == loss
+        assert config.mean_delay == delay
 
 
 class TestDelivery:
@@ -115,6 +121,183 @@ class TestNonReordering:
         env.run()
         payloads = [m.payload for m in received]
         assert payloads == sorted(payloads)
+
+
+class TestEdgeCases:
+    def test_certain_loss_drops_everything(self):
+        env, channel, received = make_channel(loss=1.0)
+        outcomes = [channel.send(i) for i in range(100)]
+        env.run()
+        assert not any(outcomes)
+        assert channel.lost == channel.sent == 100
+        assert channel.delivered == 0
+        assert received == []
+
+    def test_zero_loss_zero_delay_instant_delivery(self):
+        env, channel, received = make_channel(loss=0.0, delay=0.0)
+        for i in range(20):
+            channel.send(i)
+        env.run()
+        assert [m.payload for m in received] == list(range(20))
+        assert all(m.delivered_at == m.sent_at == 0.0 for m in received)
+
+    def test_zero_delay_preserves_send_order(self):
+        env, channel, received = make_channel(loss=0.0, delay=0.0)
+
+        def staggered(env):
+            for i in range(50):
+                channel.send(i)
+                if i % 7 == 0:
+                    yield env.timeout(0.5)
+
+        env.process(staggered(env))
+        env.run()
+        payloads = [m.payload for m in received]
+        assert payloads == sorted(payloads)
+
+    def test_certain_loss_with_zero_delay(self):
+        env, channel, received = make_channel(loss=1.0, delay=0.0)
+        assert not channel.send("x")
+        env.run()
+        assert received == []
+
+
+class TestDownFlag:
+    def test_down_channel_loses_deterministically(self):
+        env, channel, received = make_channel(loss=0.0)
+        channel.down = True
+        outcomes = [channel.send(i) for i in range(10)]
+        env.run()
+        assert not any(outcomes)
+        assert channel.lost == 10
+        assert received == []
+
+    def test_down_drops_consume_no_randomness(self):
+        """A link outage must not shift the loss stream of later traffic."""
+
+        def run(down_sends: int) -> list[bool]:
+            env, channel, _ = make_channel(loss=0.4, seed=23)
+            channel.down = True
+            for i in range(down_sends):
+                channel.send(("outage", i))
+            channel.down = False
+            return [channel.send(i) for i in range(200)]
+
+        # The post-outage loss pattern is identical no matter how much
+        # traffic the outage swallowed.
+        assert run(0) == run(1) == run(17)
+
+    def test_down_drops_do_not_fire_on_loss(self):
+        env = Environment()
+        lost = []
+        channel = Channel(
+            env,
+            ChannelConfig(loss_rate=0.0, mean_delay=0.1),
+            RandomStreams(29).stream("chan"),
+            lambda m: None,
+            on_loss=lost.append,
+        )
+        channel.down = True
+        channel.send("x")
+        env.run()
+        assert channel.lost == 1
+        assert lost == []
+
+
+class TestGilbertElliottProcess:
+    @staticmethod
+    def make_process(**overrides):
+        kwargs = dict(
+            loss_good=0.0,
+            loss_bad=0.2,
+            good_to_bad=0.1,
+            bad_to_good=1.0,
+            rng=RandomStreams(31).stream("gilbert-channel"),
+        )
+        kwargs.update(overrides)
+        return GilbertElliottProcess(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="loss_good"):
+            self.make_process(loss_good=-0.1)
+        with pytest.raises(ValueError, match="loss_bad"):
+            self.make_process(loss_bad=1.5)
+        with pytest.raises(ValueError, match="good_to_bad"):
+            self.make_process(good_to_bad=-1.0)
+        with pytest.raises(ValueError, match="bad_to_good"):
+            self.make_process(bad_to_good=-1.0)
+
+    def test_zero_rates_pin_the_good_state(self):
+        process = self.make_process(good_to_bad=0.0, bad_to_good=0.0)
+        for t in (0.0, 1.0, 1e6):
+            assert not process.is_bad(t)
+            assert process.loss_rate_at(t) == 0.0
+
+    def test_absorbing_bad_state(self):
+        # With no return rate, the first flip strands the channel bad.
+        process = self.make_process(good_to_bad=10.0, bad_to_good=0.0)
+        assert process.is_bad(1e6)
+        assert process.loss_rate_at(1e9) == 0.2
+
+    def test_queries_are_monotone_consistent(self):
+        # Re-querying the same instant does not advance the process.
+        process = self.make_process()
+        first = process.loss_rate_at(5.0)
+        assert process.loss_rate_at(5.0) == first
+        assert process.is_bad(5.0) == (first == 0.2)
+
+
+class TestGilbertDegeneracy:
+    """A degenerate modulator must be invisible, bit for bit."""
+
+    @staticmethod
+    def run_channel(loss_process, seed=37, n=500):
+        env = Environment()
+        received = []
+        channel = Channel(
+            env,
+            ChannelConfig(
+                loss_rate=0.15,
+                mean_delay=0.2,
+                delay_discipline=TimerDiscipline.EXPONENTIAL,
+            ),
+            RandomStreams(seed).stream("chan"),
+            received.append,
+            loss_process=loss_process,
+        )
+
+        def source(env):
+            for i in range(n):
+                channel.send(i)
+                yield env.timeout(0.05)
+
+        env.process(source(env))
+        env.run()
+        return channel, received
+
+    def test_degenerate_process_matches_iid_bit_for_bit(self):
+        # Same per-state loss as the config's i.i.d. rate: the channel
+        # consumes the identical draws from the identical stream, so
+        # every delivery record matches exactly.
+        degenerate = GilbertElliottProcess(
+            0.15, 0.15, 0.5, 2.0, RandomStreams(41).stream("gilbert-channel")
+        )
+        iid_channel, iid_received = self.run_channel(None)
+        ge_channel, ge_received = self.run_channel(degenerate)
+        assert ge_received == iid_received
+        assert (ge_channel.sent, ge_channel.lost, ge_channel.delivered) == (
+            iid_channel.sent,
+            iid_channel.lost,
+            iid_channel.delivered,
+        )
+
+    def test_bursty_process_diverges_from_iid(self):
+        bursty = GilbertElliottProcess(
+            0.0, 1.0, 0.5, 2.0, RandomStreams(41).stream("gilbert-channel")
+        )
+        iid_channel, _ = self.run_channel(None)
+        ge_channel, _ = self.run_channel(bursty)
+        assert ge_channel.lost != iid_channel.lost
 
 
 class TestLossHook:

@@ -34,8 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description=(
-            "AST-based invariant checker for the repo's layer, determinism "
-            "and bit-parity contracts (rules RL001-RL005; see docs/linting.md)."
+            "AST-based invariant checker for the repo's layer, determinism, "
+            "bit-parity and failure-handling contracts (rules RL001-RL006; "
+            "see docs/linting.md)."
         ),
     )
     parser.add_argument(

@@ -11,6 +11,7 @@ fixture pair under ``tests/lint/fixtures/``.
 from __future__ import annotations
 
 from tools.reprolint.rules.determinism import DeterminismRule
+from tools.reprolint.rules.failures import SilentFailureRule
 from tools.reprolint.rules.layers import LayerContractRule
 from tools.reprolint.rules.ordering import CanonicalOrderRule
 from tools.reprolint.rules.parity import ParityRegistrationRule
@@ -26,4 +27,5 @@ def default_rules() -> list:
         CanonicalOrderRule(),
         ParityRegistrationRule(),
         WorkerSafetyRule(),
+        SilentFailureRule(),
     ]

@@ -1,0 +1,131 @@
+"""RL006 — silent failure: exceptions must not vanish without a trace.
+
+The fault-tolerant runtime's whole contract is that failures are
+*recorded* (retried, logged, counted in the
+:class:`~repro.runtime.executor.FailureReport`) — never swallowed.  A
+``except: pass`` anywhere in the stack silently converts a crash into
+wrong-but-plausible numbers, the worst possible failure mode for a
+reproduction repo.  This rule flags, anywhere in the linted tree:
+
+* a bare ``except:`` — regardless of body, because it also traps
+  ``SystemExit``/``KeyboardInterrupt``;
+* ``except Exception:`` / ``except BaseException:`` (bare or aliased,
+  alone or inside a tuple) whose body does nothing but ``pass`` or
+  ``...``.
+
+Broad handlers with a real body (log, count, re-raise, fall back) pass:
+breadth is sometimes right, silence never is.  ``[rules.RL006]
+extra_paths`` names directories outside the default lint set (the
+repo's ``tools/``) that this rule additionally sweeps in its
+project-level pass, so the checker cannot exempt itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+from tools.reprolint.engine import Finding, LintContext, Module, discover_files
+
+__all__ = ["SilentFailureRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(expr: ast.expr) -> str | None:
+    """The broad class name caught by ``expr``, or ``None``."""
+    if isinstance(expr, ast.Name) and expr.id in _BROAD:
+        return expr.id
+    if isinstance(expr, ast.Attribute) and expr.attr in _BROAD:
+        return expr.attr
+    if isinstance(expr, ast.Tuple):
+        for element in expr.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _is_noop(body: list[ast.stmt]) -> bool:
+    """Whether a handler body does nothing at all (``pass`` / ``...``)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+class SilentFailureRule:
+    code = "RL006"
+    name = "silent-failure"
+    description = (
+        "no bare `except:` and no `except Exception: pass` — failures "
+        "must be recorded (logged, counted, re-raised), never swallowed"
+    )
+
+    def __init__(self) -> None:
+        # Files already seen by check_module this run, so the
+        # extra_paths sweep cannot double-report them.
+        self._checked: set[str] = set()
+
+    def check_module(self, module: Module, context: LintContext) -> list[Finding]:
+        self._checked.add(module.rel_path)
+        return self._scan(module)
+
+    def check_project(self, context: LintContext) -> list[Finding]:
+        # check_project ends the run: consume the seen-set so the
+        # instance stays correct if reused for another run_lint call.
+        checked, self._checked = self._checked, set()
+        findings: list[Finding] = []
+        extra = context.manifest.rule_config(self.code).get("extra_paths", [])
+        for entry in extra:
+            for path in discover_files(context.root, [pathlib.Path(entry)]):
+                rel = context.rel_path(path)
+                if rel in checked:
+                    continue
+                checked.add(rel)
+                module = context.load(rel)
+                if module is None:
+                    continue
+                findings.extend(self._scan(module))
+        return findings
+
+    def _scan(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=node.lineno,
+                        message=(
+                            "bare `except:` traps SystemExit/KeyboardInterrupt "
+                            "too; catch a specific exception class"
+                        ),
+                    )
+                )
+                continue
+            broad = _broad_name(node.type)
+            if broad is not None and _is_noop(node.body):
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=module.rel_path,
+                        line=node.lineno,
+                        message=(
+                            f"`except {broad}` with an empty body silently "
+                            "swallows failures; log, count, re-raise or "
+                            "narrow the class"
+                        ),
+                    )
+                )
+        return findings
