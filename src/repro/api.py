@@ -74,16 +74,20 @@ def list_scenarios() -> tuple[ScenarioSpec, ...]:
     ``tree_fanout`` (multicast fan-out over star/broom/binary/skewed
     trees), and the fault-injection scenarios ``burst_loss``,
     ``burst_loss_hops`` and ``link_flap`` (Gilbert-Elliott bursty loss
-    and link churn; see ``docs/robustness.md``).  The same ids drive
-    the CLI's ``run``/``validate`` verbs and ``repro-signaling all``,
-    so registry, docs and CLI stay consistent:
+    and link churn; see ``docs/robustness.md``), and the transient
+    recovery scenarios ``time_to_consistency``, ``recovery_flap`` and
+    ``recovery_crash`` (uniformization-based consistency-over-time
+    curves; see ``docs/transient.md``).  The same ids drive the CLI's
+    ``run``/``validate`` verbs and ``repro-signaling all``, so
+    registry, docs and CLI stay consistent:
 
     >>> import repro.api as api
     >>> [spec.scenario_id for spec in api.list_scenarios()]
     ... # doctest: +NORMALIZE_WHITESPACE
     ['burst_loss', 'burst_loss_hops', 'fig10', 'fig11', 'fig12',
      'fig17', 'fig18', 'fig19', 'fig4', 'fig5', 'fig6', 'fig7',
-     'fig8', 'fig9', 'link_flap', 'scaling', 'table1',
+     'fig8', 'fig9', 'link_flap', 'recovery_crash', 'recovery_flap',
+     'scaling', 'table1', 'time_to_consistency',
      'tree_depth', 'tree_fanout']
     >>> api.list_scenarios()[0].fidelity_names()
     ('full', 'fast', 'smoke')

@@ -1,15 +1,23 @@
 """Transient analysis: how fast does consistency establish after setup?
 
 The paper reports only stationary quantities.  This extension computes
-the *time-dependent* state distribution of the single-hop chain via the
-matrix exponential ``P(t) = P(0) expm(Q t)`` (scipy), answering
-questions the stationary metrics cannot:
+the *time-dependent* state distribution of the single-hop chain,
+answering questions the stationary metrics cannot:
 
 * the probability the receiver is consistent ``t`` seconds after a
   setup or update;
 * the time to reach a target consistency probability (e.g. "when is
   the state 99% likely to be installed?") — the signaling analogue of
   a convergence-time SLO.
+
+The numerics run through the uniformization kernel
+(:mod:`repro.core.uniformization`): one Poisson-weighted power
+iteration covers the whole time grid, works on the sparse generator,
+and detects steady state early — unlike the original implementation,
+which built one dense ``expm(Q t)`` per grid point.  ``expm`` remains
+the oracle these results are tested against (see
+``tests/core/test_uniformization.py`` and the tolerance classification
+in ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -18,11 +26,11 @@ import bisect
 from collections.abc import Sequence
 
 import numpy as np
-from scipy import linalg as _scipy_linalg
 
 from repro.core.markov import ContinuousTimeMarkovChain
 from repro.core.singlehop.model import SingleHopModel
 from repro.core.singlehop.states import SingleHopState as S
+from repro.core.uniformization import uniformized_transient
 
 __all__ = [
     "consistency_probability",
@@ -45,18 +53,13 @@ def transient_distribution(
     states = chain.states
     if start not in states:
         raise ValueError(f"unknown start state {start!r}")
-    q = chain.generator_matrix()
     initial = np.zeros(len(states))
     initial[states.index(start)] = 1.0
-    distributions = []
-    for t in times:
-        probabilities = initial @ _scipy_linalg.expm(q * t)
-        probabilities = np.clip(probabilities, 0.0, None)
-        probabilities /= probabilities.sum()
-        distributions.append(
-            {state: float(p) for state, p in zip(states, probabilities)}
-        )
-    return distributions
+    result = uniformized_transient(chain, initial, times)
+    return [
+        {state: float(p) for state, p in zip(states, row)}
+        for row in result.probabilities
+    ]
 
 
 def consistency_probability(

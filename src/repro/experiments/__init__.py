@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401 - imported to populate the registr
     robustness,
     scaling,
     table01,
+    transient_scenarios,
     trees,
 )
 from repro.experiments.executor import run_scenario

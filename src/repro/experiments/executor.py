@@ -35,6 +35,7 @@ from repro.experiments.simsupport import (
     simulate_faulted_multihop_batch,
     simulate_gilbert_singlehop_batch,
     simulate_singlehop_batch,
+    simulate_transient_curve_batch,
 )
 from repro.experiments.spec import (
     FULL,
@@ -44,7 +45,11 @@ from repro.experiments.spec import (
     ScenarioSpec,
     SeriesPlan,
 )
-from repro.runtime import solve_multihop_batch, solve_singlehop_batch
+from repro.runtime import (
+    solve_multihop_batch,
+    solve_singlehop_batch,
+    solve_transient_curve,
+)
 
 __all__ = ["run_scenario"]
 
@@ -203,6 +208,28 @@ def _sweep_series(
     jobs: int | None,
 ) -> list[Series]:
     xs = spec.axis(plan.axis).resolve(profile)
+    if spec.family == "transient":
+        # No binder/metric: the axis is the time grid itself, solved in
+        # one uniformization pass per protocol through the runtime cache.
+        return [
+            Series(
+                f"{protocol.value}{plan.label_suffix}",
+                xs,
+                tuple(
+                    solve_transient_curve(
+                        (
+                            protocol,
+                            base,
+                            None,
+                            spec.transient.initial,
+                            spec.transient.faults,
+                            tuple(xs),
+                        )
+                    ).consistency
+                ),
+            )
+            for protocol in protocols
+        ]
     bind = _spec.binder(plan.binder)
     metric = _spec.metric(plan.metric)
     make = lambda x: bind(base, x)  # noqa: E731
@@ -251,8 +278,12 @@ def _sim_series(
             f"{spec.scenario_id}: fidelity {profile.name!r} sets no replications"
         )
     xs = spec.axis(plan.axis).resolve(profile)
-    bind = _spec.binder(plan.binder)
     seed = spec.sim.seed if seed is None else seed
+    if spec.family == "transient":
+        return _transient_sim_series(
+            spec, plan, profile, base, protocols, xs, sim_memo, jobs, seed
+        )
+    bind = _spec.binder(plan.binder)
     tasks = []
     simulate = simulate_singlehop_batch
     for protocol in protocols:
@@ -308,6 +339,46 @@ def _sim_series(
             )
         )
     return series
+
+
+def _transient_sim_series(
+    spec: ScenarioSpec,
+    plan: SeriesPlan,
+    profile: FidelityProfile,
+    base,
+    protocols: tuple[Protocol, ...],
+    xs: tuple[float, ...],
+    sim_memo: dict[tuple, object],
+    jobs: int | None,
+    seed: int,
+) -> list[Series]:
+    """Replicated consistency curves: one whole grid per task."""
+    plan_ = spec.transient
+    tasks = [
+        (
+            protocol,
+            base,
+            plan_.faults,
+            plan_.warmup,
+            tuple(xs),
+            profile.replications,
+            seed,
+        )
+        for protocol in protocols
+    ]
+    misses = [task for task in tasks if task not in sim_memo]
+    if misses:
+        for task, curve in zip(misses, simulate_transient_curve_batch(misses, jobs=jobs)):
+            sim_memo[task] = curve
+    return [
+        Series(
+            f"{protocol.value}{plan.label_suffix}",
+            xs,
+            sim_memo[task].means,
+            sim_memo[task].half_widths,
+        )
+        for protocol, task in zip(protocols, tasks)
+    ]
 
 
 def _sim_sessions(spec: ScenarioSpec, profile: FidelityProfile, x: float) -> int:

@@ -15,14 +15,16 @@ from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.faults.gilbert import GilbertElliottParameters
 from repro.faults.schedule import FaultSchedule
-from repro.multihop.chain import simulate_multihop_replications
+from repro.multihop.chain import MultiHopSimulation, simulate_multihop_replications
 from repro.multihop.config import MultiHopSimConfig
 from repro.protocols.config import SingleHopSimConfig
 from repro.protocols.session import simulate_replications
 from repro.runtime import parallel_map
-from repro.sim.randomness import TimerDiscipline
+from repro.sim.randomness import RandomStreams, TimerDiscipline
+from repro.sim.stats import student_t_interval
 
 __all__ = [
+    "SimCurvePoint",
     "SimPoint",
     "sessions_for_length",
     "simulate_faulted_multihop_batch",
@@ -30,6 +32,8 @@ __all__ = [
     "simulate_gilbert_singlehop_batch",
     "simulate_singlehop_batch",
     "simulate_singlehop_point",
+    "simulate_transient_curve_batch",
+    "simulate_transient_curve_point",
 ]
 
 
@@ -205,3 +209,105 @@ def simulate_faulted_multihop_batch(
     ``None`` (clean channel / no schedule).
     """
     return parallel_map(_simulate_faulted_multihop_task, tasks, jobs=jobs)
+
+
+@dataclasses.dataclass(frozen=True)
+class SimCurvePoint:
+    """Replicated consistency-curve estimates over one time grid."""
+
+    times: tuple[float, ...]
+    means: tuple[float, ...]
+    half_widths: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not len(self.times) == len(self.means) == len(self.half_widths):
+            raise ValueError("times, means and half_widths must align")
+
+
+def simulate_transient_curve_point(
+    protocol: Protocol,
+    params: MultiHopParameters,
+    faults: FaultSchedule | None,
+    warmup: float,
+    times: tuple[float, ...],
+    replications: int,
+    seed: int,
+) -> SimCurvePoint:
+    """Estimate a consistency-over-time curve from replicated chain runs.
+
+    Grid ``times`` and any fault times are stated relative to the start
+    of measurement; the schedule is shifted by ``warmup`` so model time
+    ``t`` is sampled at virtual time ``warmup + t`` (see
+    :meth:`~repro.faults.schedule.FaultSchedule.shifted`).  Timers keep
+    the harness's deterministic discipline — the same convention as the
+    stationary validation scenarios, which the analytic model's timeout
+    profile is calibrated against.  Each grid point gets its own
+    Student-t interval across replications.
+    """
+    if replications < 2:
+        raise ValueError(f"curve CIs need replications >= 2, got {replications}")
+    if not times:
+        raise ValueError("times must be a non-empty grid")
+    horizon = warmup + max(times) + 1.0
+    config = MultiHopSimConfig(
+        protocol=protocol,
+        params=params,
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+        faults=faults.shifted(warmup) if faults is not None else None,
+        sample_times=tuple(warmup + t for t in times),
+    )
+    streams = RandomStreams(seed)
+    samples: list[tuple[float, ...]] = []
+    for index in range(replications):
+        replication = config.replace(seed=streams.spawn(index).seed)
+        outcome = MultiHopSimulation(replication).run()
+        if len(outcome.consistency_samples) != len(times):
+            raise RuntimeError(
+                f"expected {len(times)} samples, got "
+                f"{len(outcome.consistency_samples)} (horizon too short?)"
+            )
+        samples.append(outcome.consistency_samples)
+    intervals = [student_t_interval(column) for column in zip(*samples)]
+    return SimCurvePoint(
+        times=tuple(times),
+        means=tuple(interval.mean for interval in intervals),
+        half_widths=tuple(interval.half_width for interval in intervals),
+    )
+
+
+TransientCurveTask = tuple[
+    Protocol,
+    MultiHopParameters,
+    "FaultSchedule | None",
+    float,
+    tuple,
+    int,
+    int,
+]
+
+
+def _simulate_transient_curve_task(task: TransientCurveTask) -> SimCurvePoint:
+    protocol, params, faults, warmup, times, replications, seed = task
+    return simulate_transient_curve_point(
+        protocol,
+        params,
+        faults=faults,
+        warmup=warmup,
+        times=times,
+        replications=replications,
+        seed=seed,
+    )
+
+
+def simulate_transient_curve_batch(
+    tasks: Iterable[TransientCurveTask], jobs: int | None = None
+) -> list[SimCurvePoint]:
+    """Run many transient-curve estimates, fanned across workers.
+
+    Tasks are ``(protocol, params, faults, warmup, times, replications,
+    seed)``; each whole curve (all its replications) is one work unit,
+    since replications share the per-task seed spawning sequence.
+    """
+    return parallel_map(_simulate_transient_curve_task, tasks, jobs=jobs)

@@ -38,6 +38,7 @@ from repro.core.parameters import (
 )
 from repro.core.protocols import Protocol
 from repro.experiments.runner import geometric_sweep, linear_sweep
+from repro.faults.schedule import FaultSchedule
 
 __all__ = [
     "Axis",
@@ -47,6 +48,7 @@ __all__ = [
     "ScenarioSpec",
     "SeriesPlan",
     "SimPlan",
+    "TransientPlan",
     "apply_overrides",
     "base_parameters",
     "binder",
@@ -251,6 +253,40 @@ class SimPlan:
             raise ScenarioError(f"unknown sessions_mode {self.sessions_mode!r}")
 
 
+@dataclasses.dataclass(frozen=True)
+class TransientPlan:
+    """The timeline of a ``transient``-family scenario.
+
+    ``initial`` seeds the analytic curve and fixes the sim warmup
+    convention: ``"empty"`` starts cold (no installed state, warmup
+    must be 0 so the sim measures from its own cold start) and
+    ``"stationary"`` starts warmed up (warmup must be positive; the
+    model starts at the nominal stationary distribution and the sim
+    discards ``warmup`` virtual seconds).  ``faults`` states flap
+    offsets and crash times *relative to the start of measurement* —
+    the executor shifts them by ``warmup`` for the simulator
+    (:meth:`repro.faults.schedule.FaultSchedule.shifted`).
+    """
+
+    initial: str = "empty"
+    faults: FaultSchedule | None = None
+    warmup: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initial not in ("empty", "stationary"):
+            raise ScenarioError(
+                f"transient initial must be 'empty' or 'stationary', "
+                f"got {self.initial!r}"
+            )
+        if self.initial == "empty" and self.warmup != 0.0:
+            raise ScenarioError("a cold ('empty') start cannot have a sim warmup")
+        if self.initial == "stationary" and self.warmup <= 0.0:
+            raise ScenarioError(
+                "a 'stationary' start needs a positive sim warmup to "
+                "approximate the stationary distribution"
+            )
+
+
 # ----------------------------------------------------------------------
 # The scenario spec
 # ----------------------------------------------------------------------
@@ -267,6 +303,7 @@ _FAMILIES = (
     "tree",
     "burst_loss",
     "link_flap",
+    "transient",
 )
 
 
@@ -307,8 +344,17 @@ class ScenarioSpec:
     notes: tuple[str, ...] = ()
     notes_hook: str = ""
     sim: SimPlan | None = None
+    transient: TransientPlan | None = None
 
     def __post_init__(self) -> None:
+        if self.family == "transient" and self.transient is None:
+            raise ScenarioError(
+                f"{self.scenario_id}: a 'transient' scenario needs a TransientPlan"
+            )
+        if self.family != "transient" and self.transient is not None:
+            raise ScenarioError(
+                f"{self.scenario_id}: a TransientPlan needs family='transient'"
+            )
         if self.family not in _FAMILIES:
             raise ScenarioError(
                 f"{self.scenario_id}: unknown family {self.family!r}; "

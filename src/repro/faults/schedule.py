@@ -118,3 +118,24 @@ class FaultSchedule:
     @property
     def is_empty(self) -> bool:
         return not self.flaps and not self.crashes
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """The same schedule delayed by ``offset`` seconds.
+
+        The transient scenarios state fault times relative to the start
+        of *measurement*; a simulation with a warmup window shifts the
+        whole program so model time ``t`` lands at virtual time
+        ``warmup + t``.
+        """
+        if not (math.isfinite(offset) and offset >= 0):
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        return FaultSchedule(
+            flaps=tuple(
+                dataclasses.replace(flap, offset=flap.offset + offset)
+                for flap in self.flaps
+            ),
+            crashes=tuple(
+                dataclasses.replace(crash, at=crash.at + offset)
+                for crash in self.crashes
+            ),
+        )

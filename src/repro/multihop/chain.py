@@ -24,7 +24,7 @@ from repro.multihop.nodes import ChainSender, RelayNode
 from repro.protocols.messages import Message
 from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage, GilbertElliottProcess
 from repro.sim.engine import Environment
-from repro.sim.monitor import StateFractionMonitor
+from repro.sim.monitor import StateFractionMonitor, TimeSeriesMonitor
 from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ReplicationSet
 
@@ -41,6 +41,9 @@ class MultiHopSimResult:
     hop_inconsistent_time: list[float]
     any_inconsistent_time: float
     link_transmissions: int
+    #: Consistency indicator sampled at ``config.sample_times`` (1.0
+    #: when every hop agreed with the sender at that instant).
+    consistency_samples: tuple[float, ...] = ()
 
     @property
     def inconsistency_ratio(self) -> float:
@@ -177,6 +180,13 @@ class MultiHopSimulation:
             StateFractionMonitor(self.env, initial=True) for _ in range(n)
         ]
         self._any_monitor = StateFractionMonitor(self.env, initial=True)
+        # Created after the fault processes so a sample scheduled at a
+        # fault instant observes the post-fault state (FIFO tie-break).
+        self._series_monitor = TimeSeriesMonitor(
+            self.env,
+            config.sample_times,
+            lambda: 0.0 if self._any_monitor.active else 1.0,
+        )
         self.sender.start()
         self._refresh_consistency()
 
@@ -293,6 +303,7 @@ class MultiHopSimulation:
             hop_inconsistent_time=[m.active_time() for m in self._hop_monitors],
             any_inconsistent_time=self._any_monitor.active_time(),
             link_transmissions=self.link_transmissions - transmissions_at_warmup,
+            consistency_samples=self._series_monitor.samples(),
         )
 
 

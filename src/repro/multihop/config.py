@@ -28,6 +28,11 @@ class MultiHopSimConfig:
     product-chain models); ``faults`` is a deterministic schedule of
     link flaps and node crash/restart events, realized as simulation
     processes by the harness.
+
+    ``sample_times`` (absolute virtual times, sorted) makes the run
+    record the end-to-end consistency indicator at each grid time via
+    :class:`~repro.sim.monitor.TimeSeriesMonitor` — the sim side of
+    the transient recovery curves.
     """
 
     protocol: Protocol
@@ -39,6 +44,7 @@ class MultiHopSimConfig:
     seed: int = 20030825
     gilbert: GilbertElliottParameters | None = None
     faults: FaultSchedule | None = None
+    sample_times: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.protocol not in Protocol.multihop_family():
@@ -64,6 +70,15 @@ class MultiHopSimConfig:
                     raise ValueError(
                         f"crash node must be in [1, {hops}], got {crash.node}"
                     )
+        if self.sample_times:
+            times = self.sample_times
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ValueError("sample_times must be sorted non-decreasing")
+            if times[0] < 0 or times[-1] > self.horizon:
+                raise ValueError(
+                    f"sample_times must lie in [0, horizon], got "
+                    f"[{times[0]}, {times[-1]}] vs horizon {self.horizon}"
+                )
 
     def replace(self, **changes: object) -> "MultiHopSimConfig":
         """A copy with the given fields changed."""

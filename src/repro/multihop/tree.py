@@ -27,7 +27,7 @@ from repro.multihop.nodes import _ReliableHop
 from repro.protocols.messages import Message, MessageKind
 from repro.sim.channel import Channel, ChannelConfig, GilbertElliottProcess
 from repro.sim.engine import Environment, Interrupt, Process
-from repro.sim.monitor import StateFractionMonitor
+from repro.sim.monitor import StateFractionMonitor, TimeSeriesMonitor
 from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ReplicationSet
 
@@ -50,6 +50,10 @@ class TreeSimResult:
     node_inconsistent_time: list[float]
     any_leaf_inconsistent_time: float
     link_transmissions: int
+    #: Consistency indicator sampled at ``config.sample_times`` (1.0
+    #: when every non-root node agreed with the sender — the tree
+    #: CTMC's fully-consistent state, stricter than the leaf metric).
+    consistency_samples: tuple[float, ...] = ()
 
     @property
     def inconsistency_ratio(self) -> float:
@@ -461,6 +465,17 @@ class TreeSimulation:
             for node in range(1, topology.num_nodes)
         }
         self._any_leaf_monitor = StateFractionMonitor(self.env, initial=True)
+        # Created after the fault processes so a sample scheduled at a
+        # fault instant observes the post-fault state (FIFO tie-break).
+        self._series_monitor = TimeSeriesMonitor(
+            self.env,
+            config.sample_times,
+            lambda: (
+                1.0
+                if all(n.value == self.sender.value for n in self.nodes.values())
+                else 0.0
+            ),
+        )
         self._leaves = topology.leaves()
         self.sender.start()
         self._refresh_consistency()
@@ -551,6 +566,7 @@ class TreeSimulation:
             ],
             any_leaf_inconsistent_time=self._any_leaf_monitor.active_time(),
             link_transmissions=self.link_transmissions - transmissions_at_warmup,
+            consistency_samples=self._series_monitor.samples(),
         )
 
 

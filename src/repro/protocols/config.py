@@ -26,6 +26,12 @@ class SingleHopSimConfig:
     with a bursty Gilbert-Elliott modulator shared by both directions
     (the product-chain models assume one path-wide channel state); the
     constant ``params.loss_rate`` is ignored while it is set.
+
+    ``sample_times`` (absolute virtual times, sorted) records the
+    sender==receiver consistency indicator at each grid time via
+    :class:`~repro.sim.monitor.TimeSeriesMonitor`; grid times past the
+    last session's end simply go unrecorded (the run stops with the
+    session driver).
     """
 
     protocol: Protocol
@@ -35,8 +41,15 @@ class SingleHopSimConfig:
     sessions: int = 500
     seed: int = 20030825
     gilbert: GilbertElliottParameters | None = None
+    sample_times: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.sample_times:
+            times = self.sample_times
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ValueError("sample_times must be sorted non-decreasing")
+            if times[0] < 0:
+                raise ValueError(f"sample_times must be non-negative, got {times[0]}")
         if self.sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {self.sessions}")
         if self.params.removal_rate <= 0:

@@ -27,7 +27,7 @@ from repro.protocols.receiver import SignalingReceiver
 from repro.protocols.sender import SignalingSender
 from repro.sim.channel import Channel, ChannelConfig, DeliveredMessage, GilbertElliottProcess
 from repro.sim.engine import Environment
-from repro.sim.monitor import StateFractionMonitor
+from repro.sim.monitor import StateFractionMonitor, TimeSeriesMonitor
 from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ReplicationSet
 
@@ -45,6 +45,9 @@ class SingleHopSimResult:
     message_counts: dict[str, int]
     timeout_removals: int
     false_signal_removals: int
+    #: Consistency indicator sampled at ``config.sample_times`` (1.0
+    #: when sender and receiver agreed at that instant).
+    consistency_samples: tuple[float, ...] = ()
 
     @property
     def inconsistency_ratio(self) -> float:
@@ -151,6 +154,11 @@ class SingleHopSimulation:
         self._consistency = StateFractionMonitor(self.env, initial=False)
         # Sender and receiver both start empty: values match.
         self._consistency.set(True)
+        self._series_monitor = TimeSeriesMonitor(
+            self.env,
+            config.sample_times,
+            lambda: 1.0 if self._consistency.active else 0.0,
+        )
 
         if protocol is Protocol.HS and params.external_false_signal_rate > 0:
             self.env.process(self._false_signal_source(), name="external-signal")
@@ -217,6 +225,7 @@ class SingleHopSimulation:
             message_counts=dict(self.message_counts),
             timeout_removals=self.receiver.timeout_removals,
             false_signal_removals=self.receiver.false_signal_removals,
+            consistency_samples=self._series_monitor.samples(),
         )
 
 

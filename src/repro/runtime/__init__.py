@@ -47,6 +47,7 @@ from repro.runtime.solvers import (
     solve_tree_batch,
     templates_enabled,
 )
+from repro.runtime.transient import solve_transient_curve, solve_transient_point
 
 __all__ = [
     "FailureReport",
@@ -68,6 +69,8 @@ __all__ = [
     "solve_multihop_batch",
     "solve_protocol_suite",
     "solve_singlehop_batch",
+    "solve_transient_curve",
+    "solve_transient_point",
     "solve_tree_batch",
     "templates_enabled",
     "using_jobs",

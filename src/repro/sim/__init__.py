@@ -25,7 +25,12 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
-from repro.sim.monitor import Counter, StateFractionMonitor, TimeWeightedValue
+from repro.sim.monitor import (
+    Counter,
+    StateFractionMonitor,
+    TimeSeriesMonitor,
+    TimeWeightedValue,
+)
 from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ConfidenceInterval, ReplicationSet, student_t_interval
 
@@ -43,6 +48,7 @@ __all__ = [
     "ReplicationSet",
     "SimulationError",
     "StateFractionMonitor",
+    "TimeSeriesMonitor",
     "Timeout",
     "TimeWeightedValue",
     "Timer",

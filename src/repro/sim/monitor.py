@@ -5,14 +5,18 @@ time*, so measurement must be time-weighted, not sample-weighted.
 :class:`TimeWeightedValue` integrates a piecewise-constant signal;
 :class:`StateFractionMonitor` specializes it to "fraction of time a
 boolean predicate held"; :class:`Counter` tallies discrete occurrences
-(signaling messages) for rate metrics.
+(signaling messages) for rate metrics; :class:`TimeSeriesMonitor`
+samples an instantaneous indicator on a fixed virtual-time grid (the
+sim side of the transient recovery curves).
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
+
 from repro.sim.engine import Environment
 
-__all__ = ["Counter", "StateFractionMonitor", "TimeWeightedValue"]
+__all__ = ["Counter", "StateFractionMonitor", "TimeSeriesMonitor", "TimeWeightedValue"]
 
 
 class TimeWeightedValue:
@@ -81,6 +85,54 @@ class StateFractionMonitor:
     def reset(self) -> None:
         """Restart measurement from the current time."""
         self._signal.reset()
+
+
+class TimeSeriesMonitor:
+    """Samples an instantaneous indicator at fixed virtual times.
+
+    Unlike the integrating monitors above, this one *records* —
+    ``probe()`` is evaluated exactly at each grid time, so warmup
+    resets elsewhere never touch it.  Replications of the same grid
+    average pointwise into a mean curve with CI bands
+    (:func:`repro.sim.stats.student_t_interval`).
+
+    The sampling process is registered at construction; grid times
+    must be sorted non-decreasing and not lie in the past.  A sample
+    scheduled at the same instant as another event fires after events
+    registered earlier (FIFO tie-break), so harnesses create this
+    monitor *after* fault processes: a sample at a crash instant sees
+    the post-crash state, matching the analytic convention.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        times: Sequence[float],
+        probe: Callable[[], float],
+    ) -> None:
+        self.env = env
+        self.times = tuple(float(t) for t in times)
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("sample times must be sorted non-decreasing")
+        if self.times and self.times[0] < env.now:
+            raise ValueError(
+                f"first sample time {self.times[0]} is before now ({env.now})"
+            )
+        self._probe = probe
+        self._samples: list[float] = []
+        if self.times:
+            env.process(self._sampler(), name="time-series-monitor")
+
+    def _sampler(self):
+        for t in self.times:
+            delay = t - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._samples.append(float(self._probe()))
+
+    def samples(self) -> tuple[float, ...]:
+        """The values recorded so far, one per elapsed grid time."""
+        return tuple(self._samples)
 
 
 class Counter:

@@ -1,0 +1,55 @@
+"""Time-dependent analysis: consistency curves through faults.
+
+The stationary models answer "how inconsistent is the protocol on
+average"; this layer answers the paper's underlying question directly —
+*how fast does consistency (re-)establish* after a cold start, a link
+flap, or a node crash.  It combines three pieces:
+
+* family adapters (:mod:`repro.transient.families`) exposing each
+  analytic model (single-hop, chain, tree) as a CTMC plus a
+  consistency indicator, degraded variants with downed links, and
+  crash projections;
+* a piecewise-constant-generator driver
+  (:mod:`repro.transient.piecewise`) that turns a deterministic
+  :class:`~repro.faults.schedule.FaultSchedule` into generator
+  segments and threads the state distribution through them;
+* curve assembly and SLO metrics (:mod:`repro.transient.curves`):
+  consistency probability over a time grid, time-to-consistency and
+  time-to-recover crossings.
+
+All transient propagation runs through the uniformization kernel
+(:mod:`repro.core.uniformization`).  The memo-cached batch entry
+points live one layer up in :mod:`repro.runtime.transient`.
+"""
+
+from repro.transient.curves import (
+    TransientCurve,
+    compute_transient_curve,
+    compute_transient_point,
+    first_crossing,
+    time_to_consistency,
+    time_to_recover,
+)
+from repro.transient.families import (
+    ChainTransientModel,
+    SingleHopTransientModel,
+    TreeTransientModel,
+    transient_model,
+)
+from repro.transient.piecewise import GeneratorSegment, fault_segments, piecewise_transient
+
+__all__ = [
+    "ChainTransientModel",
+    "GeneratorSegment",
+    "SingleHopTransientModel",
+    "TransientCurve",
+    "TreeTransientModel",
+    "compute_transient_curve",
+    "compute_transient_point",
+    "fault_segments",
+    "first_crossing",
+    "piecewise_transient",
+    "time_to_consistency",
+    "time_to_recover",
+    "transient_model",
+]

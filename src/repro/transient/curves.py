@@ -1,0 +1,141 @@
+"""Consistency curves over time and the SLO metrics defined on them.
+
+The deliverable of the transient layer is a *curve*: the probability
+that the system is end-to-end consistent at each point of a time grid,
+possibly through a fault timeline.  Two SLO-style scalars are read off
+a curve by linear interpolation:
+
+* :func:`time_to_consistency` — the first time the curve reaches a
+  target level from a cold start;
+* :func:`time_to_recover` — the first time the curve re-reaches a
+  level *after* a disruption instant (e.g. the flap's end).
+
+Both return ``inf`` when the level is never reached on the grid, which
+is a meaningful answer: stationary consistency is bounded away from 1
+by updates and removals, so aggressive targets are simply unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.core.multihop.topology import Topology
+from repro.core.parameters import MultiHopParameters, SignalingParameters
+from repro.core.protocols import Protocol
+from repro.faults.schedule import FaultSchedule
+from repro.transient.families import transient_model
+from repro.transient.piecewise import piecewise_transient
+
+__all__ = [
+    "TransientCurve",
+    "compute_transient_curve",
+    "compute_transient_point",
+    "first_crossing",
+    "time_to_consistency",
+    "time_to_recover",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientCurve:
+    """A consistency-probability curve on an explicit time grid."""
+
+    protocol: Protocol
+    times: tuple[float, ...]
+    consistency: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.consistency):
+            raise ValueError(
+                f"{len(self.times)} grid times vs {len(self.consistency)} values"
+            )
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("curve times must be sorted non-decreasing")
+
+
+def first_crossing(
+    times: Sequence[float],
+    values: Sequence[float],
+    level: float,
+    after: float = 0.0,
+) -> float:
+    """Earliest ``t >= after`` with ``value(t) >= level``, interpolated.
+
+    The curve is taken piecewise linear between grid points.  Returns
+    ``inf`` when the level is never reached at or after ``after``.
+    """
+    previous = None
+    for t, v in zip(times, values):
+        if t >= after and v >= level:
+            if previous is None:
+                return float(t)
+            t0, v0 = previous
+            if v == v0:
+                return float(t)
+            crossing = t0 + (level - v0) * (t - t0) / (v - v0)
+            return float(max(crossing, after))
+        if t >= after:
+            previous = (t, v)
+    return float("inf")
+
+
+def time_to_consistency(curve: TransientCurve, target: float = 0.99) -> float:
+    """First time the curve reaches ``target`` from its start."""
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    return first_crossing(curve.times, curve.consistency, target)
+
+
+def time_to_recover(curve: TransientCurve, after: float, level: float) -> float:
+    """First time at or past ``after`` the curve re-reaches ``level``.
+
+    ``after`` is the disruption's end (flap up-edge or crash restart);
+    the result is an absolute grid time, so the recovery *duration* is
+    ``time_to_recover(...) - after``.
+    """
+    if math.isinf(after) or after < 0:
+        raise ValueError(f"after must be finite and non-negative, got {after}")
+    return first_crossing(curve.times, curve.consistency, level, after=after)
+
+
+def compute_transient_curve(
+    protocol: Protocol,
+    params: SignalingParameters | MultiHopParameters,
+    times: Sequence[float],
+    initial: str = "empty",
+    faults: FaultSchedule | None = None,
+    topology: Topology | None = None,
+) -> TransientCurve:
+    """Consistency probability on ``times`` for one protocol and family.
+
+    ``initial`` seeds the distribution (``"empty"`` or
+    ``"stationary"``); ``faults`` routes through the piecewise driver
+    when present.  ``topology`` selects the tree family.
+    """
+    model = transient_model(protocol, params, topology)
+    vector = model.initial_vector(initial)
+    probabilities = piecewise_transient(model, vector, times, faults)
+    index = model.consistent_index
+    return TransientCurve(
+        protocol=Protocol(protocol),
+        times=tuple(float(t) for t in times),
+        consistency=tuple(float(row[index]) for row in probabilities),
+    )
+
+
+def compute_transient_point(
+    protocol: Protocol,
+    params: SignalingParameters | MultiHopParameters,
+    time: float,
+    initial: str = "empty",
+    faults: FaultSchedule | None = None,
+    topology: Topology | None = None,
+) -> float:
+    """Consistency probability at a single time (one-point curve)."""
+    curve = compute_transient_curve(
+        protocol, params, (float(time),), initial=initial,
+        faults=faults, topology=topology,
+    )
+    return curve.consistency[0]

@@ -1,0 +1,165 @@
+"""Piecewise-constant-generator driver for fault recovery curves.
+
+A deterministic :class:`~repro.faults.schedule.FaultSchedule` makes the
+system a time-inhomogeneous CTMC of a very tractable kind: the
+generator is *piecewise constant*.  Between fault events the system
+evolves under one fixed chain — nominal, or a degraded variant with
+some links down — and at a crash instant the distribution jumps
+through a deterministic state projection.
+
+This module compiles a schedule into :class:`GeneratorSegment` s and
+threads the state distribution through them with one
+:func:`~repro.core.uniformization.uniformized_transient` call per
+segment:
+
+* flap windows mark their link down for the window's duration;
+* a crash applies the family's ``crash_projection`` at the crash
+  instant and additionally marks the link *into* the crashed node down
+  until the restart (a crashed node neither holds nor refreshes
+  state);
+* segment boundaries are the union of all window edges, clipped to the
+  requested horizon.
+
+A grid time falling exactly on a boundary belongs to the segment
+*starting* there, so a sample at a crash instant sees the
+post-projection distribution — matching the simulator, where the
+crash handler runs before any same-instant sampling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.uniformization import uniformized_transient
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "GeneratorSegment",
+    "fault_segments",
+    "piecewise_transient",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorSegment:
+    """One constant-generator stretch of a fault timeline.
+
+    ``down_links`` are the links unusable throughout ``[start, end)``;
+    ``crashed_nodes`` are nodes whose crash instant is exactly
+    ``start`` (their projections apply on entry to the segment).
+    ``end`` is ``inf`` for the final segment.
+    """
+
+    start: float
+    end: float
+    down_links: tuple[int, ...]
+    crashed_nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(f"empty segment [{self.start}, {self.end})")
+
+
+def fault_segments(
+    schedule: FaultSchedule | None,
+    horizon: float,
+    link_into,
+) -> tuple[GeneratorSegment, ...]:
+    """Compile a schedule into constant-generator segments up to ``horizon``.
+
+    ``link_into(node)`` names the link feeding a node, so a crashed
+    node's upstream link counts as down for the crash duration.
+    Returns at least one segment; the last one is open-ended.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if schedule is None or schedule.is_empty:
+        return (GeneratorSegment(0.0, float("inf"), (), ()),)
+
+    # Down intervals per link: flap windows plus crash outages.
+    intervals: list[tuple[float, float, int]] = []
+    for flap in schedule.flaps:
+        for start, end in flap.windows(horizon):
+            intervals.append((start, end, flap.link))
+    crash_instants: list[tuple[float, int]] = []
+    for crash in schedule.crashes:
+        crash_instants.append((crash.at, crash.node))
+        intervals.append((crash.at, crash.restart_at, link_into(crash.node)))
+
+    boundaries = {0.0}
+    for start, end, _ in intervals:
+        boundaries.add(float(start))
+        if end < horizon:
+            boundaries.add(float(end))
+    for at, _ in crash_instants:
+        boundaries.add(float(at))
+    ordered = sorted(b for b in boundaries if 0.0 <= b <= horizon)
+
+    segments = []
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else float("inf")
+        down = tuple(sorted({
+            link for lo, hi, link in intervals if lo <= start < hi
+        }))
+        crashed = tuple(sorted({
+            node for at, node in crash_instants if at == start
+        }))
+        segments.append(GeneratorSegment(start, end, down, crashed))
+    return tuple(segments)
+
+
+def piecewise_transient(
+    model,
+    initial: np.ndarray,
+    times: Sequence[float],
+    schedule: FaultSchedule | None = None,
+) -> np.ndarray:
+    """Distributions at ``times`` under the model's fault timeline.
+
+    ``model`` is a family adapter from :mod:`repro.transient.families`;
+    ``times`` must be sorted non-decreasing.  Returns one row per grid
+    time in the adapter's state order.
+    """
+    times_array = np.asarray(list(times), dtype=float)
+    if times_array.size == 0:
+        return np.zeros((0, len(model.states())))
+    if np.any(times_array < 0):
+        raise ValueError("times must be non-negative")
+    if np.any(np.diff(times_array) < 0):
+        raise ValueError("times must be sorted non-decreasing")
+
+    horizon = float(times_array[-1])
+    segments = fault_segments(schedule, horizon, model.link_into)
+
+    output = np.zeros((times_array.size, len(model.states())))
+    vector = np.asarray(initial, dtype=float)
+    for segment in segments:
+        for node in segment.crashed_nodes:
+            projection = model.crash_projection(node)
+            projected = np.zeros_like(vector)
+            np.add.at(projected, np.asarray(projection), vector)
+            vector = projected
+        # Grid points inside [start, end); the final segment is open.
+        in_segment = (times_array >= segment.start) & (times_array < segment.end)
+        chain = (
+            model.degraded_chain(segment.down_links)
+            if segment.down_links
+            else model.nominal_chain()
+        )
+        relative = times_array[in_segment] - segment.start
+        duration = segment.end - segment.start
+        if np.isfinite(duration):
+            # One kernel call covers the samples and the hand-off state.
+            solved = uniformized_transient(
+                chain, vector, tuple(relative) + (duration,)
+            )
+            if relative.size:
+                output[in_segment] = solved.probabilities[:-1]
+            vector = solved.probabilities[-1]
+        elif relative.size:
+            solved = uniformized_transient(chain, vector, tuple(relative))
+            output[in_segment] = solved.probabilities
+    return output

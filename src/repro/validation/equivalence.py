@@ -31,8 +31,11 @@ import math
 from repro.validation.report import PointCheck
 
 __all__ = [
+    "CURVE_EQUIVALENCE_CRITERIA",
+    "CurveCriterion",
     "EquivalenceCriterion",
     "SIM_EQUIVALENCE_CRITERIA",
+    "equivalence_curve",
     "equivalence_point",
 ]
 
@@ -72,6 +75,67 @@ SIM_EQUIVALENCE_CRITERIA: dict[str, EquivalenceCriterion] = {
         ci_multiplier=2.5, rel_tol=0.30, abs_floor=1e-6
     ),
 }
+
+
+@dataclasses.dataclass(frozen=True)
+class CurveCriterion:
+    """Equivalence margin for a whole time-dependent curve.
+
+    Each grid point is tested with ``point`` exactly like a stationary
+    metric, but the curve as a whole passes as long as at most
+    ``max_violation_fraction`` of its points violate their bands.  A
+    transient curve crosses steep ramps where a deterministic-timer
+    simulation moves in steps while the exponential-timer model moves
+    smoothly; scenario grids avoid the worst ramps, and the violation
+    budget absorbs the residual phase error without letting a curve
+    that is wrong *everywhere* pass.
+    """
+
+    point: EquivalenceCriterion = EquivalenceCriterion()
+    max_violation_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_violation_fraction < 1.0:
+            raise ValueError(
+                "max_violation_fraction must be in [0, 1), got "
+                f"{self.max_violation_fraction}"
+            )
+
+
+#: Per curve metric: margins for the transient consistency curves.  The
+#: 0.15 absolute floor reflects that both sides estimate a probability
+#: in [0, 1] from O(10) replications of a step-shaped process; the
+#: relative term matches the stationary inconsistency band.
+CURVE_EQUIVALENCE_CRITERIA: dict[str, CurveCriterion] = {
+    "consistency": CurveCriterion(
+        point=EquivalenceCriterion(ci_multiplier=2.5, rel_tol=0.35, abs_floor=0.15),
+        max_violation_fraction=0.25,
+    ),
+}
+
+
+def equivalence_curve(
+    label: str,
+    times: tuple[float, ...],
+    model: tuple[float, ...],
+    sim_means: tuple[float, ...],
+    half_widths: tuple[float, ...],
+    criterion: CurveCriterion,
+) -> tuple[tuple[PointCheck, ...], bool]:
+    """Test a simulated curve against its analytic twin on one grid.
+
+    Returns the per-point checks plus the curve-level verdict: passed
+    when the fraction of violating points stays within the criterion's
+    budget (an empty grid fails).
+    """
+    points = tuple(
+        equivalence_point(f"{label} @ t={t:g}", m, s, hw, criterion.point)
+        for t, m, s, hw in zip(times, model, sim_means, half_widths)
+    )
+    if not points:
+        return points, False
+    violations = sum(1 for point in points if not point.passed)
+    return points, violations / len(points) <= criterion.max_violation_fraction
 
 
 def equivalence_point(

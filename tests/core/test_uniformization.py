@@ -1,0 +1,119 @@
+"""Tests for the uniformization kernel against the dense expm oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core.markov import SPARSE_STATE_THRESHOLD, ContinuousTimeMarkovChain
+from repro.core.parameters import kazaa_defaults, reservation_defaults
+from repro.core.protocols import Protocol
+from repro.core.singlehop import SingleHopModel
+from repro.core.multihop.model import MultiHopModel
+from repro.core.uniformization import uniformized_transient
+
+
+def _expm_oracle(chain: ContinuousTimeMarkovChain, initial: np.ndarray, times):
+    generator = chain.generator_matrix()
+    return np.array([initial @ expm(generator * t) for t in times])
+
+
+def _start_vector(chain: ContinuousTimeMarkovChain, state) -> np.ndarray:
+    vector = np.zeros(len(chain.states))
+    vector[chain.states.index(state)] = 1.0
+    return vector
+
+
+class TestAgainstExpm:
+    def test_single_hop_matches_to_1e10(self):
+        model = SingleHopModel(Protocol.SS, kazaa_defaults())
+        chain = model.recurrent_chain()
+        initial = _start_vector(chain, chain.states[0])
+        times = (0.0, 0.01, 0.1, 1.0, 5.0, 30.0, 120.0)
+        result = uniformized_transient(chain, initial, times)
+        oracle = _expm_oracle(chain, initial, times)
+        assert np.max(np.abs(result.probabilities - oracle)) < 1e-10
+
+    def test_all_protocols_match(self):
+        for protocol in Protocol:
+            chain = SingleHopModel(protocol, kazaa_defaults()).recurrent_chain()
+            initial = _start_vector(chain, chain.states[0])
+            result = uniformized_transient(chain, initial, (0.5, 10.0))
+            oracle = _expm_oracle(chain, initial, (0.5, 10.0))
+            assert np.max(np.abs(result.probabilities - oracle)) < 1e-10
+
+    def test_sparse_chain_matches_oracle(self):
+        # Past the crossover the kernel iterates on the CSR operator;
+        # the dense oracle still fits in memory at this size.
+        hops = (SPARSE_STATE_THRESHOLD - 2) // 2 + 5
+        params = reservation_defaults().replace(hops=hops)
+        chain = MultiHopModel(Protocol.SS, params).chain()
+        assert len(chain.states) >= SPARSE_STATE_THRESHOLD
+        initial = _start_vector(chain, chain.states[0])
+        result = uniformized_transient(chain, initial, (0.1, 2.0))
+        oracle = _expm_oracle(chain, initial, (0.1, 2.0))
+        assert np.max(np.abs(result.probabilities - oracle)) < 1e-9
+
+
+class TestKernelBehavior:
+    def test_time_zero_is_exactly_initial(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 3.0})
+        initial = np.array([0.25, 0.75])
+        result = uniformized_transient(chain, initial, (0.0,))
+        assert np.allclose(result.probabilities[0], initial, atol=1e-15)
+
+    def test_rows_sum_to_one(self):
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b", "c"], {("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "a"): 0.5}
+        )
+        result = uniformized_transient(
+            chain, np.array([1.0, 0.0, 0.0]), (0.1, 1.0, 10.0, 100.0)
+        )
+        assert np.allclose(result.probabilities.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_steady_state_detection_exits_early(self):
+        chain = ContinuousTimeMarkovChain(
+            ["on", "off"], {("on", "off"): 3.0, ("off", "on"): 2.0}
+        )
+        result = uniformized_transient(chain, np.array([1.0, 0.0]), (1e6,))
+        assert result.steady_state_detected
+        # Without the early exit the series needs ~ Lambda*t = 3e6 terms.
+        assert result.iterations < 10_000
+        stationary = chain.stationary_distribution()
+        assert result.probabilities[0][0] == pytest.approx(
+            stationary["on"], abs=1e-9
+        )
+
+    def test_unsorted_and_repeated_grid_allowed(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 2.0})
+        initial = np.array([1.0, 0.0])
+        result = uniformized_transient(chain, initial, (5.0, 0.5, 5.0))
+        assert np.allclose(result.probabilities[0], result.probabilities[2])
+        oracle = _expm_oracle(chain, initial, (0.5,))
+        assert np.allclose(result.probabilities[1], oracle[0], atol=1e-12)
+
+    def test_rate_zero_chain_never_moves(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 0.0})
+        initial = np.array([0.5, 0.5])
+        result = uniformized_transient(chain, initial, (0.0, 7.0, 1e5))
+        assert np.allclose(result.probabilities, initial)
+        assert result.iterations == 0
+
+    def test_empty_grid(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        result = uniformized_transient(chain, np.array([1.0, 0.0]), ())
+        assert result.probabilities.shape == (0, 2)
+        assert result.times == ()
+
+    def test_negative_time_rejected(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        with pytest.raises(ValueError):
+            uniformized_transient(chain, np.array([1.0, 0.0]), (-1.0,))
+
+    def test_non_distribution_initial_rejected(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): 1.0})
+        with pytest.raises(ValueError):
+            uniformized_transient(chain, np.array([0.9, 0.9]), (1.0,))
+        with pytest.raises(ValueError):
+            uniformized_transient(chain, np.array([1.0]), (1.0,))

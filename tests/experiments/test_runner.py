@@ -274,6 +274,9 @@ class TestRegistry:
         "burst_loss",  # beyond the paper: Gilbert-Elliott bursty loss
         "burst_loss_hops",  # beyond the paper: bursty loss on a chain
         "link_flap",  # beyond the paper: periodic link outages
+        "time_to_consistency",  # beyond the paper: cold-start transient
+        "recovery_flap",  # beyond the paper: link-flap recovery curve
+        "recovery_crash",  # beyond the paper: node-crash recovery curve
     }
 
     def test_every_paper_artifact_registered(self):

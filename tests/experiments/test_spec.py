@@ -77,6 +77,9 @@ class TestRegistry:
             "burst_loss",
             "burst_loss_hops",
             "link_flap",
+            "time_to_consistency",
+            "recovery_flap",
+            "recovery_crash",
         }
 
     def test_registry_holds_frozen_specs(self):

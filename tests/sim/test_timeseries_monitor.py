@@ -1,0 +1,55 @@
+"""Tests for the grid-sampling TimeSeriesMonitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.monitor import TimeSeriesMonitor, TimeWeightedValue
+
+
+class TestTimeSeriesMonitor:
+    def test_samples_probe_at_grid_times(self):
+        env = Environment()
+        signal = TimeWeightedValue(env, initial=0.0)
+        monitor = TimeSeriesMonitor(env, (1.0, 3.0, 5.0), lambda: signal.value)
+
+        def proc(env):
+            yield env.timeout(2.0)
+            signal.set(7.0)
+            yield env.timeout(2.0)
+            signal.set(9.0)
+            yield env.timeout(2.0)
+
+        env.process(proc(env))
+        env.run()
+        assert monitor.samples() == (0.0, 7.0, 9.0)
+
+    def test_empty_grid_records_nothing(self):
+        env = Environment()
+        monitor = TimeSeriesMonitor(env, (), lambda: 1.0)
+        env.run(until=10.0)
+        assert monitor.samples() == ()
+
+    def test_sample_at_current_instant(self):
+        env = Environment()
+        monitor = TimeSeriesMonitor(env, (0.0, 2.0), lambda: env.now)
+        env.run(until=5.0)
+        assert monitor.samples() == (0.0, 2.0)
+
+    def test_unsorted_grid_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor(env, (2.0, 1.0), lambda: 0.0)
+
+    def test_grid_before_now_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor(env, (1.0,), lambda: 0.0)
+
+    def test_run_shorter_than_grid_truncates(self):
+        env = Environment()
+        monitor = TimeSeriesMonitor(env, (1.0, 100.0), lambda: 1.0)
+        env.run(until=2.0)
+        assert monitor.samples() == (1.0,)

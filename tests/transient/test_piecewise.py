@@ -1,0 +1,126 @@
+"""Tests for the piecewise-constant-generator driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import Protocol
+from repro.faults.schedule import FaultSchedule, LinkFlap, NodeCrash
+from repro.transient import (
+    ChainTransientModel,
+    GeneratorSegment,
+    fault_segments,
+    piecewise_transient,
+)
+
+FLAP = FaultSchedule(
+    flaps=(LinkFlap(link=5, period=10_000.0, down_duration=40.0, offset=5.0),)
+)
+CRASH = FaultSchedule(crashes=(NodeCrash(node=5, at=5.0, restart_after=30.0),))
+
+
+@pytest.fixture
+def chain_model(multihop_params):
+    return ChainTransientModel(Protocol.SS, multihop_params)
+
+
+class TestFaultSegments:
+    def test_empty_schedule_is_one_open_segment(self):
+        [segment] = fault_segments(None, 100.0, lambda node: node)
+        assert segment == GeneratorSegment(0.0, float("inf"), (), ())
+        [segment] = fault_segments(FaultSchedule(), 100.0, lambda node: node)
+        assert segment.down_links == ()
+
+    def test_flap_window_splits_the_timeline(self):
+        segments = fault_segments(FLAP, 100.0, lambda node: node)
+        assert [s.start for s in segments] == [0.0, 5.0, 45.0]
+        assert segments[0].down_links == ()
+        assert segments[1].down_links == (5,)
+        assert segments[2].down_links == ()
+        assert segments[-1].end == float("inf")
+
+    def test_crash_marks_link_down_and_node_crashed(self):
+        segments = fault_segments(CRASH, 100.0, lambda node: node)
+        assert [s.start for s in segments] == [0.0, 5.0, 35.0]
+        assert segments[1].crashed_nodes == (5,)
+        assert segments[1].down_links == (5,)
+        assert segments[2].crashed_nodes == ()
+        assert segments[2].down_links == ()
+
+    def test_windows_past_horizon_are_dropped(self):
+        schedule = FaultSchedule(
+            flaps=(LinkFlap(link=1, period=50.0, down_duration=10.0, offset=5.0),)
+        )
+        segments = fault_segments(schedule, 60.0, lambda node: node)
+        # Two windows start before t=60 ([5,15) and [55,65)); the
+        # second one's up-edge lies past the horizon.
+        assert [s.start for s in segments] == [0.0, 5.0, 15.0, 55.0]
+        assert segments[-1].down_links == (1,)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            fault_segments(FLAP, -1.0, lambda node: node)
+
+
+class TestPiecewiseTransient:
+    def test_matches_plain_kernel_without_faults(self, chain_model):
+        from repro.core.uniformization import uniformized_transient
+
+        initial = chain_model.initial_vector("empty")
+        times = (0.5, 2.0, 10.0)
+        rows = piecewise_transient(chain_model, initial, times)
+        plain = uniformized_transient(chain_model.nominal_chain(), initial, times)
+        assert np.allclose(rows, plain.probabilities, atol=1e-12)
+
+    def test_segment_boundaries_are_continuous(self, chain_model):
+        # A flap changes the generator, not the state: sampling just
+        # before and just after a boundary must agree to O(eps).
+        initial = chain_model.initial_vector("stationary")
+        eps = 1e-6
+        for boundary in (5.0, 45.0):
+            before, after = piecewise_transient(
+                chain_model, initial, (boundary - eps, boundary + eps), FLAP
+            )
+            assert np.abs(after - before).max() < 1e-4
+
+    def test_crash_instant_jumps_through_projection(self, chain_model, multihop_params):
+        initial = chain_model.initial_vector("stationary")
+        eps = 1e-9
+        before, at = piecewise_transient(
+            chain_model, initial, (5.0 - eps, 5.0), CRASH
+        )
+        index = chain_model.consistent_index
+        # The sample exactly at the crash sees the projected state.
+        assert before[index] > 0.5
+        assert at[index] == pytest.approx(0.0, abs=1e-12)
+
+    def test_consistency_zero_while_crashed(self, chain_model):
+        initial = chain_model.initial_vector("stationary")
+        rows = piecewise_transient(chain_model, initial, (10.0, 20.0, 34.0), CRASH)
+        index = chain_model.consistent_index
+        for row in rows:
+            assert row[index] == pytest.approx(0.0, abs=1e-12)
+            assert row.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_flap_curve_returns_to_stationary(self, chain_model):
+        initial = chain_model.initial_vector("stationary")
+        index = chain_model.consistent_index
+        stationary = float(initial[index])
+        [during, long_after] = piecewise_transient(
+            chain_model, initial, (44.0, 400.0), FLAP
+        )[:, index]
+        assert during < 0.5 * stationary
+        assert long_after == pytest.approx(stationary, abs=1e-6)
+
+    def test_unsorted_times_rejected(self, chain_model):
+        initial = chain_model.initial_vector("empty")
+        with pytest.raises(ValueError):
+            piecewise_transient(chain_model, initial, (2.0, 1.0))
+        with pytest.raises(ValueError):
+            piecewise_transient(chain_model, initial, (-1.0, 1.0))
+
+    def test_empty_grid(self, chain_model):
+        initial = chain_model.initial_vector("empty")
+        rows = piecewise_transient(chain_model, initial, ())
+        assert rows.shape == (0, len(chain_model.states()))

@@ -1,0 +1,53 @@
+"""Tests for the memo-cached transient runtime entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import Protocol
+from repro.faults.schedule import FaultSchedule, NodeCrash
+from repro.runtime import solve_transient_curve, solve_transient_point
+from repro.transient import compute_transient_curve
+
+
+class TestSolveTransientCurve:
+    def test_matches_direct_computation(self, multihop_params):
+        times = (0.5, 2.0, 10.0)
+        task = (Protocol.SS, multihop_params, None, "empty", None, times)
+        solved = solve_transient_curve(task)
+        direct = compute_transient_curve(Protocol.SS, multihop_params, times)
+        assert solved.consistency == direct.consistency
+
+    def test_repeat_solve_is_memoized(self, multihop_params):
+        task = (Protocol.SS_RT, multihop_params, None, "empty", None, (1.0, 4.0))
+        assert solve_transient_curve(task) is solve_transient_curve(task)
+
+    def test_fault_schedules_key_the_cache(self, multihop_params):
+        crash = FaultSchedule(
+            crashes=(NodeCrash(node=multihop_params.hops, at=1.0, restart_after=5.0),)
+        )
+        clean = solve_transient_curve(
+            (Protocol.SS, multihop_params, None, "stationary", None, (2.0,))
+        )
+        faulted = solve_transient_curve(
+            (Protocol.SS, multihop_params, None, "stationary", crash, (2.0,))
+        )
+        assert clean.consistency[0] > 0.5
+        assert faulted.consistency[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSolveTransientPoint:
+    def test_single_time_only(self, multihop_params):
+        with pytest.raises(ValueError):
+            solve_transient_point(
+                (Protocol.SS, multihop_params, None, "empty", None, (1.0, 2.0))
+            )
+
+    def test_agrees_with_curve(self, multihop_params):
+        point = solve_transient_point(
+            (Protocol.SS, multihop_params, None, "empty", None, (3.0,))
+        )
+        curve = solve_transient_curve(
+            (Protocol.SS, multihop_params, None, "empty", None, (3.0,))
+        )
+        assert point == curve.consistency[0]

@@ -7,8 +7,11 @@ import math
 import pytest
 
 from repro.validation.equivalence import (
+    CURVE_EQUIVALENCE_CRITERIA,
     SIM_EQUIVALENCE_CRITERIA,
+    CurveCriterion,
     EquivalenceCriterion,
+    equivalence_curve,
     equivalence_point,
 )
 
@@ -69,3 +72,71 @@ class TestEquivalencePoint:
                                   criterion=self.CRITERION)
         assert point.passed
         assert math.isfinite(point.tolerance)
+
+
+class TestCurveCriterion:
+    CRITERION = CurveCriterion(
+        point=EquivalenceCriterion(ci_multiplier=2.0, rel_tol=0.0, abs_floor=0.1),
+        max_violation_fraction=0.25,
+    )
+
+    def test_all_points_within_band_passes(self):
+        times = (1.0, 2.0, 3.0, 4.0)
+        model = (0.5, 0.6, 0.7, 0.8)
+        sim = (0.55, 0.65, 0.75, 0.85)
+        points, passed = equivalence_curve(
+            "SS", times, model, sim, (0.0,) * 4, self.CRITERION
+        )
+        assert passed
+        assert len(points) == 4
+        assert all(p.passed for p in points)
+
+    def test_one_violation_in_four_is_within_budget(self):
+        times = (1.0, 2.0, 3.0, 4.0)
+        model = (0.5, 0.6, 0.7, 0.8)
+        sim = (0.55, 0.65, 0.75, 0.2)  # last point blown
+        points, passed = equivalence_curve(
+            "SS", times, model, sim, (0.0,) * 4, self.CRITERION
+        )
+        assert passed
+        assert sum(1 for p in points if not p.passed) == 1
+
+    def test_too_many_violations_fail_the_curve(self):
+        times = (1.0, 2.0, 3.0, 4.0)
+        model = (0.5, 0.6, 0.7, 0.8)
+        sim = (0.1, 0.1, 0.75, 0.85)  # half the grid blown
+        _, passed = equivalence_curve(
+            "SS", times, model, sim, (0.0,) * 4, self.CRITERION
+        )
+        assert not passed
+
+    def test_wide_cis_widen_the_bands(self):
+        times = (1.0, 2.0)
+        model = (0.5, 0.5)
+        sim = (0.9, 0.9)
+        _, tight = equivalence_curve("SS", times, model, sim, (0.0, 0.0), self.CRITERION)
+        _, loose = equivalence_curve("SS", times, model, sim, (0.3, 0.3), self.CRITERION)
+        assert not tight
+        assert loose
+
+    def test_empty_grid_fails(self):
+        points, passed = equivalence_curve("SS", (), (), (), (), self.CRITERION)
+        assert points == ()
+        assert not passed
+
+    def test_point_labels_carry_grid_times(self):
+        points, _ = equivalence_curve(
+            "SS", (2.5,), (0.5,), (0.5,), (0.0,), self.CRITERION
+        )
+        assert points[0].label == "SS @ t=2.5"
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CurveCriterion(max_violation_fraction=1.0)
+        with pytest.raises(ValueError):
+            CurveCriterion(max_violation_fraction=-0.1)
+
+    def test_default_consistency_criterion_registered(self):
+        criterion = CURVE_EQUIVALENCE_CRITERIA["consistency"]
+        assert criterion.point.abs_floor > 0
+        assert 0.0 < criterion.max_violation_fraction < 1.0
