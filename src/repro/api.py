@@ -70,9 +70,11 @@ def list_scenarios() -> tuple[ScenarioSpec, ...]:
     The registry holds one spec per paper artifact — ``fig4`` ...
     ``fig12``, ``fig17`` ... ``fig19``, ``table1`` — plus the
     beyond-the-paper studies: ``scaling`` (heterogeneous chains up to
-    128 hops), the tree-topology scenarios ``tree_depth`` and
-    ``tree_fanout`` (multicast fan-out over star/broom/binary/skewed
-    trees), and the fault-injection scenarios ``burst_loss``,
+    128 hops), the tree-topology scenarios ``tree_depth``,
+    ``tree_fanout``, ``tree_deep`` and ``tree_wide`` (multicast
+    fan-out over star/broom/binary/ternary/skewed trees; the latter
+    two reach past the direct enumeration cap via the lumped and
+    iterative backends), and the fault-injection scenarios ``burst_loss``,
     ``burst_loss_hops`` and ``link_flap`` (Gilbert-Elliott bursty loss
     and link churn; see ``docs/robustness.md``), and the transient
     recovery scenarios ``time_to_consistency``, ``recovery_flap`` and
@@ -88,7 +90,7 @@ def list_scenarios() -> tuple[ScenarioSpec, ...]:
      'fig17', 'fig18', 'fig19', 'fig4', 'fig5', 'fig6', 'fig7',
      'fig8', 'fig9', 'link_flap', 'recovery_crash', 'recovery_flap',
      'scaling', 'table1', 'time_to_consistency',
-     'tree_depth', 'tree_fanout']
+     'tree_deep', 'tree_depth', 'tree_fanout', 'tree_wide']
     >>> api.list_scenarios()[0].fidelity_names()
     ('full', 'fast', 'smoke')
     """
@@ -176,13 +178,20 @@ def solve_tree(
     protocol: Protocol | str,
     topology: Topology,
     params: MultiHopParameters | None = None,
+    backend: str = "auto",
     **overrides: float,
 ) -> TreeSolution:
     """Solve one tree (multicast) point on the reservation defaults.
 
     ``topology`` is a rooted :class:`Topology` (``Topology.chain``,
     ``star``, ``kary``, ``broom``, ``skewed``); ``params.hops`` is
-    bound to its edge count automatically.  ``overrides`` replace the
+    bound to its edge count automatically.  ``backend`` picks the solve
+    path — ``"auto"`` (route by projected state count), ``"direct"``
+    (exact enumeration, bit-parity class), ``"lumped"`` (exact orbit
+    lumping of isomorphic sibling subtrees) or ``"iterative"``
+    (ILU/GMRES on the raw space); symmetric topologies far beyond the
+    direct cap, e.g. ``Topology.kary(2, 3)`` with 15129 raw states,
+    solve exactly through the lumped route.  ``overrides`` replace the
     remaining preset fields:
 
     >>> import repro.api as api
@@ -204,7 +213,7 @@ def solve_tree(
     if overrides:
         base = apply_overrides(base, overrides)
     base = base.replace(hops=topology.num_edges)
-    return solve_tree_batch([(protocol, base, topology)])[0]
+    return solve_tree_batch([(protocol, base, topology, backend)])[0]
 
 
 def sweep(

@@ -10,6 +10,17 @@ from repro.core.multihop.heterogeneous import (
     HeterogeneousMultiHopModel,
     hops_from_parameters,
 )
+from repro.core.multihop.lumping import (
+    LumpedTreeModel,
+    LumpedTreeSolution,
+    LumpedTreeState,
+    build_lumped_rates,
+    lump_tree_state,
+    lumped_state_space,
+    lumped_transition_specs,
+    projected_lumped_states,
+    select_tree_backend,
+)
 from repro.core.multihop.model import MultiHopModel, MultiHopSolution, solve_all_multihop
 from repro.core.multihop.states import RECOVERY, HopState, Recovery, multihop_state_space
 from repro.core.multihop.topology import Topology
@@ -25,7 +36,12 @@ from repro.core.multihop.tree_messages import (
     tree_total_message_rate,
 )
 from repro.core.multihop.tree_model import TreeModel, TreeSolution, solve_all_tree
-from repro.core.multihop.tree_states import TreeState, tree_state_space
+from repro.core.multihop.tree_states import (
+    StateSpaceLimitError,
+    TreeState,
+    projected_tree_states,
+    tree_state_space,
+)
 from repro.core.multihop.tree_transitions import (
     build_tree_rates,
     tree_transition_specs,
@@ -36,21 +52,32 @@ __all__ = [
     "HeterogeneousMultiHopModel",
     "HopState",
     "hops_from_parameters",
+    "LumpedTreeModel",
+    "LumpedTreeSolution",
+    "LumpedTreeState",
     "MultiHopModel",
     "MultiHopSolution",
     "RECOVERY",
     "Recovery",
+    "StateSpaceLimitError",
     "Topology",
     "TreeModel",
     "TreeSolution",
     "TreeState",
+    "build_lumped_rates",
     "build_multihop_rates",
     "build_tree_rates",
     "expected_link_crossings",
     "first_timeout_rate",
+    "lump_tree_state",
+    "lumped_state_space",
+    "lumped_transition_specs",
     "multihop_message_components",
     "multihop_state_space",
     "multihop_total_message_rate",
+    "projected_lumped_states",
+    "projected_tree_states",
+    "select_tree_backend",
     "slow_path_recovery_rate",
     "solve_all_multihop",
     "solve_all_tree",

@@ -134,13 +134,22 @@ class TreeSolution:
 
 
 class TreeModel:
-    """SS, SS+RT or HS signaling down one rooted tree."""
+    """SS, SS+RT or HS signaling down one rooted tree.
+
+    ``max_states`` raises the direct-enumeration cap (the iterative
+    backend solves raw spaces up to
+    :data:`~repro.core.multihop.tree_states.MAX_ENUMERATED_TREE_STATES`);
+    ``solver`` picks the chain's linear-algebra backend (``"auto"``,
+    ``"dense"``, ``"sparse"`` or ``"iterative"``).
+    """
 
     def __init__(
         self,
         protocol: Protocol,
         params: MultiHopParameters,
         topology: Topology,
+        max_states: int | None = None,
+        solver: str = "auto",
     ) -> None:
         protocol = Protocol(protocol)
         if protocol not in supported_protocols():
@@ -156,22 +165,29 @@ class TreeModel:
         self.protocol = protocol
         self.params = params
         self.topology = topology
-        self._rates = build_tree_rates(protocol, params, topology)
+        self.solver = solver
+        self._rates = build_tree_rates(protocol, params, topology, max_states)
         self._states = tree_state_space(
-            topology, with_recovery=protocol is Protocol.HS
+            topology, protocol is Protocol.HS, max_states
         )
 
     def chain(self) -> ContinuousTimeMarkovChain:
         """The recurrent tree CTMC."""
-        return ContinuousTimeMarkovChain(self._states, self._rates)
+        return ContinuousTimeMarkovChain(self._states, self._rates, solver=self.solver)
 
     def transition_rates(self) -> dict[tuple[object, object], float]:
         """A copy of the chain's transition rates."""
         return dict(self._rates)
 
-    def solve(self) -> TreeSolution:
-        """Compute the stationary distribution and message rates."""
-        stationary = self.chain().stationary_distribution()
+    def solution_from_stationary(
+        self, stationary: dict[object, float]
+    ) -> TreeSolution:
+        """Wrap an externally computed stationary distribution.
+
+        The runtime's hardened solve path (``solve_chain_stationary``
+        with its logged fallback chain) computes the distribution
+        itself and hands it back here for the message accounting.
+        """
         breakdown = tree_message_components(
             self.protocol, self.params, self.topology, stationary
         )
@@ -182,6 +198,10 @@ class TreeModel:
             stationary=stationary,
             message_breakdown=breakdown,
         )
+
+    def solve(self) -> TreeSolution:
+        """Compute the stationary distribution and message rates."""
+        return self.solution_from_stationary(self.chain().stationary_distribution())
 
 
 def solve_all_tree(

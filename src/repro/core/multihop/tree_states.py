@@ -19,6 +19,15 @@ is ``consistent = (1..i), slow = (i+1,)`` — and
 position, which is what makes unary-tree solves *bit-identical* to the
 chain model.  Hard-state trees reuse the chain's
 :data:`~repro.core.multihop.states.RECOVERY` singleton.
+
+State counts are exponential in fan-out × depth, so enumeration is
+guarded: :func:`projected_tree_states` computes the exact count
+*multiplicatively* — cheap integer arithmetic, no intermediate lists —
+and an overflow raises :class:`StateSpaceLimitError` (a ``ValueError``
+subclass carrying the topology signature and the projected count)
+*before* any cross-product materializes.  The scale backends
+(:mod:`repro.core.multihop.lumping`, the iterative sparse solver)
+catch the typed error to reroute instead of string-matching.
 """
 
 from __future__ import annotations
@@ -29,16 +38,61 @@ import functools
 from repro.core.multihop.states import RECOVERY
 from repro.core.multihop.topology import Topology
 
-__all__ = ["MAX_TREE_STATES", "TreeState", "tree_state_space"]
+__all__ = [
+    "MAX_ENUMERATED_TREE_STATES",
+    "MAX_TREE_STATES",
+    "StateSpaceLimitError",
+    "TreeState",
+    "projected_tree_states",
+    "tree_state_space",
+]
 
-#: Refuse to enumerate beyond this many states.  The tree state count is
-#: exponential in fan-out x depth (a complete binary tree of depth 3
-#: already has 15129 states), and beyond a few thousand states the
-#: tree generator's LU fill-in makes even the sparse solve impractical
-#: (the depth-3 binary system factors into ~10^8 nonzeros).  The cap
-#: turns an accidental ``kary(2, 3)`` into a clear error instead of a
-#: minutes-long hang.
+#: Refuse to enumerate beyond this many states on the *direct* solve
+#: path.  The tree state count is exponential in fan-out x depth (a
+#: complete binary tree of depth 3 already has 15129 states), and
+#: beyond a few thousand states the tree generator's LU fill-in makes
+#: even the sparse direct solve impractical (the depth-3 binary system
+#: factors into ~10^8 nonzeros).  Larger topologies must go through
+#: the lumping or iterative backends (see
+#: :func:`repro.core.multihop.lumping.select_tree_backend`).
 MAX_TREE_STATES = 4096
+
+#: Absolute enumeration ceiling for the iterative (ILU/GMRES) backend,
+#: which never factorizes the generator exactly and therefore tolerates
+#: much larger raw state spaces than the direct path.  Beyond this even
+#: building the Python-level transition structure is the bottleneck.
+MAX_ENUMERATED_TREE_STATES = 65536
+
+
+class StateSpaceLimitError(ValueError):
+    """A tree state space exceeds the requested enumeration cap.
+
+    Subclasses ``ValueError`` so legacy ``except ValueError`` callers
+    keep working; the scale-backend routing catches *this* type and
+    reads the structured fields instead of parsing the message.
+
+    Attributes
+    ----------
+    topology:
+        The offending :class:`Topology` (its ``parents`` tuple is the
+        topology signature).
+    projected:
+        The exact state count the enumeration would have produced,
+        computed multiplicatively before any materialization.
+    limit:
+        The cap that was exceeded.
+    """
+
+    def __init__(self, topology: Topology, projected: int, limit: int) -> None:
+        self.topology = topology
+        self.projected = projected
+        self.limit = limit
+        super().__init__(
+            f"tree state space for topology {topology.parents} exceeds "
+            f"{limit} states (projected {projected}); reduce the "
+            "topology's fan-out or depth, or solve through the lumped or "
+            "iterative backend"
+        )
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -58,6 +112,32 @@ class TreeState:
         consistent = ",".join(str(v) for v in self.consistent) or "-"
         slow = ",".join(str(v) for v in self.slow) or "-"
         return f"({{{consistent}}};{{{slow}}})"
+
+
+@functools.lru_cache(maxsize=1024)
+def _projected_edge_configurations(topology: Topology, node: int) -> int:
+    """Exact configuration count of the edge into ``node``: fast, slow,
+    or crossed with every child-edge combination below."""
+    crossed = 1
+    for child in topology.children(node):
+        crossed *= _projected_edge_configurations(topology, child)
+    return 2 + crossed
+
+
+@functools.lru_cache(maxsize=1024)
+def projected_tree_states(topology: Topology) -> int:
+    """The exact tree state count, computed without materializing it.
+
+    Pure integer arithmetic over the recursion
+    ``f(v) = 2 + prod(f(children))``, so pathological fan-outs are
+    rejected in microseconds instead of after building multi-GB
+    intermediate cross-product lists.  Excludes the HS ``RECOVERY``
+    extra state.
+    """
+    total = 1
+    for child in topology.children(0):
+        total *= _projected_edge_configurations(topology, child)
+    return total
 
 
 def _edge_configurations(
@@ -81,17 +161,14 @@ def _edge_configurations(
             for consistent, slow in crossed
             for child_consistent, child_slow in child_configurations
         ]
-        if len(crossed) > MAX_TREE_STATES:
-            raise ValueError(
-                f"tree state space exceeds {MAX_TREE_STATES} states; "
-                "reduce the topology's fan-out or depth"
-            )
     results.extend(crossed)
     return results
 
 
 @functools.lru_cache(maxsize=256)
-def tree_state_space(topology: Topology, with_recovery: bool) -> tuple[object, ...]:
+def tree_state_space(
+    topology: Topology, with_recovery: bool, max_states: int | None = None
+) -> tuple[object, ...]:
     """All states of the tree model, in the canonical order.
 
     States are sorted by (slow-frontier size, consistent-subtree size,
@@ -100,7 +177,17 @@ def tree_state_space(topology: Topology, with_recovery: bool) -> tuple[object, .
     :func:`~repro.core.multihop.states.multihop_state_space` order
     exactly: the all-fast states ``(0,0)..(N,0)`` by consistent count,
     then the slow states ``(0,1)..(N-1,1)``, then ``RECOVERY``.
+
+    ``max_states`` overrides the default :data:`MAX_TREE_STATES` cap
+    (the iterative backend enumerates up to
+    :data:`MAX_ENUMERATED_TREE_STATES`).  The cap is checked against
+    :func:`projected_tree_states` *before* anything materializes;
+    an overflow raises :class:`StateSpaceLimitError`.
     """
+    limit = MAX_TREE_STATES if max_states is None else max_states
+    projected = projected_tree_states(topology)
+    if projected > limit:
+        raise StateSpaceLimitError(topology, projected, limit)
     configurations: list[tuple[tuple[int, ...], tuple[int, ...]]] = [((), ())]
     for child in topology.children(0):
         child_configurations = _edge_configurations(topology, child)
@@ -109,11 +196,6 @@ def tree_state_space(topology: Topology, with_recovery: bool) -> tuple[object, .
             for consistent, slow in configurations
             for child_consistent, child_slow in child_configurations
         ]
-        if len(configurations) > MAX_TREE_STATES:
-            raise ValueError(
-                f"tree state space exceeds {MAX_TREE_STATES} states; "
-                "reduce the topology's fan-out or depth"
-            )
     tree_states = sorted(
         TreeState(tuple(sorted(consistent)), tuple(sorted(slow)))
         for consistent, slow in configurations

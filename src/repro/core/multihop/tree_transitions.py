@@ -84,7 +84,7 @@ def _timeout(state: TreeState, node: int, topology: Topology) -> TreeState:
 
 @functools.lru_cache(maxsize=256)
 def tree_transition_specs(
-    protocol: Protocol, topology: Topology
+    protocol: Protocol, topology: Topology, max_states: int | None = None
 ) -> tuple[tuple[object, object, Tag], ...]:
     """``(origin, destination, tag)`` triples, in canonical build order.
 
@@ -94,12 +94,16 @@ def tree_transition_specs(
     the two paths bit-identical.  Updates come first (every state
     restarts installation at the root), then each state's frontier and
     timeout events in node order, then the recovery exit.
+
+    ``max_states`` raises the enumeration cap for the iterative
+    backend; the default keeps the direct path's
+    :data:`~repro.core.multihop.tree_states.MAX_TREE_STATES` guard.
     """
     protocol = Protocol(protocol)
     if protocol not in supported_protocols():
         raise ValueError(f"{protocol} is not part of the multi-hop analysis")
     with_recovery = protocol is Protocol.HS
-    states = tree_state_space(topology, with_recovery)
+    states = tree_state_space(topology, with_recovery, max_states)
     start = states[0]
     specs: list[tuple[object, object, Tag]] = []
 
@@ -170,7 +174,10 @@ def tree_tag_rate(
 
 
 def build_tree_rates(
-    protocol: Protocol, params: MultiHopParameters, topology: Topology
+    protocol: Protocol,
+    params: MultiHopParameters,
+    topology: Topology,
+    max_states: int | None = None,
 ) -> Rates:
     """All transition rates of the tree chain for ``protocol``.
 
@@ -180,7 +187,7 @@ def build_tree_rates(
     order.
     """
     rates: Rates = {}
-    for origin, destination, tag in tree_transition_specs(protocol, topology):
+    for origin, destination, tag in tree_transition_specs(protocol, topology, max_states):
         rate = tree_tag_rate(protocol, params, topology, tag)
         if rate > 0.0 and origin != destination:
             key = (origin, destination)

@@ -78,6 +78,13 @@ from repro.core.multihop.heterogeneous import (
     reach_profile,
     recovery_rate_profile,
 )
+from repro.core.multihop.lumping import (
+    LumpedTreeModel,
+    LumpedTreeSolution,
+    lumped_message_components,
+    lumped_state_space,
+    lumped_transition_specs,
+)
 from repro.core.multihop.messages import multihop_message_components
 from repro.core.multihop.model import MultiHopModel, MultiHopSolution
 from repro.core.multihop.states import multihop_state_space
@@ -88,7 +95,10 @@ from repro.core.multihop.transitions import (
 )
 from repro.core.multihop.tree_messages import tree_message_components
 from repro.core.multihop.tree_model import TreeModel, TreeSolution
-from repro.core.multihop.tree_states import tree_state_space
+from repro.core.multihop.tree_states import (
+    MAX_ENUMERATED_TREE_STATES,
+    tree_state_space,
+)
 from repro.core.multihop.tree_transitions import (
     tree_tag_rate,
     tree_transition_specs,
@@ -108,11 +118,14 @@ from repro.faults.gilbert import GilbertElliottParameters
 __all__ = [
     "GilbertMultiHopTemplate",
     "GilbertSingleHopTemplate",
+    "LumpedTreeTemplate",
     "MultiHopTemplate",
     "SingleHopTemplate",
     "TreeTemplate",
     "gilbert_multihop_template",
     "gilbert_singlehop_template",
+    "iterative_tree_template",
+    "lumped_tree_template",
     "multihop_template",
     "singlehop_template",
     "solve_gilbert_multihop_tasks",
@@ -120,6 +133,8 @@ __all__ = [
     "solve_heterogeneous_tasks",
     "solve_multihop_tasks",
     "solve_singlehop_tasks",
+    "solve_tree_iterative_tasks",
+    "solve_tree_lumped_tasks",
     "solve_tree_tasks",
     "tree_template",
 ]
@@ -144,6 +159,29 @@ def _sparse_batch(
         if solved is None:
             _LOGGER.warning(
                 "sparse template solve failed for %s point %d of %d; "
+                "falling back to the reference model",
+                label,
+                point,
+                k,
+            )
+            bad[point] = True
+        else:
+            pi[point] = solved
+    return pi, bad
+
+
+def _iterative_batch(
+    pattern: "_SparseStationaryPattern", rates: np.ndarray, label: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point ILU/GMRES solves; failed points fall back downstream."""
+    k = rates.shape[0]
+    pi = np.zeros((k, pattern.n))
+    bad = np.zeros(k, dtype=bool)
+    for point in range(k):
+        solved = pattern.stationary_iterative(rates[point])
+        if solved is None:
+            _LOGGER.warning(
+                "iterative template solve failed for %s point %d of %d; "
                 "falling back to the reference model",
                 label,
                 point,
@@ -220,12 +258,9 @@ class _SparseStationaryPattern:
         self._rhs = np.zeros(n)
         self._rhs[-1] = 1.0
 
-    def stationary(self, edge_rates: np.ndarray) -> np.ndarray | None:
-        """Solve one point; ``None`` when the reference path must decide."""
-        sparse_modules = _markov._sparse_modules()
-        if sparse_modules is None:  # pragma: no cover - guarded by caller
-            return None
-        sparse, sparse_linalg = sparse_modules
+    def _assemble(self, edge_rates: np.ndarray):
+        """``(matrix, gen_data)`` of one point's system ``A x = rhs``."""
+        sparse, _ = _markov._sparse_modules()
         n = self.n
         exit_rates = np.bincount(self.edge_rows, weights=edge_rates, minlength=n)
         gen_data = np.concatenate([edge_rates, -exit_rates])
@@ -236,16 +271,15 @@ class _SparseStationaryPattern:
         matrix = sparse.csc_matrix(
             (data, self.indices, self.indptr), shape=(n, n)
         )
-        try:
-            pi = sparse_linalg.splu(matrix).solve(self._rhs)
-        except (RuntimeError, ValueError):
-            return None
+        return matrix, gen_data
+
+    def _accept(self, pi: np.ndarray, gen_data: np.ndarray) -> np.ndarray | None:
+        """The same acceptance test the reference applies: small residual
+        against ``Q^T`` and no materially negative mass."""
         if not np.all(np.isfinite(pi)):
             return None
-        # The same acceptance test the reference applies: small residual
-        # against Q^T and no materially negative mass.
         flow = np.bincount(
-            self.gen_cols, weights=gen_data * pi[self.gen_rows], minlength=n
+            self.gen_cols, weights=gen_data * pi[self.gen_rows], minlength=self.n
         )
         scale = max(1.0, float(np.max(np.abs(gen_data))))
         if float(np.max(np.abs(flow))) > 1e-8 * scale or np.any(pi < -1e-9):
@@ -255,6 +289,58 @@ class _SparseStationaryPattern:
         if total <= 0.0:
             return None
         return pi / total
+
+    def stationary(self, edge_rates: np.ndarray) -> np.ndarray | None:
+        """Solve one point; ``None`` when the reference path must decide."""
+        if _markov._sparse_modules() is None:  # pragma: no cover - guarded by caller
+            return None
+        _, sparse_linalg = _markov._sparse_modules()
+        matrix, gen_data = self._assemble(edge_rates)
+        try:
+            pi = sparse_linalg.splu(matrix).solve(self._rhs)
+        except (RuntimeError, ValueError):
+            return None
+        return self._accept(pi, gen_data)
+
+    def stationary_iterative(self, edge_rates: np.ndarray) -> np.ndarray | None:
+        """One point through ILU-preconditioned GMRES (BiCGSTAB retry).
+
+        The incomplete factorization keeps bounded fill-in where the
+        tree generators' exact LU explodes; the result still passes the
+        universal residual/negativity acceptance or the point is flagged
+        for the reference fallback.
+        """
+        if _markov._sparse_modules() is None:  # pragma: no cover - guarded by caller
+            return None
+        _, sparse_linalg = _markov._sparse_modules()
+        matrix, gen_data = self._assemble(edge_rates)
+        try:
+            ilu = sparse_linalg.spilu(matrix, drop_tol=1e-5, fill_factor=20.0)
+        except (RuntimeError, ValueError):
+            return None
+        preconditioner = sparse_linalg.LinearOperator(
+            (self.n, self.n), matvec=ilu.solve
+        )
+        pi, info = sparse_linalg.gmres(
+            matrix,
+            self._rhs,
+            M=preconditioner,
+            rtol=_markov.ITERATIVE_RTOL,
+            atol=0.0,
+            maxiter=500,
+        )
+        if info != 0:
+            pi, info = sparse_linalg.bicgstab(
+                matrix,
+                self._rhs,
+                M=preconditioner,
+                rtol=_markov.ITERATIVE_RTOL,
+                atol=0.0,
+                maxiter=2000,
+            )
+        if info != 0:
+            return None
+        return self._accept(pi, gen_data)
 
 
 # ----------------------------------------------------------------------
@@ -631,22 +717,40 @@ class TreeTemplate:
     for bit, and above the sparse crossover the template keeps its
     fixed CSC pattern exactly like :class:`MultiHopTemplate`.
 
-    Use :func:`tree_template` to get the memoized instance.
+    ``solver="iterative"`` compiles the same structure but solves every
+    point through the pattern's ILU/GMRES path (with ``max_states``
+    raised to
+    :data:`~repro.core.multihop.tree_states.MAX_ENUMERATED_TREE_STATES`
+    by :func:`iterative_tree_template`) — a *tolerance*-class backend,
+    never substituted for the exact one.
+
+    Use :func:`tree_template` / :func:`iterative_tree_template` to get
+    the memoized instances.
     """
 
-    def __init__(self, protocol: Protocol, topology: Topology) -> None:
+    def __init__(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        max_states: int | None = None,
+        solver: str = "direct",
+    ) -> None:
         self.protocol = Protocol(protocol)
         if self.protocol not in Protocol.multihop_family():
             raise ValueError(
                 f"{self.protocol.value} is not part of the multi-hop analysis"
             )
+        if solver not in ("direct", "iterative"):
+            raise ValueError(f"solver must be 'direct' or 'iterative', got {solver!r}")
         self.topology = topology
+        self.max_states = max_states
+        self.solver = solver
         with_recovery = self.protocol is Protocol.HS
-        self.states = tree_state_space(topology, with_recovery)
+        self.states = tree_state_space(topology, with_recovery, max_states)
         index = {state: i for i, state in enumerate(self.states)}
         ns = len(self.states)
         self._n_states = ns
-        specs = tree_transition_specs(self.protocol, topology)
+        specs = tree_transition_specs(self.protocol, topology, max_states)
         # One derived feature per distinct transition tag, in first-seen
         # order (the tag set is tiny: update/advance/lose plus one
         # recover and timeout slot per depth, or the two HS extras).
@@ -682,6 +786,12 @@ class TreeTemplate:
 
     def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         ns = self._n_states
+        if self.solver == "iterative":
+            if self._sparse_pattern is None:
+                self._sparse_pattern = _SparseStationaryPattern(
+                    self.rows, self.cols, ns
+                )
+            return _iterative_batch(self._sparse_pattern, rates, type(self).__name__)
         if not self._use_sparse():
             generators = _fill_generator_diagonal(
                 _assemble_dense(self._flat, rates, ns)
@@ -729,7 +839,131 @@ class TreeTemplate:
         return solutions
 
     def _reference(self, params: MultiHopParameters) -> TreeSolution:
-        return TreeModel(self.protocol, params, self.topology).solve()
+        return TreeModel(
+            self.protocol,
+            params,
+            self.topology,
+            max_states=self.max_states,
+            solver="iterative" if self.solver == "iterative" else "auto",
+        ).solve()
+
+
+class LumpedTreeTemplate:
+    """Compiled structure of one ``(protocol, topology)`` *lumped* chain.
+
+    The orbit-space twin of :class:`TreeTemplate`: the COO arrays come
+    from the same
+    :func:`~repro.core.multihop.lumping.lumped_transition_specs` list
+    :class:`~repro.core.multihop.lumping.LumpedTreeModel` accumulates
+    its rate dict from, each tag's base rate is computed by the shared
+    :func:`~repro.core.multihop.tree_transitions.tree_tag_rate` helper
+    and scaled by the spec's integer multiplicity — the identical float
+    product, scattered in the identical accumulation order — so the
+    template and the reference lumped model stay bit-identical to each
+    other.  (The *family* is a tolerance parity class relative to the
+    direct enumeration: orbit aggregation reorders float additions.)
+
+    Use :func:`lumped_tree_template` to get the memoized instance.
+    """
+
+    def __init__(self, protocol: Protocol, topology: Topology) -> None:
+        self.protocol = Protocol(protocol)
+        if self.protocol not in Protocol.multihop_family():
+            raise ValueError(
+                f"{self.protocol.value} is not part of the multi-hop analysis"
+            )
+        self.topology = topology
+        with_recovery = self.protocol is Protocol.HS
+        self.states = lumped_state_space(topology, with_recovery)
+        index = {state: i for i, state in enumerate(self.states)}
+        ns = len(self.states)
+        self._n_states = ns
+        specs = lumped_transition_specs(self.protocol, topology)
+        tag_index: dict[tuple, int] = {}
+        features: list[int] = []
+        for _, _, tag, _ in specs:
+            if tag not in tag_index:
+                tag_index[tag] = len(tag_index)
+            features.append(tag_index[tag])
+        self._tags = tuple(tag_index)
+        self.n_features = len(self._tags)
+        self.rows = np.array([index[o] for o, _, _, _ in specs], dtype=np.intp)
+        self.cols = np.array([index[d] for _, d, _, _ in specs], dtype=np.intp)
+        self._features = np.array(features, dtype=np.intp)
+        self._multiplicities = np.array(
+            [mult for _, _, _, mult in specs], dtype=np.float64
+        )
+        self._flat = self.rows * ns + self.cols
+        self._sparse_pattern: _SparseStationaryPattern | None = None
+
+    def edge_rates(self, points: Sequence[MultiHopParameters]) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix: tag rate x multiplicity."""
+        derived = np.empty((len(points), self.n_features))
+        for k, params in enumerate(points):
+            for j, tag in enumerate(self._tags):
+                derived[k, j] = tree_tag_rate(
+                    self.protocol, params, self.topology, tag
+                )
+        return derived[:, self._features] * self._multiplicities
+
+    def _use_sparse(self) -> bool:
+        return (
+            self._n_states >= _markov.SPARSE_STATE_THRESHOLD
+            and _markov._sparse_modules() is not None
+        )
+
+    def _stationary_batch(self, rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ns = self._n_states
+        if not self._use_sparse():
+            generators = _fill_generator_diagonal(
+                _assemble_dense(self._flat, rates, ns)
+            )
+            return batched_stationary_dense(generators)
+        if self._sparse_pattern is None:
+            self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
+        return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
+
+    def solve_batch(
+        self, points: Sequence[MultiHopParameters]
+    ) -> list[LumpedTreeSolution]:
+        """Solve every point; bit-identical to the per-point lumped model."""
+        points = list(points)
+        if not points:
+            return []
+        for params in points:
+            if params.hops != self.topology.num_edges:
+                raise ValueError(
+                    f"task has {params.hops} hops, template compiled for a "
+                    f"{self.topology.num_edges}-edge topology"
+                )
+        rates = self.edge_rates(points)
+        try:
+            pi, bad = self._stationary_batch(rates)
+        except np.linalg.LinAlgError:
+            return [self._reference(params) for params in points]
+        solutions: list[LumpedTreeSolution] = []
+        for k, params in enumerate(points):
+            if bad[k]:
+                solutions.append(self._reference(params))
+                continue
+            stationary = {
+                state: float(pi[k, i]) for i, state in enumerate(self.states)
+            }
+            solutions.append(
+                LumpedTreeSolution(
+                    protocol=self.protocol,
+                    params=params,
+                    topology=self.topology,
+                    stationary=stationary,
+                    message_breakdown=lumped_message_components(
+                        self.protocol, params, self.topology, stationary
+                    ),
+                )
+            )
+        return solutions
+
+    def _reference(self, params: MultiHopParameters) -> LumpedTreeSolution:
+        return LumpedTreeModel(self.protocol, params, self.topology).solve()
 
 
 # ----------------------------------------------------------------------
@@ -966,6 +1200,29 @@ def tree_template(protocol: Protocol, topology: Topology) -> TreeTemplate:
     return TreeTemplate(protocol, topology)
 
 
+@functools.lru_cache(maxsize=128)
+def lumped_tree_template(protocol: Protocol, topology: Topology) -> LumpedTreeTemplate:
+    """The memoized compiled lumped template for ``(protocol, topology)``."""
+    return LumpedTreeTemplate(protocol, topology)
+
+
+@functools.lru_cache(maxsize=64)
+def iterative_tree_template(protocol: Protocol, topology: Topology) -> TreeTemplate:
+    """The memoized iterative-backend template for ``(protocol, topology)``.
+
+    Enumerates the raw state space up to
+    :data:`~repro.core.multihop.tree_states.MAX_ENUMERATED_TREE_STATES`
+    and solves every point through ILU/GMRES — the tolerance-class
+    escape hatch for topologies whose orbits do not compress.
+    """
+    return TreeTemplate(
+        protocol,
+        topology,
+        max_states=MAX_ENUMERATED_TREE_STATES,
+        solver="iterative",
+    )
+
+
 @functools.lru_cache(maxsize=64)
 def gilbert_singlehop_template(protocol: Protocol) -> GilbertSingleHopTemplate:
     """The memoized compiled Gilbert product template for ``protocol``."""
@@ -1038,6 +1295,43 @@ def solve_tree_tasks(
         list(tasks),
         lambda task: (Protocol(task[0]), task[2]),
         lambda key, group: tree_template(*key).solve_batch(
+            [params for _, params, _ in group]
+        ),
+    )
+
+
+def solve_tree_lumped_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, Topology]],
+) -> list[LumpedTreeSolution]:
+    """Solve tree tasks on the exact orbit (lumped) state space.
+
+    Tolerance parity class relative to the direct enumeration: orbit
+    aggregation reorders float additions (the lumping itself is exact —
+    proved rationally in ``tests/core/test_tree_lumping.py``).
+    """
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[2]),
+        lambda key, group: lumped_tree_template(*key).solve_batch(
+            [params for _, params, _ in group]
+        ),
+    )
+
+
+def solve_tree_iterative_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, Topology]],
+) -> list[TreeSolution]:
+    """Solve tree tasks through the ILU/GMRES iterative backend.
+
+    Tolerance parity class: Krylov truncation bounds the residual (see
+    :data:`~repro.core.markov.ITERATIVE_RTOL`) instead of factorizing
+    exactly.  The raw-space escape hatch for topologies that neither
+    fit the direct cap nor lump.
+    """
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[2]),
+        lambda key, group: iterative_tree_template(*key).solve_batch(
             [params for _, params, _ in group]
         ),
     )

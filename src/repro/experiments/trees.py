@@ -13,16 +13,27 @@ scenarios probe the new workload class:
   moves — exactly the aggregation question chains cannot ask.
 * ``tree_depth`` — deepen the tree at fixed fan-out: the maximally
   skewed (caterpillar) binary tree and a broom (spine into one final
-  2-way split) sweep depth 1..4, while the complete binary tree —
-  whose state space is exponential in depth and whose generator's LU
-  fill-in walls off depth >= 3 (see
-  :data:`~repro.core.multihop.tree_states.MAX_TREE_STATES`) — runs on
-  its own short axis in the same panels (``shared_x=False``).
+  2-way split) sweep depth 1..4, while the complete binary tree runs
+  on its own short axis in the same panels (``shared_x=False``) —
+  historically capped at depth 2 by
+  :data:`~repro.core.multihop.tree_states.MAX_TREE_STATES`, and kept
+  there so the scenario's numbers stay on the exact direct path.
+* ``tree_deep`` — past the 4096-state wall: complete binary trees to
+  depth 3 (15129 raw states → 741 orbits) and ternary trees to depth 2
+  (24389 → 364) solve *exactly* through the sibling-subtree lumping of
+  :mod:`repro.core.multihop.lumping`, while deep caterpillars — whose
+  orbits barely compress — cross into the ILU/GMRES iterative backend
+  at depth 8.
+* ``tree_wide`` — fan-outs to 64: a ``k``-leaf star's ``3^k`` raw
+  states collapse to ``C(k+2, 2)`` orbits, so widths that would be
+  astronomically unsolvable directly (``3^64`` states) are a few
+  thousand lumped states.
 
-Both run SS, SS+RT and HS through the compiled tree-template batch
-path; fan-out-1 / depth-1 points are unary trees and therefore
-bit-identical to the chain model (see
-:func:`repro.validation.parity.tree_parity_checks`).
+All run SS, SS+RT and HS through the compiled tree-template batch
+path with per-topology backend auto-routing
+(:func:`~repro.core.multihop.lumping.select_tree_backend`); fan-out-1
+/ depth-1 points are unary trees and therefore bit-identical to the
+chain model (see :func:`repro.validation.parity.tree_parity_checks`).
 """
 
 from __future__ import annotations
@@ -40,7 +51,7 @@ from repro.experiments.spec import (
     register_scenario,
 )
 
-__all__ = ["DEPTH_SPEC", "FANOUT_SPEC"]
+__all__ = ["DEEP_SPEC", "DEPTH_SPEC", "FANOUT_SPEC", "WIDE_SPEC"]
 
 #: Swept fan-outs.  A ``k``-leaf star has ``3^k`` states, so the full
 #: sweep tops out at 729-state chains (sparse-template territory).
@@ -53,10 +64,28 @@ DEPTH_VALUES = (1, 2, 3, 4)
 FAST_DEPTH_VALUES = (1, 2, 3)
 SMOKE_DEPTH_VALUES = (1, 2)
 
-#: Swept depths for the complete binary tree, whose state count is
-#: doubly exponential in depth (121 states at depth 2, 15129 at depth
-#: 3 — beyond the solvable cap).
+#: Swept depths for the complete binary tree in ``tree_depth``, whose
+#: raw state count is doubly exponential in depth (121 states at depth
+#: 2, 15129 at depth 3).  Depth 3 is solvable now — exactly, through
+#: the orbit lumping — but routes off the direct bit-parity path, so
+#: ``tree_depth`` stays at depth 2 and ``tree_deep`` owns the deeper
+#: axis.
 BINARY_DEPTH_VALUES = (1, 2)
+
+#: ``tree_deep`` axes: binary to depth 3 (741 orbits), ternary to
+#: depth 2 (364 orbits) — both exact via lumping — and caterpillars to
+#: depth 8 (8747 raw states, trivial orbits, iterative backend).
+DEEP_BINARY_DEPTH_VALUES = (1, 2, 3)
+DEEP_TERNARY_DEPTH_VALUES = (1, 2)
+DEEP_SKEWED_DEPTH_VALUES = (5, 6, 7, 8)
+FAST_DEEP_SKEWED_DEPTH_VALUES = (5, 6, 7)
+SMOKE_DEEP_SKEWED_DEPTH_VALUES = (5, 6)
+
+#: ``tree_wide`` fan-outs: ``star(64)`` has ``3^64`` raw states and
+#: 2211 orbits.
+WIDE_FANOUT_VALUES = (8, 16, 32, 48, 64)
+FAST_WIDE_FANOUT_VALUES = (8, 32)
+SMOKE_WIDE_FANOUT_VALUES = (8,)
 
 
 def _tree_point(base, topology: Topology):
@@ -86,6 +115,12 @@ def _bind_binary(base, depth: float):
 def _bind_skewed(base, depth: float):
     """Depth ``d`` as the maximally skewed (caterpillar) binary tree."""
     return _tree_point(base, Topology.skewed(int(depth)))
+
+
+@register_binder("tree_ternary")
+def _bind_ternary(base, depth: float):
+    """Depth ``d`` as the complete ternary tree."""
+    return _tree_point(base, Topology.kary(3, int(depth)))
 
 
 @register_binder("tree_spine")
@@ -307,10 +342,201 @@ DEPTH_SPEC = register_scenario(
             "skewed: a d-link backbone with one side leaf per internal node; "
             "spine: a (d-1)-link path into one 2-way split; binary: the "
             "complete 2-ary tree (own axis — its state space is exponential "
-            "in depth and depth >= 3 exceeds the solvable cap)",
+            "in depth; depth >= 3 leaves the direct bit-parity path and is "
+            "swept by tree_deep via the exact lumped backend)",
             "skewed depth 1 is the single-hop chain (unary points are "
             "bit-identical to the chain model); spine depth 1 is the "
             "2-leaf star",
+        ),
+    )
+)
+
+
+def _deep_panel(name: str, y_label: str, metric: str, log_y: bool) -> PanelSpec:
+    """One deep panel: balanced binary / ternary trees on their own
+    short lumped axes, the deep caterpillar on the iterative-reaching
+    axis (``shared_x=False``)."""
+    return PanelSpec(
+        name=name,
+        x_label="tree depth d",
+        y_label=y_label,
+        plans=(
+            SeriesPlan(
+                "sweep",
+                axis="binary_depth",
+                binder="tree_binary",
+                metric=metric,
+                label_suffix=" binary",
+            ),
+            SeriesPlan(
+                "sweep",
+                axis="ternary_depth",
+                binder="tree_ternary",
+                metric=metric,
+                label_suffix=" ternary",
+            ),
+            SeriesPlan(
+                "sweep",
+                axis="skewed_depth",
+                binder="tree_skewed",
+                metric=metric,
+                label_suffix=" skewed",
+            ),
+        ),
+        log_y=log_y,
+        shared_x=False,
+    )
+
+
+DEEP_SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id="tree_deep",
+        title="Deep trees past the state-space wall: lumped and iterative backends (beyond the paper)",
+        artifact="beyond the paper",
+        family="tree",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis(
+                "binary_depth",
+                "explicit",
+                values=tuple(float(v) for v in DEEP_BINARY_DEPTH_VALUES),
+            ),
+            Axis(
+                "ternary_depth",
+                "explicit",
+                values=tuple(float(v) for v in DEEP_TERNARY_DEPTH_VALUES),
+            ),
+            Axis(
+                "skewed_depth",
+                "explicit",
+                values=tuple(float(v) for v in DEEP_SKEWED_DEPTH_VALUES),
+            ),
+        ),
+        panels=(
+            _deep_panel(
+                "a: any-leaf inconsistency",
+                "inconsistency ratio I (any leaf)",
+                "inconsistency_ratio",
+                log_y=True,
+            ),
+            _deep_panel(
+                "b: mean leaf inconsistency",
+                "mean per-leaf inconsistency",
+                "mean_leaf_inconsistency",
+                log_y=True,
+            ),
+            _deep_panel(
+                "c: signaling message rate",
+                "per-link transmissions per second",
+                "message_rate",
+                log_y=False,
+            ),
+        ),
+        fidelities=(
+            FidelityProfile("full"),
+            FidelityProfile(
+                "fast",
+                axis_values={
+                    "skewed_depth": tuple(
+                        float(v) for v in FAST_DEEP_SKEWED_DEPTH_VALUES
+                    )
+                },
+            ),
+            FidelityProfile(
+                "smoke",
+                axis_values={
+                    "binary_depth": (1.0, 2.0),
+                    "ternary_depth": (1.0,),
+                    "skewed_depth": tuple(
+                        float(v) for v in SMOKE_DEEP_SKEWED_DEPTH_VALUES
+                    ),
+                },
+            ),
+        ),
+        notes=(
+            "binary depth 3 (15129 raw states) and ternary depth 2 (24389) "
+            "solve exactly through sibling-subtree lumping (741 / 364 "
+            "orbits); skewed depth 8 (8747 raw states, near-trivial orbits) "
+            "routes to the ILU-preconditioned iterative backend",
+            "smoke trims every axis below the lumped/iterative crossovers; "
+            "fast keeps the lumped points and stops the caterpillar at "
+            "depth 7 (direct backend)",
+        ),
+    )
+)
+
+
+def _wide_panel(name: str, y_label: str, metric: str, log_y: bool) -> PanelSpec:
+    """One wide panel: star and broom sweeping large fan-outs."""
+    return PanelSpec(
+        name=name,
+        x_label="fan-out k",
+        y_label=y_label,
+        plans=(
+            SeriesPlan(
+                "sweep",
+                axis="fanout",
+                binder="tree_star",
+                metric=metric,
+                label_suffix=" star",
+            ),
+            SeriesPlan(
+                "sweep",
+                axis="fanout",
+                binder="tree_broom",
+                metric=metric,
+                label_suffix=" broom",
+            ),
+        ),
+        log_y=log_y,
+    )
+
+
+WIDE_SPEC = register_scenario(
+    ScenarioSpec(
+        scenario_id="tree_wide",
+        title="Wide multicast fan-out via exact lumping: stars and brooms to k=64 (beyond the paper)",
+        artifact="beyond the paper",
+        family="tree",
+        preset="reservation",
+        protocols=Protocol.multihop_family(),
+        axes=(
+            Axis(
+                "fanout",
+                "explicit",
+                values=tuple(float(v) for v in WIDE_FANOUT_VALUES),
+            ),
+        ),
+        panels=(
+            _wide_panel(
+                "a: any-leaf inconsistency",
+                "inconsistency ratio I (any leaf)",
+                "inconsistency_ratio",
+                log_y=True,
+            ),
+            _wide_panel(
+                "b: mean leaf inconsistency",
+                "mean per-leaf inconsistency",
+                "mean_leaf_inconsistency",
+                log_y=True,
+            ),
+            _wide_panel(
+                "c: signaling message rate",
+                "per-link transmissions per second",
+                "message_rate",
+                log_y=False,
+            ),
+        ),
+        fidelities=_fidelities(
+            FAST_WIDE_FANOUT_VALUES, SMOKE_WIDE_FANOUT_VALUES, "fanout"
+        ),
+        notes=(
+            "a k-leaf star's 3^k raw states collapse to C(k+2, 2) orbits "
+            "under leaf exchangeability, so star(64) — 3^64 raw states — is "
+            "a 2211-orbit exact solve",
+            "every point here routes to the lumped backend; none are "
+            "reachable by direct enumeration beyond k=7",
         ),
     )
 )

@@ -35,8 +35,10 @@ from repro.core.gilbert.model import (
 from repro.core.markov import ContinuousTimeMarkovChain, State
 from repro.core.multihop import MultiHopModel, MultiHopSolution
 from repro.core.multihop.heterogeneous import HeterogeneousHop, HeterogeneousMultiHopModel
+from repro.core.multihop.lumping import TREE_BACKENDS, LumpedTreeModel, select_tree_backend
 from repro.core.multihop.topology import Topology
 from repro.core.multihop.tree_model import TreeModel, TreeSolution
+from repro.core.multihop.tree_states import MAX_ENUMERATED_TREE_STATES
 from repro.core.parameters import MultiHopParameters, SignalingParameters
 from repro.core.protocols import Protocol
 from repro.core.singlehop import SingleHopModel, SingleHopSolution
@@ -84,33 +86,72 @@ _TEMPLATES_ENV = "REPRO_TEMPLATES"
 SingleHopTask = tuple[Protocol, SignalingParameters]
 MultiHopTask = tuple[Protocol, MultiHopParameters]
 HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
-TreeTask = tuple[Protocol, MultiHopParameters, Topology]
+#: Tree tasks may carry an explicit backend as a fourth element; bare
+#: 3-tuples mean ``"auto"`` (routed by projected state counts).
+TreeTask = (
+    tuple[Protocol, MultiHopParameters, Topology]
+    | tuple[Protocol, MultiHopParameters, Topology, str]
+)
 GilbertSingleHopTask = tuple[Protocol, SignalingParameters, GilbertElliottParameters]
 GilbertMultiHopTask = tuple[Protocol, MultiHopParameters, GilbertElliottParameters]
 
+#: Above this state count a dense rescue (an O(n^2) matrix plus an
+#: O(n^3) LAPACK factorization) costs more than it saves; the fallback
+#: chain skips straight to the iterative backend.
+DENSE_FALLBACK_MAX_STATES = 6000
+
 
 def solve_chain_stationary(chain: ContinuousTimeMarkovChain) -> dict[State, float]:
-    """Stationary distribution with a logged dense fallback.
+    """Stationary distribution with a logged multi-stage fallback.
 
     The chain's configured solver (usually ``"auto"``, which picks the
     sparse backend for large chains) is tried first.  If it fails — a
-    singular sparse factorization, a non-finite solution — the chain is
-    re-solved with the dense backend.  The fallback is logged and
-    counted in :func:`repro.runtime.executor.failure_report`, never
-    silent; a dense failure is a genuine modeling error and propagates.
+    singular sparse factorization, a non-finite solution, scipy missing
+    — the chain is rescued through the remaining backends: dense first
+    (exact, but only up to :data:`DENSE_FALLBACK_MAX_STATES` states),
+    then the ILU/GMRES iterative solver (which survives the fill-in
+    explosions that kill both LU paths on big tree generators).  One
+    rescue *event* increments ``solver_fallbacks`` in
+    :func:`repro.runtime.executor.failure_report` exactly once, however
+    many rescue backends end up being tried, and every stage is logged
+    — never silent.  A failure of the configured ``"dense"`` backend is
+    a genuine modeling error and propagates immediately; if every
+    rescue fails, the last error propagates.
     """
     try:
         return chain.stationary_distribution()
-    except ValueError:
+    except (ValueError, RuntimeError) as exc:
         if chain.solver == "dense":
             raise
-        _LOGGER.warning(
-            "%s stationary solve failed for a %d-state chain; recomputing densely",
-            chain.solver,
-            len(chain.states),
-        )
-        failure_report().solver_fallbacks += 1
-        return chain.with_solver("dense").stationary_distribution()
+        error = exc
+    n = len(chain.states)
+    rescues = []
+    if n <= DENSE_FALLBACK_MAX_STATES:
+        rescues.append("dense")
+    if chain.solver != "iterative":
+        rescues.append("iterative")
+    if not rescues:
+        raise error
+    failure_report().solver_fallbacks += 1
+    for rescue in rescues:
+        if rescue == "dense":
+            _LOGGER.warning(
+                "%s stationary solve failed for a %d-state chain; recomputing densely",
+                chain.solver,
+                n,
+            )
+        else:
+            _LOGGER.warning(
+                "%s stationary solve failed for a %d-state chain; "
+                "retrying with the iterative backend",
+                chain.solver,
+                n,
+            )
+        try:
+            return chain.with_solver(rescue).stationary_distribution()
+        except (ValueError, RuntimeError) as exc:
+            error = exc
+    raise error
 
 
 def templates_enabled() -> bool:
@@ -143,9 +184,48 @@ def _heterogeneous_key(task: HeterogeneousTask) -> tuple:
     return cache_key("heterogeneous", protocol, params, hop_key)
 
 
+def _normalized_tree_task(
+    task: TreeTask,
+) -> tuple[Protocol, MultiHopParameters, Topology, str]:
+    """``(protocol, params, topology, backend)`` with ``"auto"`` resolved.
+
+    Tree tasks arrive as bare 3-tuples (meaning ``"auto"``) or with an
+    explicit backend.  Resolution happens here — before cache keying —
+    so an ``"auto"`` task and its resolved explicit twin share one cache
+    entry, while distinct backends never collide.
+    """
+    if len(task) == 3:
+        protocol, params, topology = task
+        backend = "auto"
+    else:
+        protocol, params, topology, backend = task
+    if backend not in TREE_BACKENDS:
+        raise ValueError(
+            f"tree backend must be one of {TREE_BACKENDS}, got {backend!r}"
+        )
+    if backend == "auto":
+        backend = select_tree_backend(topology)
+    return Protocol(protocol), params, topology, backend
+
+
+def _tree_parity_class(backend: str) -> str:
+    """The parity class a backend's results belong to.
+
+    Baked into the cache key so a tolerance-class result (lumped or
+    iterative) can never be served to an exact-path caller that happens
+    to share the ``(protocol, params, topology)`` triple.
+    """
+    return "tolerance" if backend in ("lumped", "iterative") else "exact"
+
+
 def _tree_key(task: TreeTask) -> tuple:
-    protocol, params, topology = task
-    return cache_key("tree", protocol, params, topology.parents)
+    protocol, params, topology, backend = _normalized_tree_task(task)
+    return cache_key(
+        "tree",
+        protocol,
+        params,
+        (topology.parents, backend, _tree_parity_class(backend)),
+    )
 
 
 def _gilbert_singlehop_key(task: GilbertSingleHopTask) -> tuple:
@@ -183,8 +263,21 @@ def _compute_heterogeneous(task: HeterogeneousTask) -> MultiHopSolution:
 
 
 def _compute_tree(task: TreeTask) -> TreeSolution:
-    protocol, params, topology = task
-    return TreeModel(protocol, params, topology).solve()
+    protocol, params, topology, backend = _normalized_tree_task(task)
+    if backend == "lumped":
+        model = LumpedTreeModel(protocol, params, topology)
+    elif backend == "iterative":
+        model = TreeModel(
+            protocol,
+            params,
+            topology,
+            max_states=MAX_ENUMERATED_TREE_STATES,
+            solver="iterative",
+        )
+    else:
+        model = TreeModel(protocol, params, topology)
+    stationary = solve_chain_stationary(model.chain())
+    return model.solution_from_stationary(stationary)
 
 
 def _compute_gilbert_singlehop(task: GilbertSingleHopTask) -> GilbertSingleHopSolution:
@@ -273,8 +366,30 @@ def solve_heterogeneous_template_chunk(
 
 
 def solve_tree_template_chunk(tasks: Sequence[TreeTask]) -> list[TreeSolution]:
-    """Solve a chunk of tree tasks through compiled templates."""
-    return _templates.solve_tree_tasks(list(tasks))
+    """Solve a chunk of tree tasks through compiled templates.
+
+    Tasks are partitioned by their resolved backend and routed to the
+    matching template entry point — direct, lumped or iterative — then
+    scattered back to input order, so one chunk can mix backends (a
+    sweep crossing the direct cap mid-axis) without extra round trips.
+    """
+    normalized = [_normalized_tree_task(task) for task in tasks]
+    partitions: dict[str, list[int]] = {}
+    for position, (_, _, _, backend) in enumerate(normalized):
+        partitions.setdefault(backend, []).append(position)
+    entry_points = {
+        "direct": _templates.solve_tree_tasks,
+        "lumped": _templates.solve_tree_lumped_tasks,
+        "iterative": _templates.solve_tree_iterative_tasks,
+    }
+    results: list[TreeSolution] = [None] * len(normalized)
+    for backend, positions in partitions.items():
+        solved = entry_points[backend](
+            [normalized[p][:3] for p in positions]
+        )
+        for position, solution in zip(positions, solved):
+            results[position] = solution
+    return results
 
 
 def solve_gilbert_singlehop_template_chunk(

@@ -16,14 +16,24 @@ The repo ships four ways to solve the same CTMC point:
     to the reference chain's own generator matrices;
 ``sparse``
     the per-chain ``scipy.sparse`` splu path (what ``solver="auto"``
-    switches to above the crossover state count).
+    switches to above the crossover state count);
+``lumped``
+    the exact orbit-lumping of isomorphic sibling subtrees
+    (:mod:`repro.core.multihop.lumping`) — mathematically exact, but
+    aggregation reorders float additions, so it is held to tolerance
+    against the direct enumeration (and to bit parity against its own
+    compiled template);
+``iterative``
+    the ILU-preconditioned GMRES/BiCGSTAB path for raw tree spaces
+    beyond the direct cap — tolerance class by construction.
 
 The parity policy matches the repo's fast-path guarantees: the dense,
 template and batched paths must agree **exactly** (``==``, bit parity —
-they run the same ``dgesv`` on the same matrices), while the sparse
-path must agree within a tight tolerance (a different factorization
-cannot promise the same last bits).  The matrix spans protocols × hop
-counts × parameter points (the point list grows with fidelity).
+they run the same ``dgesv`` on the same matrices), while the sparse,
+lumped and iterative paths must agree within a tight tolerance (a
+different factorization cannot promise the same last bits).  The matrix
+spans protocols × hop counts × parameter points (the point list grows
+with fidelity).
 """
 
 from __future__ import annotations
@@ -39,6 +49,8 @@ from repro.core.markov import (
     batched_absorption_times_dense,
     batched_stationary_dense,
 )
+from repro.core.multihop import lumping as _lumping
+from repro.core.multihop.tree_states import MAX_ENUMERATED_TREE_STATES
 from repro.core.multihop.heterogeneous import (
     HeterogeneousHop,
     HeterogeneousMultiHopModel,
@@ -69,10 +81,11 @@ __all__ = [
     "singlehop_parity_checks",
     "tree_parity_checks",
     "tree_parity_topologies",
+    "tree_scale_parity_checks",
 ]
 
 #: The solver paths the matrix covers, reference first.
-BACKENDS = ("dense", "template", "batched", "sparse")
+BACKENDS = ("dense", "template", "batched", "sparse", "lumped", "iterative")
 
 #: Parity class of every public solver backend entry point
 #: (``core/templates.py``, ``core/markov.py``): ``"exact"`` paths must
@@ -94,6 +107,13 @@ PARITY_CLASSES: dict[str, str] = {
     # match the dense expm oracle to tolerance, never bit-exactly.
     "solve_transient_point": "tolerance",
     "solve_transient_curve": "tolerance",
+    # Orbit lumping is mathematically exact (proved in rational
+    # arithmetic by tests/core/test_tree_lumping.py) but aggregates
+    # float additions in a different order than the direct enumeration;
+    # the Krylov backend bounds a residual instead of factorizing.
+    # Both therefore declare tolerance, never bit parity.
+    "solve_tree_lumped_tasks": "tolerance",
+    "solve_tree_iterative_tasks": "tolerance",
 }
 
 #: Agreement bound for the sparse (splu) backend against the dense
@@ -519,6 +539,147 @@ def tree_parity_checks(
                 f"tree {protocol.value}: dense~sparse",
                 sparse_points,
                 detail=f"shapes {shape_list}, splu within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    return checks
+
+
+def tree_scale_parity_checks(
+    params: MultiHopParameters,
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The tree-scale slice: lumped and iterative backends vs the truth.
+
+    Per protocol:
+
+    * **lumped~dense (below cap)** — the orbit-lumped solve reproduces
+      the direct enumeration's metrics within the sparse tolerance on
+      shapes small enough to solve both ways (the lumping itself is
+      *exact*; only float summation order differs, see the rational
+      proof in ``tests/core/test_tree_lumping.py``);
+    * **lumped model==template** — the compiled lumped template agrees
+      with :class:`~repro.core.multihop.lumping.LumpedTreeModel` bit
+      for bit (same floats, same accumulation order), including on
+      above-cap shapes like ``star8`` (6561 raw states, 45 orbits);
+    * **iterative~dense (below cap)** — the ILU/GMRES backend agrees
+      with the dense reference within tolerance.
+
+    ``fast`` adds the cross-backend check above the old 4096-state
+    wall: ``star8`` solved via lumping and via raw-space iteration must
+    agree within the sparse tolerance (no exact path exists up there to
+    referee — the two scale backends referee each other).  ``full``
+    repeats it on the depth-3 binary tree (15129 raw states → 741
+    orbits), the shape the wall was named after.
+    """
+    checks: list[CheckResult] = []
+    small_shapes = [
+        ("star3", Topology.star(3)),
+        ("binary2", Topology.kary(2, 2)),
+    ]
+    if fidelity != "smoke":
+        small_shapes.append(("broom2x3", Topology.broom(2, 3)))
+    for protocol in protocols:
+        lumped_points: list[PointCheck] = []
+        template_points: list[PointCheck] = []
+        iterative_points: list[PointCheck] = []
+        for shape, topology in small_shapes:
+            point_params = params.replace(hops=topology.num_edges)
+            reference = TreeModel(protocol, point_params, topology).solve()
+            lumped = _lumping.LumpedTreeModel(
+                protocol, point_params, topology
+            ).solve()
+            iterative = TreeModel(
+                protocol, point_params, topology, solver="iterative"
+            ).solve()
+            for metric in _TREE_METRICS:
+                lumped_points.append(
+                    _close_point(
+                        f"{shape} {metric}",
+                        getattr(reference, metric),
+                        getattr(lumped, metric),
+                    )
+                )
+                iterative_points.append(
+                    _close_point(
+                        f"{shape} {metric}",
+                        getattr(reference, metric),
+                        getattr(iterative, metric),
+                    )
+                )
+        template_shapes = small_shapes + [("star8", Topology.star(8))]
+        for shape, topology in template_shapes:
+            point_params = params.replace(hops=topology.num_edges)
+            lumped = _lumping.LumpedTreeModel(
+                protocol, point_params, topology
+            ).solve()
+            template = _templates.solve_tree_lumped_tasks(
+                [(protocol, point_params, topology)]
+            )[0]
+            for metric in _TREE_METRICS:
+                template_points.append(
+                    _exact_point(
+                        f"{shape} {metric}",
+                        getattr(lumped, metric),
+                        getattr(template, metric),
+                    )
+                )
+        shape_list = ",".join(shape for shape, _ in small_shapes)
+        checks.append(
+            _check(
+                f"tree-scale {protocol.value}: lumped~dense",
+                lumped_points,
+                detail=f"shapes {shape_list}, within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+        checks.append(
+            _check(
+                f"tree-scale {protocol.value}: lumped==template",
+                template_points,
+                detail="lumped model vs compiled lumped template, exact",
+            )
+        )
+        checks.append(
+            _check(
+                f"tree-scale {protocol.value}: iterative~dense",
+                iterative_points,
+                detail=f"shapes {shape_list}, within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+    if fidelity != "smoke":
+        cross_shapes = [("star8", Topology.star(8))]
+        if fidelity == "full":
+            cross_shapes.append(("binary3", Topology.kary(2, 3)))
+        cross_points: list[PointCheck] = []
+        for shape, topology in cross_shapes:
+            point_params = params.replace(hops=topology.num_edges)
+            lumped = _lumping.LumpedTreeModel(
+                Protocol.SS, point_params, topology
+            ).solve()
+            iterative = TreeModel(
+                Protocol.SS,
+                point_params,
+                topology,
+                max_states=MAX_ENUMERATED_TREE_STATES,
+                solver="iterative",
+            ).solve()
+            for metric in _TREE_METRICS:
+                cross_points.append(
+                    _close_point(
+                        f"{shape} {metric}",
+                        getattr(lumped, metric),
+                        getattr(iterative, metric),
+                    )
+                )
+        shape_list = ",".join(shape for shape, _ in cross_shapes)
+        checks.append(
+            _check(
+                "tree-scale ss: lumped~iterative above the direct cap",
+                cross_points,
+                detail=(
+                    f"shapes {shape_list} beyond MAX_TREE_STATES, the two "
+                    f"scale backends within rel {SPARSE_REL_TOL:g}"
+                ),
             )
         )
     return checks

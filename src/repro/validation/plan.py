@@ -65,6 +65,7 @@ from repro.validation.parity import (
     multihop_parity_checks,
     singlehop_parity_checks,
     tree_parity_checks,
+    tree_scale_parity_checks,
 )
 from repro.validation.report import CheckResult, PointCheck, ValidationReport
 
@@ -511,7 +512,9 @@ def _cached_parity_slice(
             multihop_parity_checks(base, hop_counts, protocols, fidelity=fidelity)
         )
     if family == "tree":
-        return tuple(tree_parity_checks(base, protocols, fidelity=fidelity))
+        return tuple(tree_parity_checks(base, protocols, fidelity=fidelity)) + tuple(
+            tree_scale_parity_checks(base, protocols, fidelity=fidelity)
+        )
     if family == "gilbert_singlehop":
         return tuple(
             gilbert_singlehop_parity_checks(base, protocols, fidelity=fidelity)

@@ -1,0 +1,95 @@
+"""Tests for the ILU-preconditioned iterative CTMC backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.markov import ITERATIVE_RTOL, ContinuousTimeMarkovChain
+from repro.core.multihop import Topology, TreeModel
+from repro.core.parameters import reservation_defaults
+from repro.core.protocols import Protocol
+
+
+def birth_death_chain(n: int, solver: str) -> ContinuousTimeMarkovChain:
+    rates = {}
+    for i in range(n - 1):
+        rates[(i, i + 1)] = 2.0
+        rates[(i + 1, i)] = 1.0 + 0.01 * i
+    return ContinuousTimeMarkovChain(range(n), rates, solver=solver)
+
+
+class TestSolverSelection:
+    def test_iterative_is_a_valid_solver(self):
+        chain = birth_death_chain(4, "iterative")
+        assert chain.solver == "iterative"
+
+    def test_auto_never_selects_iterative(self):
+        # "iterative" is request-only: it answers under a tolerance
+        # contract, so routing must be an explicit caller decision.
+        pytest.importorskip("scipy")
+        chain = birth_death_chain(400, "auto")
+        assert chain._solver in ("auto", "dense", "sparse")
+
+    def test_merge_states_propagates_solver(self):
+        chain = ContinuousTimeMarkovChain(
+            [0, 1, 2], {(0, 1): 1.0, (1, 2): 2.0, (2, 0): 3.0}, solver="iterative"
+        )
+        assert chain.merge_states(2, 0).solver == "iterative"
+
+
+class TestIterativeAccuracy:
+    @pytest.fixture(autouse=True)
+    def _need_scipy(self):
+        pytest.importorskip("scipy")
+
+    def test_birth_death_matches_dense(self):
+        dense = birth_death_chain(150, "dense").stationary_distribution()
+        iterative = birth_death_chain(150, "iterative").stationary_distribution()
+        assert iterative == pytest.approx(dense, abs=1e-10)
+
+    def test_tolerance_contract_is_tight(self):
+        # The inner Krylov tolerance must sit well below the 1e-8
+        # acceptance bound the parity matrix checks against.
+        assert ITERATIVE_RTOL <= 1e-9
+
+    def test_tree_model_iterative_matches_direct(self):
+        topology = Topology.broom(2, 3)
+        params = reservation_defaults().replace(hops=topology.num_edges)
+        direct = TreeModel(Protocol.SS_RT, params, topology).solve()
+        iterative = TreeModel(
+            Protocol.SS_RT, params, topology, solver="iterative"
+        ).solve()
+        assert iterative.inconsistency_ratio == pytest.approx(
+            direct.inconsistency_ratio, rel=1e-8
+        )
+        assert iterative.message_rate == pytest.approx(
+            direct.message_rate, rel=1e-8
+        )
+
+    def test_stationary_sums_to_one_and_nonnegative(self):
+        pi = birth_death_chain(80, "iterative").stationary_distribution()
+        assert sum(pi.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(p >= 0.0 for p in pi.values())
+
+
+class TestIterativeFailureModes:
+    @pytest.fixture(autouse=True)
+    def _need_scipy(self):
+        pytest.importorskip("scipy")
+
+    def test_reducible_chain_raises(self):
+        # Two disconnected recurrent classes: the stationary system is
+        # singular, and the iterative path must refuse rather than
+        # return garbage.
+        rates = {(0, 1): 1.0, (1, 0): 1.0, (2, 3): 1.0, (3, 2): 1.0}
+        chain = ContinuousTimeMarkovChain([0, 1, 2, 3], rates, solver="iterative")
+        with pytest.raises((ValueError, RuntimeError)):
+            chain.stationary_distribution()
+
+    def test_scipy_missing_raises_runtime_error(self, monkeypatch):
+        import repro.core.markov as markov
+
+        monkeypatch.setattr(markov, "_sparse_modules", lambda: None)
+        chain = birth_death_chain(5, "iterative")
+        with pytest.raises(RuntimeError, match="scipy"):
+            chain.stationary_distribution()

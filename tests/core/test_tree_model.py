@@ -82,6 +82,36 @@ class TestStateSpace:
             tree_state_space(Topology.kary(2, 3), False)
         assert MAX_TREE_STATES < 15129
 
+    def test_cap_error_is_structured(self):
+        from repro.core.multihop import StateSpaceLimitError, projected_tree_states
+
+        topo = Topology.kary(2, 3)
+        with pytest.raises(StateSpaceLimitError) as excinfo:
+            tree_state_space(topo, False)
+        error = excinfo.value
+        assert isinstance(error, ValueError)  # legacy callers keep working
+        assert error.topology.parents == topo.parents
+        assert error.projected == projected_tree_states(topo) == 15129
+        assert error.limit == MAX_TREE_STATES
+
+    def test_cap_check_runs_before_materialization(self):
+        # star(60) projects 3^60 states; the multiplicative pre-check
+        # must refuse instantly instead of enumerating.
+        import time
+
+        from repro.core.multihop import StateSpaceLimitError
+
+        start = time.perf_counter()
+        with pytest.raises(StateSpaceLimitError) as excinfo:
+            tree_state_space(Topology.star(60), False)
+        assert time.perf_counter() - start < 1.0
+        assert excinfo.value.projected == 3**60
+
+    def test_max_states_raises_the_cap(self):
+        topo = Topology.star(8)  # 6561 raw states
+        states = tree_state_space(topo, False, max_states=10_000)
+        assert len(states) == 6561
+
 
 class TestUnaryChainBitParity:
     @pytest.mark.parametrize("protocol", MULTIHOP, ids=lambda p: p.value)

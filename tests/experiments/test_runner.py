@@ -271,6 +271,8 @@ class TestRegistry:
         "scaling",  # beyond the paper: heterogeneous hop-count scaling
         "tree_fanout",  # beyond the paper: multicast fan-out trees
         "tree_depth",  # beyond the paper: balanced vs skewed tree depth
+        "tree_deep",  # beyond the paper: deep trees via lumped/iterative backends
+        "tree_wide",  # beyond the paper: fan-outs to 64 via exact lumping
         "burst_loss",  # beyond the paper: Gilbert-Elliott bursty loss
         "burst_loss_hops",  # beyond the paper: bursty loss on a chain
         "link_flap",  # beyond the paper: periodic link outages

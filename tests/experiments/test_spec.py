@@ -74,6 +74,8 @@ class TestRegistry:
             "scaling",
             "tree_fanout",
             "tree_depth",
+            "tree_deep",
+            "tree_wide",
             "burst_loss",
             "burst_loss_hops",
             "link_flap",

@@ -16,9 +16,11 @@ class TestRegistry:
         ids = experiment_ids()
         assert "tree_fanout" in ids
         assert "tree_depth" in ids
+        assert "tree_deep" in ids
+        assert "tree_wide" in ids
 
     def test_specs_are_tree_family(self):
-        for scenario_id in ("tree_fanout", "tree_depth"):
+        for scenario_id in ("tree_fanout", "tree_depth", "tree_deep", "tree_wide"):
             spec = scenario(scenario_id)
             assert spec.family == "tree"
             assert spec.preset == "reservation"
@@ -43,6 +45,10 @@ class TestBinders:
     def test_skewed_binder(self):
         _, topology = binder("tree_skewed")(reservation_defaults(), 3.0)
         assert topology == Topology.skewed(3)
+
+    def test_ternary_binder(self):
+        _, topology = binder("tree_ternary")(reservation_defaults(), 2.0)
+        assert topology == Topology.kary(3, 2)
 
     def test_spine_binder_depth_semantics(self):
         for depth in (1, 2, 4):
@@ -118,6 +124,50 @@ class TestExecution:
         result = run_scenario("tree_depth", "smoke")
         assert ExperimentResult.from_json(result.to_json()) == result
 
+    def test_deep_smoke_stays_below_the_lumped_crossover(self):
+        # Smoke must never hit the iterative backend: every swept
+        # topology stays within direct or cheap-lumped territory.
+        from repro.core.multihop import select_tree_backend
+
+        result = run_scenario("tree_deep", "smoke")
+        panel = result.panel("a: any-leaf inconsistency")
+        assert panel.series_by_label("SS binary").x == (1.0, 2.0)
+        assert panel.series_by_label("SS ternary").x == (1.0,)
+        assert panel.series_by_label("SS skewed").x == (5.0, 6.0)
+        for depth in (5, 6):
+            assert select_tree_backend(Topology.skewed(depth)) == "direct"
+
+    def test_deep_fast_crosses_the_old_wall_exactly(self):
+        # Fast sweeps binary depth 3 (15129 raw states) through the
+        # lumped backend: values must be finite, monotone in depth, and
+        # computed without touching the iterative path.
+        from repro.core.multihop import select_tree_backend
+
+        assert select_tree_backend(Topology.kary(2, 3)) == "lumped"
+        result = run_scenario("tree_deep", "fast")
+        series = result.panel("a: any-leaf inconsistency").series_by_label(
+            "SS binary"
+        )
+        assert series.x == (1.0, 2.0, 3.0)
+        assert series.y[0] < series.y[1] < series.y[2]
+
+    def test_wide_smoke_routes_lumped(self):
+        from repro.core.multihop import select_tree_backend
+
+        assert select_tree_backend(Topology.star(8)) == "lumped"
+        result = run_scenario("tree_wide", "smoke")
+        panel = result.panel("c: signaling message rate")
+        assert panel.series_by_label("SS star").x == (8.0,)
+        assert panel.series_by_label("SS broom").x == (8.0,)
+
+    def test_wide_fanout_widening_hurts_any_leaf(self):
+        result = run_scenario("tree_wide", "fast")
+        series = result.panel("a: any-leaf inconsistency").series_by_label(
+            "SS star"
+        )
+        assert series.x == (8.0, 32.0)
+        assert series.y[1] > series.y[0]
+
 
 class TestCli:
     def test_run_tree_fanout_smoke_json(self, capsys):
@@ -146,7 +196,9 @@ class TestCli:
         assert "unary==chain" in capsys.readouterr().out
 
 
-@pytest.mark.parametrize("scenario_id", ["tree_fanout", "tree_depth"])
+@pytest.mark.parametrize(
+    "scenario_id", ["tree_fanout", "tree_depth", "tree_deep", "tree_wide"]
+)
 def test_fast_fidelity_runs(scenario_id):
     import math
 

@@ -148,6 +148,62 @@ class TestRunExperiments:
         assert [r.to_text() for r in serial] == [r.to_text() for r in parallel]
 
 
+class TestTreeBackendRouting:
+    def test_cache_key_separates_backends(self):
+        from repro.core.multihop import Topology
+        from repro.runtime.solvers import _tree_key
+
+        topology = Topology.star(2)
+        params = reservation_defaults().replace(hops=topology.num_edges)
+        keys = {
+            backend: _tree_key((Protocol.SS, params, topology, backend))
+            for backend in ("direct", "lumped", "iterative")
+        }
+        assert len(set(keys.values())) == 3
+
+    def test_auto_shares_cache_entry_with_resolved_backend(self):
+        from repro.core.multihop import Topology, select_tree_backend
+        from repro.runtime.solvers import _tree_key
+
+        topology = Topology.star(8)  # over the direct cap: resolves lumped
+        resolved = select_tree_backend(topology)
+        assert resolved == "lumped"
+        params = reservation_defaults().replace(hops=topology.num_edges)
+        auto_key = _tree_key((Protocol.SS, params, topology))
+        explicit_key = _tree_key((Protocol.SS, params, topology, resolved))
+        assert auto_key == explicit_key
+
+    def test_batch_routes_mixed_backends_in_input_order(self):
+        from repro.core.multihop import LumpedTreeModel, Topology, TreeModel
+        from repro.runtime import solve_tree_batch
+
+        params = reservation_defaults()
+        small = Topology.star(2)
+        wide = Topology.star(8)
+        tasks = [
+            (Protocol.SS, params.replace(hops=wide.num_edges), wide),
+            (Protocol.SS, params.replace(hops=small.num_edges), small),
+        ]
+        wide_solution, small_solution = solve_tree_batch(tasks)
+        direct = TreeModel(Protocol.SS, tasks[1][1], small).solve()
+        lumped = LumpedTreeModel(Protocol.SS, tasks[0][1], wide).solve()
+        assert small_solution.inconsistency_ratio == pytest.approx(
+            direct.inconsistency_ratio, rel=1e-12
+        )
+        assert wide_solution.inconsistency_ratio == pytest.approx(
+            lumped.inconsistency_ratio, rel=1e-12
+        )
+
+    def test_invalid_backend_rejected(self):
+        from repro.core.multihop import Topology
+        from repro.runtime import solve_tree_batch
+
+        topology = Topology.star(2)
+        params = reservation_defaults().replace(hops=topology.num_edges)
+        with pytest.raises(ValueError, match="tree backend"):
+            solve_tree_batch([(Protocol.SS, params, topology, "magic")])
+
+
 class _FakeChain:
     """Duck-typed stand-in for ContinuousTimeMarkovChain in fallback tests."""
 
@@ -191,9 +247,30 @@ class TestStationarySolverFallback:
             solve_chain_stationary(_FakeChain("dense", failing=("dense",)))
         assert failure_report().solver_fallbacks == 0
 
+    def test_sparse_and_dense_failures_rescue_iteratively(self, caplog):
+        # Sparse fails, dense also fails: the iterative backend is the
+        # last rescue on the chain and still lands the solve.
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.solvers"):
+            result = solve_chain_stationary(
+                _FakeChain("sparse", failing=("sparse", "dense"))
+            )
+        assert result == {"a": 0.5, "b": 0.5}
+        assert failure_report().solver_fallbacks == 1
+
     def test_fallback_failure_propagates_after_counting(self):
-        # Sparse fails, dense also fails: the dense error surfaces and
-        # the attempted fallback is still on the record.
-        with pytest.raises(ValueError, match="dense factorization"):
-            solve_chain_stationary(_FakeChain("sparse", failing=("sparse", "dense")))
+        # Every backend fails: the last rescue's error surfaces and the
+        # attempted fallback is still on the record.
+        with pytest.raises(ValueError, match="iterative factorization"):
+            solve_chain_stationary(
+                _FakeChain("sparse", failing=("sparse", "dense", "iterative"))
+            )
+        assert failure_report().solver_fallbacks == 1
+
+    def test_iterative_chain_rescues_densely_without_self_retry(self):
+        # An iterative-configured chain must not retry iteratively; the
+        # dense rescue answers.
+        result = solve_chain_stationary(
+            _FakeChain("iterative", failing=("iterative",))
+        )
+        assert result == {"a": 0.5, "b": 0.5}
         assert failure_report().solver_fallbacks == 1

@@ -87,5 +87,12 @@ class TestHeterogeneousParity:
 
 
 class TestBackendListing:
-    def test_matrix_names_all_four_paths(self):
-        assert BACKENDS == ("dense", "template", "batched", "sparse")
+    def test_matrix_names_all_six_paths(self):
+        assert BACKENDS == (
+            "dense",
+            "template",
+            "batched",
+            "sparse",
+            "lumped",
+            "iterative",
+        )

@@ -106,7 +106,14 @@ class TestExecutePlan:
         coverage = fig4_report.coverage()
         assert coverage.checks_failed == 0
         assert coverage.points > 0
-        assert fig4_report.backends == ("dense", "template", "batched", "sparse")
+        assert fig4_report.backends == (
+            "dense",
+            "template",
+            "batched",
+            "sparse",
+            "lumped",
+            "iterative",
+        )
 
     def test_report_carries_check_kinds(self, fig4_report):
         kinds = {check.kind for check in fig4_report.checks}

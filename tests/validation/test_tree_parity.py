@@ -63,7 +63,9 @@ class TestPlanWiring:
         assert plan.protocols == MULTIHOP
         assert not plan.has_simulation
 
-    @pytest.mark.parametrize("scenario_id", ["tree_fanout", "tree_depth"])
+    @pytest.mark.parametrize(
+        "scenario_id", ["tree_fanout", "tree_depth", "tree_deep", "tree_wide"]
+    )
     def test_validate_scenario_passes(self, scenario_id):
         report = validate_scenario(scenario_id, "smoke")
         assert report.passed, report.to_text()
@@ -72,5 +74,31 @@ class TestPlanWiring:
 
     def test_report_counts_tree_backends(self):
         report = validate_scenario("tree_fanout", "smoke")
-        assert report.backends == ("dense", "template", "batched", "sparse")
+        assert report.backends == (
+            "dense",
+            "template",
+            "batched",
+            "sparse",
+            "lumped",
+            "iterative",
+        )
         assert report.hop_counts == ()
+
+    def test_tree_scale_checks_present(self):
+        report = validate_scenario("tree_fanout", "smoke")
+        names = [check.name for check in report.checks]
+        for protocol in MULTIHOP:
+            assert f"tree-scale {protocol.value}: lumped~dense" in names
+            assert f"tree-scale {protocol.value}: lumped==template" in names
+            assert f"tree-scale {protocol.value}: iterative~dense" in names
+
+    def test_lumped_template_checks_demand_bit_parity(self):
+        from repro.validation.parity import tree_scale_parity_checks
+
+        checks = tree_scale_parity_checks(
+            reservation_defaults(), protocols=(Protocol.SS,), fidelity="smoke"
+        )
+        exact = next(c for c in checks if c.name.endswith("lumped==template"))
+        for point in exact.points:
+            assert point.tolerance == 0.0
+            assert point.expected == point.observed
