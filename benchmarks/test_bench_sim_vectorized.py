@@ -1,0 +1,82 @@
+"""Benchmarks for the vectorized single-hop replication path.
+
+The vectorized replay must beat the event engine decisively on the
+replication sweeps the validation figures run (the engine charges a
+heap operation and a generator resume per event; the replay charges a
+handful of array ops per session) while producing the exact same
+samples.  The nightly bench job records this file as
+``BENCH_sim_vectorized.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.parameters import kazaa_defaults
+from repro.core.protocols import Protocol
+from repro.protocols.config import SingleHopSimConfig
+from repro.protocols.session import simulate_replications
+
+SESSIONS = 100
+REPLICATIONS = 5
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def _config(protocol=Protocol.SS_ER):
+    return SingleHopSimConfig(
+        protocol=protocol, params=kazaa_defaults(), sessions=SESSIONS, seed=5
+    )
+
+
+def test_bench_sim_vectorized_speedup(run_once):
+    """Vectorized replications vs the event engine, same samples."""
+    config = _config()
+    fast, fast_seconds = _timed(
+        lambda: run_once(
+            lambda: simulate_replications(config, REPLICATIONS, engine="vectorized")
+        )
+    )
+    reference, reference_seconds = _timed(
+        lambda: simulate_replications(config, REPLICATIONS, engine="scalar")
+    )
+    for metric in ("inconsistency_ratio", "normalized_message_rate"):
+        assert fast.samples(metric) == reference.samples(metric)
+    if os.environ.get("CI"):
+        pytest.skip(
+            f"CI runner: recorded vectorized {fast_seconds:.3f}s vs "
+            f"scalar {reference_seconds:.3f}s without asserting"
+        )
+    assert fast_seconds * 5.0 < reference_seconds, (
+        f"expected >= 5x: vectorized {fast_seconds:.3f}s vs "
+        f"scalar {reference_seconds:.3f}s "
+        f"({reference_seconds / fast_seconds:.1f}x)"
+    )
+
+
+def test_bench_sim_vectorized_ss_sweep(benchmark):
+    """A loss sweep for pure SS through the vectorized path only."""
+    base = _config(Protocol.SS)
+
+    def sweep():
+        return [
+            simulate_replications(
+                base.replace(params=base.params.replace(loss_rate=loss)),
+                REPLICATIONS,
+                engine="vectorized",
+            )
+            for loss in (0.01, 0.05, 0.1, 0.2, 0.4)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    for point in results:
+        samples = point.samples("inconsistency_ratio")
+        assert len(samples) == REPLICATIONS
+        assert all(0.0 <= sample <= 1.0 for sample in samples)

@@ -40,6 +40,7 @@ __all__ = [
     "SPARSE_STATE_THRESHOLD",
     "ContinuousTimeMarkovChain",
     "batched_absorption_times_dense",
+    "batched_stationary_chain",
     "batched_stationary_dense",
 ]
 
@@ -492,6 +493,158 @@ def batched_stationary_dense(generators: np.ndarray) -> tuple[np.ndarray, np.nda
     safe = np.where(totals > 0.0, totals, 1.0)
     pi /= safe
     bad |= totals[:, 0] <= 0.0
+    return pi, bad
+
+
+def batched_stationary_chain(
+    update: np.ndarray,
+    advance: np.ndarray,
+    lose: np.ndarray,
+    recover: np.ndarray,
+    timeouts: np.ndarray | None = None,
+    false_signal: np.ndarray | None = None,
+    recovery_return: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stationary distributions of ``K`` multihop chain generators in
+    O(hops) per point.
+
+    The chain generator is block-tridiagonal in the hop levels — each
+    level holds the fast state ``F_i`` and slow state ``S_i`` — plus two
+    kinds of long-range "drain" edges that every state above a level
+    sends below it: the update edge into ``F_0`` and either the timeout
+    staircase into each ``S_j`` (SS/SS_RT) or the false-signal edge into
+    RECOVERY (HS).  Because every state above the cut between levels
+    ``i`` and ``i+1`` drains across it at the *same* total rate, the cut
+    balance collapses the tail mass into one scalar per level and the
+    block-Thomas elimination runs level by level:
+
+    * cut balance:   ``a_i·pi(F_i) + r_i·pi(S_i) = (u + tau_{i+1})·A_i``
+      where ``A_i`` is the total mass strictly above the cut and
+      ``tau_c = sum_{j<c} t_j`` the accumulated timeout drain;
+    * slow balance:  ``(u + r_i + tau_i)·pi(S_i) = l_i·pi(F_i) + t_i·A_i``;
+    * fast balance:  ``(u + a_{i+1} + l_{i+1} + tau_{i+1})·pi(F_{i+1})
+      = a_i·pi(F_i) + r_i·pi(S_i)``.
+
+    Seeding ``pi(F_0) = 1`` and normalizing at the end makes the whole
+    recursion a product of strictly positive terms — no subtractions of
+    same-sign quantities ever occur (the one subtraction below is
+    bounded away from cancellation because ``t_i/(u+tau_{i+1}) < 1``),
+    so the kernel is unconditionally forward-stable.  It reorders
+    floating-point operations relative to the LU paths, so it lives in
+    the *tolerance* parity class, never the bit-parity one.
+
+    Parameters (all vectorized over the leading ``K`` axis):
+
+    ``update``
+        ``(K,)`` — the update rate ``u`` (every non-``F_0`` state back
+        to ``F_0``).
+    ``advance`` / ``lose`` / ``recover``
+        ``(K, n)`` — per-hop fast-path advance ``(1-l_i)/d_i``, loss
+        ``l_i/d_i``, and slow-path recovery rates.
+    ``timeouts``
+        ``(K, n)`` — the SS-family per-destination timeout rates
+        (``F_c/S_c -> S_j`` for ``j < c``).  Mutually exclusive with the
+        HS pair below.
+    ``false_signal`` / ``recovery_return``
+        ``(K,)`` each — the HS external false-signal rate ``e`` (every
+        non-RECOVERY state into RECOVERY) and the RECOVERY ``-> F_0``
+        repair rate ``g`` (on top of the update edge).
+
+    Returns ``(pi, bad)``: ``pi`` is ``(K, ns)`` over the
+    ``multihop_state_space`` order (``F_0..F_n``, ``S_0..S_{n-1}``, then
+    RECOVERY for HS), each good row normalized to sum 1; ``bad`` marks
+    points whose recursion produced non-finite values or non-positive
+    mass (degenerate rates), for re-solving through a reference path.
+    Raises ``ValueError`` for structurally invalid input — mismatched
+    shapes, or neither/both of the SS-family and HS rate sets.
+    """
+    update = np.asarray(update, dtype=float)
+    advance = np.asarray(advance, dtype=float)
+    lose = np.asarray(lose, dtype=float)
+    recover = np.asarray(recover, dtype=float)
+    if update.ndim != 1:
+        raise ValueError(f"update must be (K,), got shape {update.shape}")
+    k = update.shape[0]
+    for name, array in (("advance", advance), ("lose", lose), ("recover", recover)):
+        if array.ndim != 2 or array.shape[0] != k:
+            raise ValueError(
+                f"{name} must be (K, n) with K={k}, got shape {array.shape}"
+            )
+    n = advance.shape[1]
+    if n < 1:
+        raise ValueError("chain kernels need at least one hop")
+    if lose.shape[1] != n or recover.shape[1] != n:
+        raise ValueError(
+            f"advance/lose/recover disagree on hops: "
+            f"{advance.shape[1]}/{lose.shape[1]}/{recover.shape[1]}"
+        )
+    with_recovery = false_signal is not None or recovery_return is not None
+    if with_recovery == (timeouts is not None):
+        raise ValueError(
+            "provide either timeouts (SS family) or both false_signal and "
+            "recovery_return (HS), not both or neither"
+        )
+    pi_fast = np.empty((k, n + 1))
+    pi_slow = np.empty((k, n))
+    pi_fast[:, 0] = 1.0
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if with_recovery:
+            if false_signal is None or recovery_return is None:
+                raise ValueError(
+                    "HS chains need both false_signal and recovery_return"
+                )
+            false_signal = np.asarray(false_signal, dtype=float)
+            recovery_return = np.asarray(recovery_return, dtype=float)
+            if false_signal.shape != (k,) or recovery_return.shape != (k,):
+                raise ValueError(
+                    f"false_signal/recovery_return must be (K,)=({k},), got "
+                    f"{false_signal.shape}/{recovery_return.shape}"
+                )
+            for i in range(n):
+                pi_slow[:, i] = (
+                    lose[:, i] * pi_fast[:, i]
+                    / (update + recover[:, i] + false_signal)
+                )
+                inflow = advance[:, i] * pi_fast[:, i] + recover[:, i] * pi_slow[:, i]
+                if i + 1 < n:
+                    drain = update + advance[:, i + 1] + lose[:, i + 1] + false_signal
+                else:
+                    drain = update + false_signal
+                pi_fast[:, i + 1] = inflow / drain
+            rest = pi_fast.sum(axis=1) + pi_slow.sum(axis=1)
+            pi_recovery = false_signal * rest / (update + recovery_return)
+            pi = np.concatenate([pi_fast, pi_slow, pi_recovery[:, None]], axis=1)
+        else:
+            timeouts = np.asarray(timeouts, dtype=float)
+            if timeouts.shape != (k, n):
+                raise ValueError(
+                    f"timeouts must be (K, n)=({k}, {n}), got {timeouts.shape}"
+                )
+            # tau[:, c] = sum of the timeout rates below level c.
+            tau = np.zeros((k, n + 1))
+            np.cumsum(timeouts, axis=1, out=tau[:, 1:])
+            for i in range(n):
+                tail_drain = update + tau[:, i + 1]
+                coupling = timeouts[:, i] / tail_drain
+                pi_slow[:, i] = (
+                    pi_fast[:, i]
+                    * (lose[:, i] + coupling * advance[:, i])
+                    / (update + recover[:, i] + tau[:, i] - coupling * recover[:, i])
+                )
+                inflow = advance[:, i] * pi_fast[:, i] + recover[:, i] * pi_slow[:, i]
+                if i + 1 < n:
+                    drain = update + advance[:, i + 1] + lose[:, i + 1] + tau[:, i + 1]
+                else:
+                    drain = update + tau[:, n]
+                pi_fast[:, i + 1] = inflow / drain
+            pi = np.concatenate([pi_fast, pi_slow], axis=1)
+        bad = ~np.all(np.isfinite(pi), axis=1) | np.any(pi < 0.0, axis=1)
+        pi = np.where(np.isfinite(pi), pi, 0.0)
+        pi = np.clip(pi, 0.0, None)
+        totals = pi.sum(axis=1, keepdims=True)
+        safe = np.where(totals > 0.0, totals, 1.0)
+        pi /= safe
+    bad |= ~np.isfinite(totals[:, 0]) | (totals[:, 0] <= 0.0)
     return pi, bad
 
 

@@ -68,6 +68,7 @@ from repro.core.gilbert.transitions import (
 )
 from repro.core.markov import (
     batched_absorption_times_dense,
+    batched_stationary_chain,
     batched_stationary_dense,
 )
 from repro.core.multihop.heterogeneous import (
@@ -116,6 +117,7 @@ from repro.core.singlehop.transitions import (
 from repro.faults.gilbert import GilbertElliottParameters
 
 __all__ = [
+    "CHAIN_BACKENDS",
     "GilbertMultiHopTemplate",
     "GilbertSingleHopTemplate",
     "LumpedTreeTemplate",
@@ -127,10 +129,13 @@ __all__ = [
     "iterative_tree_template",
     "lumped_tree_template",
     "multihop_template",
+    "select_chain_backend",
     "singlehop_template",
     "solve_gilbert_multihop_tasks",
     "solve_gilbert_singlehop_tasks",
+    "solve_heterogeneous_structured_tasks",
     "solve_heterogeneous_tasks",
+    "solve_multihop_structured_tasks",
     "solve_multihop_tasks",
     "solve_singlehop_tasks",
     "solve_tree_iterative_tasks",
@@ -504,6 +509,33 @@ class SingleHopTemplate:
 # ----------------------------------------------------------------------
 
 
+#: Chain solve backends: ``"template"`` is the historical exact-path
+#: default (batched dense LAPACK below the sparse threshold, splu above
+#: it); ``"structured"`` is the O(hops) block-Thomas kernel (tolerance
+#: class).  ``"auto"`` resolves per task via :func:`select_chain_backend`.
+CHAIN_BACKENDS = ("auto", "template", "structured")
+
+
+def select_chain_backend(protocol: Protocol, hops: int) -> str:
+    """The chain backend ``"auto"`` resolves to for ``(protocol, hops)``.
+
+    Below :data:`~repro.core.markov.SPARSE_STATE_THRESHOLD` states the
+    template's batched dense path stays the default — it is bit-identical
+    to the historical per-point dense results, and the paper's own small
+    chains must keep exact ``==`` parity.  At and above the threshold the
+    template would fall to per-point splu factorizations, which already
+    carry tolerance-class semantics; the structured O(hops) kernel takes
+    over there, trading like for like (tolerance for tolerance) while
+    dropping the per-point cost from a numeric factorization to a single
+    linear recursion.
+    """
+    protocol = Protocol(protocol)
+    n_states = 2 * hops + 1 + (1 if protocol is Protocol.HS else 0)
+    if n_states >= _markov.SPARSE_STATE_THRESHOLD:
+        return "structured"
+    return "template"
+
+
 class MultiHopTemplate:
     """Compiled structure of the Fig. 15/16 chain for ``(protocol, hops)``.
 
@@ -607,18 +639,25 @@ class MultiHopTemplate:
             )
         return row
 
-    def edge_rates(
+    def derived_rows(
         self,
         points: Sequence[tuple[MultiHopParameters, tuple[HeterogeneousHop, ...] | None]],
     ) -> np.ndarray:
-        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        """The ``(K, n_features)`` derived-feature matrix for ``points``."""
         derived = np.empty((len(points), self.n_features))
         for k, (params, hops) in enumerate(points):
             if hops is None:
                 derived[k] = self._derived_homogeneous(params)
             else:
                 derived[k] = self._derived_heterogeneous(params, hops)
-        return derived[:, self._features]
+        return derived
+
+    def edge_rates(
+        self,
+        points: Sequence[tuple[MultiHopParameters, tuple[HeterogeneousHop, ...] | None]],
+    ) -> np.ndarray:
+        """The ``(K, E)`` edge-rate matrix for ``points``."""
+        return self.derived_rows(points)[:, self._features]
 
     # -- solving --------------------------------------------------------
 
@@ -640,11 +679,58 @@ class MultiHopTemplate:
             self._sparse_pattern = _SparseStationaryPattern(self.rows, self.cols, ns)
         return _sparse_batch(self._sparse_pattern, rates, type(self).__name__)
 
+    def _stationary_structured(
+        self, derived: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(pi, bad)`` through the O(hops) block-Thomas chain kernel.
+
+        Feeds the derived-feature rows straight into
+        :func:`~repro.core.markov.batched_stationary_chain` — the chain
+        structure never has to be scattered into a generator matrix, so
+        per-point cost is linear in hops instead of cubic in states.
+        """
+        n = self.hops
+        update = derived[:, self._f_update]
+        advance = derived[:, self._f_advance : self._f_advance + n]
+        lose = derived[:, self._f_lose : self._f_lose + n]
+        recover = derived[:, self._f_recover : self._f_recover + n]
+        if self.protocol is Protocol.HS:
+            return batched_stationary_chain(
+                update,
+                advance,
+                lose,
+                recover,
+                false_signal=derived[:, self._f_extra],
+                recovery_return=derived[:, self._f_extra + 1],
+            )
+        return batched_stationary_chain(
+            update,
+            advance,
+            lose,
+            recover,
+            timeouts=derived[:, self._f_extra : self._f_extra + n],
+        )
+
     def solve_batch(
         self,
         points: Sequence[tuple[MultiHopParameters, tuple[HeterogeneousHop, ...] | None]],
+        backend: str = "template",
     ) -> list[MultiHopSolution]:
-        """Solve every point (homogeneous or heterogeneous tasks)."""
+        """Solve every point (homogeneous or heterogeneous tasks).
+
+        ``backend="template"`` is the historical fast path: batched
+        dense LAPACK below the sparse threshold (bit-identical to the
+        reference), structure-cached splu above it.  ``"structured"``
+        routes through the O(hops) chain kernel instead — tolerance
+        class, per-point fallback to the reference on any point the
+        kernel cannot certify.
+        """
+        if backend not in CHAIN_BACKENDS:
+            raise ValueError(
+                f"chain backend must be one of {CHAIN_BACKENDS}, got {backend!r}"
+            )
+        if backend == "auto":
+            backend = select_chain_backend(self.protocol, self.hops)
         points = list(points)
         if not points:
             return []
@@ -657,9 +743,12 @@ class MultiHopTemplate:
                 raise ValueError(
                     f"hop vector length {len(hops)} != template hops {self.hops}"
                 )
-        rates = self.edge_rates(points)
+        derived = self.derived_rows(points)
         try:
-            pi, bad = self._stationary_batch(rates)
+            if backend == "structured":
+                pi, bad = self._stationary_structured(derived)
+            else:
+                pi, bad = self._stationary_batch(derived[:, self._features])
         except np.linalg.LinAlgError:
             return [self._reference(params, hops) for params, hops in points]
         solutions: list[MultiHopSolution] = []
@@ -1283,6 +1372,44 @@ def solve_heterogeneous_tasks(
         lambda task: (Protocol(task[0]), task[1].hops),
         lambda key, group: multihop_template(*key).solve_batch(
             [(params, tuple(hops)) for _, params, hops in group]
+        ),
+    )
+
+
+def solve_multihop_structured_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters]],
+) -> list[MultiHopSolution]:
+    """Solve homogeneous chain tasks through the O(hops) kernel.
+
+    Same task shape as :func:`solve_multihop_tasks`, but every point
+    runs the block-Thomas structured recursion instead of a generic LU
+    factorization — tolerance parity class (the kernel reorders
+    floating-point operations), with per-point reference fallback.
+    """
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[1].hops),
+        lambda key, group: multihop_template(*key).solve_batch(
+            [(params, None) for _, params in group], backend="structured"
+        ),
+    )
+
+
+def solve_heterogeneous_structured_tasks(
+    tasks: Sequence[tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]],
+) -> list[MultiHopSolution]:
+    """Solve heterogeneous chain tasks through the O(hops) kernel.
+
+    Same task shape as :func:`solve_heterogeneous_tasks`; tolerance
+    parity class, per-point reference fallback (see
+    :func:`solve_multihop_structured_tasks`).
+    """
+    return _solve_grouped(
+        list(tasks),
+        lambda task: (Protocol(task[0]), task[1].hops),
+        lambda key, group: multihop_template(*key).solve_batch(
+            [(params, tuple(hops)) for _, params, hops in group],
+            backend="structured",
         ),
     )
 

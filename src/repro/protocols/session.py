@@ -31,7 +31,12 @@ from repro.sim.monitor import StateFractionMonitor, TimeSeriesMonitor
 from repro.sim.randomness import RandomStreams, Timer
 from repro.sim.stats import ReplicationSet
 
-__all__ = ["SingleHopSimResult", "SingleHopSimulation", "simulate_replications"]
+__all__ = [
+    "SIM_ENGINES",
+    "SingleHopSimResult",
+    "SingleHopSimulation",
+    "simulate_replications",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -229,17 +234,58 @@ class SingleHopSimulation:
         )
 
 
+#: Engine choices for :func:`simulate_replications`.  ``auto`` takes the
+#: vectorized path whenever the config supports it (and the
+#: ``REPRO_VECTOR_SIM`` escape hatch has not disabled it); ``scalar``
+#: forces the event engine; ``vectorized`` demands the fast path and
+#: raises on configs it cannot replay.
+SIM_ENGINES = ("auto", "scalar", "vectorized")
+
+
 def simulate_replications(
     config: SingleHopSimConfig,
     replications: int = 10,
+    engine: str = "auto",
 ) -> ReplicationSet:
     """Run independent replications; returns I and M samples.
 
     Metrics recorded per replication: ``inconsistency_ratio`` and
-    ``normalized_message_rate``.
+    ``normalized_message_rate``.  Both engines produce bit-identical
+    samples: the vectorized path replays the same per-replication
+    random streams in the same draw order (and falls back to the event
+    engine lane by lane where it cannot).  ``REPRO_VECTOR_SIM=0``
+    routes everything through the scalar engine, including explicit
+    ``engine="vectorized"`` requests (the request is still validated).
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
+    if engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {engine!r}; expected one of {SIM_ENGINES}"
+        )
+    if engine != "scalar":
+        from repro.protocols.vectorized import (
+            simulate_replications_vectorized,
+            supports_vectorized_config,
+            vectorized_sim_enabled,
+        )
+
+        supported = supports_vectorized_config(config)
+        if engine == "vectorized" and not supported:
+            raise ValueError(
+                "engine='vectorized' requires SS or SS+ER with deterministic "
+                "timers and delay, no Gilbert-Elliott channel, no sample "
+                f"grid, and timeout > delay; got protocol={config.protocol.value}"
+            )
+        if supported and vectorized_sim_enabled():
+            results = ReplicationSet()
+            for outcome in simulate_replications_vectorized(config, replications):
+                results.add("inconsistency_ratio", outcome.inconsistency_ratio)
+                results.add(
+                    "normalized_message_rate",
+                    outcome.normalized_message_rate(config.params.removal_rate),
+                )
+            return results
     streams = RandomStreams(config.seed)
     results = ReplicationSet()
     for index in range(replications):

@@ -84,8 +84,17 @@ _MISSING = object()
 _TEMPLATES_ENV = "REPRO_TEMPLATES"
 
 SingleHopTask = tuple[Protocol, SignalingParameters]
-MultiHopTask = tuple[Protocol, MultiHopParameters]
-HeterogeneousTask = tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
+#: Chain tasks may carry an explicit backend as a trailing element; bare
+#: tuples mean ``"auto"`` (routed by state count — the structured
+#: O(hops) kernel at and above the sparse threshold, the exact template
+#: path below it).
+MultiHopTask = (
+    tuple[Protocol, MultiHopParameters] | tuple[Protocol, MultiHopParameters, str]
+)
+HeterogeneousTask = (
+    tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...]]
+    | tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...], str]
+)
 #: Tree tasks may carry an explicit backend as a fourth element; bare
 #: 3-tuples mean ``"auto"`` (routed by projected state counts).
 TreeTask = (
@@ -173,15 +182,77 @@ def _singlehop_key(task: SingleHopTask) -> tuple:
     return cache_key("singlehop", protocol, params)
 
 
+def _chain_parity_class(backend: str) -> str:
+    """The parity class a chain backend's results belong to.
+
+    Baked into the cache key (mirroring the tree dispatch) so a
+    tolerance-class structured result can never be served to an
+    exact-path caller sharing the same ``(protocol, params)``.
+    """
+    return "tolerance" if backend == "structured" else "exact"
+
+
+def _normalized_multihop_task(
+    task: MultiHopTask,
+) -> tuple[Protocol, MultiHopParameters, str]:
+    """``(protocol, params, backend)`` with ``"auto"`` resolved.
+
+    Bare 2-tuples mean ``"auto"``; resolution happens before cache
+    keying so an ``"auto"`` task and its resolved explicit twin share
+    one cache entry, while distinct backends never collide.
+    """
+    if len(task) == 2:
+        protocol, params = task
+        backend = "auto"
+    else:
+        protocol, params, backend = task
+    if backend not in _templates.CHAIN_BACKENDS:
+        raise ValueError(
+            f"chain backend must be one of {_templates.CHAIN_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    protocol = Protocol(protocol)
+    if backend == "auto":
+        backend = _templates.select_chain_backend(protocol, params.hops)
+    return protocol, params, backend
+
+
+def _normalized_heterogeneous_task(
+    task: HeterogeneousTask,
+) -> tuple[Protocol, MultiHopParameters, tuple[HeterogeneousHop, ...], str]:
+    """``(protocol, params, hops, backend)`` with ``"auto"`` resolved."""
+    if len(task) == 3:
+        protocol, params, hops = task
+        backend = "auto"
+    else:
+        protocol, params, hops, backend = task
+    if backend not in _templates.CHAIN_BACKENDS:
+        raise ValueError(
+            f"chain backend must be one of {_templates.CHAIN_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    protocol = Protocol(protocol)
+    if backend == "auto":
+        backend = _templates.select_chain_backend(protocol, params.hops)
+    return protocol, params, tuple(hops), backend
+
+
 def _multihop_key(task: MultiHopTask) -> tuple:
-    protocol, params = task
-    return cache_key("multihop", protocol, params)
+    protocol, params, backend = _normalized_multihop_task(task)
+    return cache_key(
+        "multihop", protocol, params, (backend, _chain_parity_class(backend))
+    )
 
 
 def _heterogeneous_key(task: HeterogeneousTask) -> tuple:
-    protocol, params, hops = task
+    protocol, params, hops, backend = _normalized_heterogeneous_task(task)
     hop_key = tuple((h.loss_rate, h.delay) for h in hops)
-    return cache_key("heterogeneous", protocol, params, hop_key)
+    return cache_key(
+        "heterogeneous",
+        protocol,
+        params,
+        (hop_key, backend, _chain_parity_class(backend)),
+    )
 
 
 def _normalized_tree_task(
@@ -253,12 +324,15 @@ def _compute_singlehop(task: SingleHopTask) -> SingleHopSolution:
 
 
 def _compute_multihop(task: MultiHopTask) -> MultiHopSolution:
-    protocol, params = task
+    # The reference path ignores the backend: with templates disabled
+    # (REPRO_TEMPLATES=0) every chain solves through the per-point
+    # reference model, bypassing the structured kernel entirely.
+    protocol, params, _ = _normalized_multihop_task(task)
     return MultiHopModel(protocol, params).solve()
 
 
 def _compute_heterogeneous(task: HeterogeneousTask) -> MultiHopSolution:
-    protocol, params, hops = task
+    protocol, params, hops, _ = _normalized_heterogeneous_task(task)
     return HeterogeneousMultiHopModel(protocol, params, hops).solve()
 
 
@@ -351,18 +425,56 @@ def solve_singlehop_template_chunk(
     return _templates.solve_singlehop_tasks(list(tasks))
 
 
+def _solve_chain_partitioned(normalized, entry_points):
+    """Partition normalized chain tasks by backend and scatter back.
+
+    One chunk can mix backends (a hop sweep crossing the structured
+    threshold mid-axis) without extra round trips — the same shape as
+    the tree dispatch below.
+    """
+    partitions: dict[str, list[int]] = {}
+    for position, task in enumerate(normalized):
+        partitions.setdefault(task[-1], []).append(position)
+    results = [None] * len(normalized)
+    for backend, positions in partitions.items():
+        solved = entry_points[backend]([normalized[p][:-1] for p in positions])
+        for position, solution in zip(positions, solved):
+            results[position] = solution
+    return results
+
+
 def solve_multihop_template_chunk(
     tasks: Sequence[MultiHopTask],
 ) -> list[MultiHopSolution]:
-    """Solve a chunk of homogeneous multi-hop tasks through templates."""
-    return _templates.solve_multihop_tasks(list(tasks))
+    """Solve a chunk of homogeneous multi-hop tasks through templates.
+
+    Tasks are partitioned by their resolved backend: the exact template
+    path, or the structured O(hops) chain kernel.
+    """
+    return _solve_chain_partitioned(
+        [_normalized_multihop_task(task) for task in tasks],
+        {
+            "template": _templates.solve_multihop_tasks,
+            "structured": _templates.solve_multihop_structured_tasks,
+        },
+    )
 
 
 def solve_heterogeneous_template_chunk(
     tasks: Sequence[HeterogeneousTask],
 ) -> list[MultiHopSolution]:
-    """Solve a chunk of heterogeneous multi-hop tasks through templates."""
-    return _templates.solve_heterogeneous_tasks(list(tasks))
+    """Solve a chunk of heterogeneous multi-hop tasks through templates.
+
+    Backend-partitioned exactly like
+    :func:`solve_multihop_template_chunk`.
+    """
+    return _solve_chain_partitioned(
+        [_normalized_heterogeneous_task(task) for task in tasks],
+        {
+            "template": _templates.solve_heterogeneous_tasks,
+            "structured": _templates.solve_heterogeneous_structured_tasks,
+        },
+    )
 
 
 def solve_tree_template_chunk(tasks: Sequence[TreeTask]) -> list[TreeSolution]:

@@ -32,7 +32,7 @@ True
 >>> sorted({check.kind for check in report.checks})
 ['artifact', 'invariant', 'parity']
 >>> report.coverage().backends
-('dense', 'template', 'batched', 'sparse', 'lumped', 'iterative')
+('dense', 'template', 'batched', 'sparse', 'structured', 'lumped', 'iterative')
 
 Reports render as text tables or versioned JSON artifacts
 (``schema_version`` 1) that round-trip losslessly:

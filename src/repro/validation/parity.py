@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core import templates as _templates
 from repro.core.markov import (
+    SPARSE_STATE_THRESHOLD,
     ContinuousTimeMarkovChain,
     batched_absorption_times_dense,
     batched_stationary_dense,
@@ -72,6 +73,8 @@ __all__ = [
     "PARITY_CLASSES",
     "SPARSE_REL_TOL",
     "SPARSE_ABS_TOL",
+    "STRUCTURED_CROSSOVER_HOPS",
+    "chain_backend_parity_checks",
     "gilbert_multihop_parity_checks",
     "gilbert_parity_channels",
     "gilbert_singlehop_parity_checks",
@@ -85,7 +88,15 @@ __all__ = [
 ]
 
 #: The solver paths the matrix covers, reference first.
-BACKENDS = ("dense", "template", "batched", "sparse", "lumped", "iterative")
+BACKENDS = (
+    "dense",
+    "template",
+    "batched",
+    "sparse",
+    "structured",
+    "lumped",
+    "iterative",
+)
 
 #: Parity class of every public solver backend entry point
 #: (``core/templates.py``, ``core/markov.py``): ``"exact"`` paths must
@@ -114,6 +125,12 @@ PARITY_CLASSES: dict[str, str] = {
     # Both therefore declare tolerance, never bit parity.
     "solve_tree_lumped_tasks": "tolerance",
     "solve_tree_iterative_tasks": "tolerance",
+    # The block-Thomas chain kernel eliminates level by level, an
+    # entirely different operation order than any LU factorization;
+    # exact in exact arithmetic, tolerance in floats.
+    "batched_stationary_chain": "tolerance",
+    "solve_multihop_structured_tasks": "tolerance",
+    "solve_heterogeneous_structured_tasks": "tolerance",
 }
 
 #: Agreement bound for the sparse (splu) backend against the dense
@@ -947,3 +964,110 @@ def heterogeneous_parity_check(
         points,
         detail=f"N={params.hops}, uniform + congested profiles, exact",
     )
+
+
+#: The smallest hop count whose chain reaches
+#: :data:`~repro.core.markov.SPARSE_STATE_THRESHOLD` states (2N+1 for
+#: the SS family) — where ``"auto"`` stops using splu and routes chains
+#: to the structured O(hops) kernel instead.
+STRUCTURED_CROSSOVER_HOPS = (SPARSE_STATE_THRESHOLD + 1) // 2
+
+
+def _metric_points(label, reference, observed, point_factory):
+    return [
+        point_factory(
+            f"{label} {metric}",
+            getattr(reference, metric),
+            getattr(observed, metric),
+        )
+        for metric in ("inconsistency_ratio", "message_rate")
+    ]
+
+
+def chain_backend_parity_checks(
+    params: MultiHopParameters,
+    hop_counts: Sequence[int],
+    protocols: Sequence[Protocol] = Protocol.multihop_family(),
+    fidelity: str = "smoke",
+) -> list[CheckResult]:
+    """The structured chain-kernel slice of the parity matrix.
+
+    Three relations per protocol, mirroring the tree-backend slice:
+
+    * ``structured~dense`` — the O(hops) kernel against the per-point
+      dense reference at the sweep's own hop counts (tolerance: the
+      kernel reorders float operations);
+    * ``structured~sparse`` — above the splu crossover
+      (:data:`STRUCTURED_CROSSOVER_HOPS`), where no exact referee
+      exists, the kernel against the historical splu template path;
+    * the heterogeneous congested profile through both relations, so
+      the per-hop rate vectors (not just the homogeneous scalars) are
+      covered.
+
+    The exact ``dense==template`` relation is *not* re-asserted here —
+    :func:`multihop_parity_checks` already owns it, and the structured
+    backend never replaces an exact path (see
+    :func:`~repro.core.templates.select_chain_backend`).
+    """
+    checks: list[CheckResult] = []
+    for protocol in protocols:
+        dense_points: list[PointCheck] = []
+        for hops in hop_counts:
+            hop_base = params.replace(hops=int(hops))
+            for label, point_params in parity_parameter_points(hop_base, fidelity):
+                label = f"N={hops} {label}"
+                reference = MultiHopModel(protocol, point_params).solve()
+                structured = _templates.solve_multihop_structured_tasks(
+                    [(protocol, point_params)]
+                )[0]
+                dense_points.extend(
+                    _metric_points(label, reference, structured, _close_point)
+                )
+                dense_points.extend(
+                    _close_point(
+                        f"{label} pi[{_state_label(state)}]",
+                        reference.stationary[state],
+                        structured.stationary[state],
+                    )
+                    for state in reference.stationary
+                )
+        hop_list = ",".join(str(h) for h in hop_counts)
+        checks.append(
+            _check(
+                f"chain {protocol.value}: structured~dense",
+                dense_points,
+                detail=f"hops {hop_list}, block-Thomas within rel {SPARSE_REL_TOL:g}",
+            )
+        )
+
+        crossover = params.replace(hops=STRUCTURED_CROSSOVER_HOPS)
+        sparse_points: list[PointCheck] = []
+        template = _templates.solve_multihop_tasks([(protocol, crossover)])[0]
+        structured = _templates.solve_multihop_structured_tasks(
+            [(protocol, crossover)]
+        )[0]
+        label = f"N={STRUCTURED_CROSSOVER_HOPS}"
+        sparse_points.extend(
+            _metric_points(label, template, structured, _close_point)
+        )
+        congested = _congested_profile(crossover)
+        template = _templates.solve_heterogeneous_tasks(
+            [(protocol, crossover, congested)]
+        )[0]
+        structured = _templates.solve_heterogeneous_structured_tasks(
+            [(protocol, crossover, congested)]
+        )[0]
+        sparse_points.extend(
+            _metric_points(f"{label} congested", template, structured, _close_point)
+        )
+        checks.append(
+            _check(
+                f"chain {protocol.value}: structured~sparse",
+                sparse_points,
+                detail=(
+                    f"N={STRUCTURED_CROSSOVER_HOPS} above the splu crossover, "
+                    f"uniform + congested, within rel {SPARSE_REL_TOL:g}"
+                ),
+            )
+        )
+    return checks

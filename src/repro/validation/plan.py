@@ -59,6 +59,7 @@ from repro.validation.equivalence import (
 )
 from repro.validation.parity import (
     BACKENDS,
+    chain_backend_parity_checks,
     gilbert_multihop_parity_checks,
     gilbert_singlehop_parity_checks,
     heterogeneous_parity_check,
@@ -510,6 +511,10 @@ def _cached_parity_slice(
     if family == "multihop":
         return tuple(
             multihop_parity_checks(base, hop_counts, protocols, fidelity=fidelity)
+        ) + tuple(
+            chain_backend_parity_checks(
+                base, hop_counts, protocols, fidelity=fidelity
+            )
         )
     if family == "tree":
         return tuple(tree_parity_checks(base, protocols, fidelity=fidelity)) + tuple(

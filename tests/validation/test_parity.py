@@ -87,12 +87,13 @@ class TestHeterogeneousParity:
 
 
 class TestBackendListing:
-    def test_matrix_names_all_six_paths(self):
+    def test_matrix_names_all_seven_paths(self):
         assert BACKENDS == (
             "dense",
             "template",
             "batched",
             "sparse",
+            "structured",
             "lumped",
             "iterative",
         )

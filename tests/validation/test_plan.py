@@ -111,6 +111,7 @@ class TestExecutePlan:
             "template",
             "batched",
             "sparse",
+            "structured",
             "lumped",
             "iterative",
         )

@@ -79,6 +79,7 @@ class TestPlanWiring:
             "template",
             "batched",
             "sparse",
+            "structured",
             "lumped",
             "iterative",
         )
